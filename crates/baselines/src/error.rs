@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the baseline runners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Propagated core error.
+    Core(ie_core::CoreError),
+    /// Propagated MCU-substrate error.
+    Mcu(ie_mcu::McuError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Core(e) => write!(f, "core error: {e}"),
+            BaselineError::Mcu(e) => write!(f, "mcu error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Core(e) => Some(e),
+            BaselineError::Mcu(e) => Some(e),
+        }
+    }
+}
+
+impl From<ie_core::CoreError> for BaselineError {
+    fn from(e: ie_core::CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<ie_mcu::McuError> for BaselineError {
+    fn from(e: ie_mcu::McuError) -> Self {
+        BaselineError::Mcu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<BaselineError> = vec![
+            ie_core::CoreError::InvalidConfig("x".into()).into(),
+            ie_mcu::McuError::EmptyTaskGraph.into(),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(e).is_some());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `ie-baselines` — the comparison systems of Section V: SonicNet, SpArSeNet
+//! and LeNet-Cifar.
+//!
+//! All three are *single-exit* networks executed by a SONIC-style task-based
+//! intermittent runtime: an inference is split into tasks, each task is only
+//! started when the capacitor holds enough energy for it (plus the checkpoint
+//! write), and progress survives power failures. When the harvested energy is
+//! weak this means an inference spans several power cycles and its latency is
+//! dominated by waiting — which is exactly the behaviour the paper's
+//! multi-exit approach eliminates.
+//!
+//! [`BaselineNetwork`] carries the published FLOPs / accuracy figures of each
+//! baseline and [`BaselineRunner`] replays the same event sequence and power
+//! trace used for the proposed approach, producing an
+//! [`ie_core::SimulationReport`] so every system is scored with the same
+//! metrics (IEpmJ, all-event accuracy, per-event latency).
+//!
+//! # Example
+//!
+//! ```
+//! use ie_baselines::{BaselineNetwork, BaselineRunner};
+//! use ie_core::ExperimentConfig;
+//!
+//! let config = ExperimentConfig::small_test();
+//! let report = BaselineRunner::new(&config).run(&BaselineNetwork::lenet_cifar())?;
+//! assert_eq!(report.total_events, config.num_events);
+//! # Ok::<(), ie_baselines::BaselineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+mod runner;
+
+pub use error::BaselineError;
+pub use network::BaselineNetwork;
+pub use runner::BaselineRunner;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

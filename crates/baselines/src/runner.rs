@@ -1,0 +1,166 @@
+use crate::{BaselineNetwork, Result};
+use ie_core::metrics::{EventOutcome, EventRecord, SimulationReport};
+use ie_core::ExperimentConfig;
+use ie_mcu::{CostModel, IntermittentExecutor, NonvolatileMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays the experiment's event sequence for a single-exit baseline network
+/// executed by the SONIC-style intermittent runtime.
+///
+/// Semantics:
+///
+/// * when an event arrives while the device is still busy finishing (or
+///   waiting out) a previous inference, the event is **missed** — the sensor
+///   cannot buffer stale events indefinitely,
+/// * otherwise the inference's task graph runs across as many power cycles as
+///   needed; if even that starves (no energy for longer than
+///   [`BaselineRunner::with_max_wait_s`]) the event is missed,
+/// * correctness of a completed inference is sampled from the baseline's
+///   published per-inference accuracy.
+#[derive(Debug)]
+pub struct BaselineRunner {
+    config: ExperimentConfig,
+    max_wait_s: f64,
+}
+
+impl BaselineRunner {
+    /// Creates a runner over the given experiment environment.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        BaselineRunner { config: config.clone(), max_wait_s: 1_800.0 }
+    }
+
+    /// Overrides how long one inference may wait for energy before the event
+    /// is abandoned.
+    pub fn with_max_wait_s(mut self, max_wait_s: f64) -> Self {
+        self.max_wait_s = max_wait_s.max(0.0);
+        self
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the baseline over the full event sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or MCU-substrate errors; starvation of individual
+    /// events is not an error (they are reported as missed).
+    pub fn run(&self, network: &BaselineNetwork) -> Result<SimulationReport> {
+        self.config.validate()?;
+        let cost = CostModel::for_device(&self.config.device);
+        let executor = IntermittentExecutor::new(cost.clone()).with_max_wait_s(self.max_wait_s);
+        let graph = network.task_graph();
+        let mut sim = self.config.build_harvest_simulator();
+        let mut nv = NonvolatileMemory::new(self.config.device.nonvolatile_bytes() as usize);
+        let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
+        let events = self.config.build_events();
+        let mut records = Vec::with_capacity(events.len());
+        // Time until which the device is still occupied by the previous event.
+        let mut busy_until_s = 0.0f64;
+
+        for event in &events {
+            if event.time_s < busy_until_s {
+                records.push(EventRecord {
+                    event_id: event.id,
+                    time_s: event.time_s,
+                    outcome: EventOutcome::Missed,
+                    latency_s: 0.0,
+                    energy_mj: 0.0,
+                    flops: 0,
+                });
+                continue;
+            }
+            sim.advance_to(event.time_s);
+            let report = executor.execute(&graph, &mut sim, &mut nv)?;
+            busy_until_s = sim.now_s();
+            if report.completed {
+                let correct = rng.gen::<f64>() < network.accuracy();
+                records.push(EventRecord {
+                    event_id: event.id,
+                    time_s: event.time_s,
+                    outcome: EventOutcome::Processed { exit: 0, correct, incremental: false },
+                    latency_s: report.elapsed_s,
+                    energy_mj: report.energy_consumed_mj,
+                    flops: network.flops(),
+                });
+            } else {
+                records.push(EventRecord {
+                    event_id: event.id,
+                    time_s: event.time_s,
+                    outcome: EventOutcome::Missed,
+                    latency_s: 0.0,
+                    energy_mj: report.energy_consumed_mj,
+                    flops: 0,
+                });
+            }
+        }
+
+        sim.advance_to(self.config.trace_duration_s);
+        let total_harvested = self.config.total_harvestable_mj();
+        Ok(SimulationReport::from_records(records, 1, total_harvested))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::small_test()
+    }
+
+    #[test]
+    fn all_events_are_accounted_for() {
+        let c = config();
+        let report = BaselineRunner::new(&c).run(&BaselineNetwork::lenet_cifar()).unwrap();
+        assert_eq!(report.total_events, c.num_events);
+        assert_eq!(report.processed_events + report.missed_events, report.total_events);
+        assert!(report.correct_events <= report.processed_events);
+        assert_eq!(report.exit_counts.len(), 1);
+        assert_eq!(report.exit_counts[0], report.processed_events);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let c = config();
+        let a = BaselineRunner::new(&c).run(&BaselineNetwork::sonic_net()).unwrap();
+        let b = BaselineRunner::new(&c).run(&BaselineNetwork::sonic_net()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavier_networks_process_fewer_events() {
+        // SpArSeNet needs ~5.7x the energy of SonicNet per inference, so under
+        // the same harvest it must process fewer events and achieve a lower
+        // IEpmJ, mirroring Fig. 5.
+        let c = config();
+        let runner = BaselineRunner::new(&c);
+        let sonic = runner.run(&BaselineNetwork::sonic_net()).unwrap();
+        let sparse = runner.run(&BaselineNetwork::sparse_net()).unwrap();
+        let lenet = runner.run(&BaselineNetwork::lenet_cifar()).unwrap();
+        assert!(sparse.processed_events < sonic.processed_events);
+        assert!(sonic.processed_events <= lenet.processed_events);
+        assert!(sparse.ie_pmj() < sonic.ie_pmj());
+        assert!(sonic.ie_pmj() <= lenet.ie_pmj());
+    }
+
+    #[test]
+    fn baseline_latency_includes_waiting_for_energy() {
+        // With the weak harvest of the paper setup, SonicNet cannot finish an
+        // inference in one power cycle, so its mean latency is far above its
+        // pure compute time.
+        let c = config();
+        let report = BaselineRunner::new(&c).run(&BaselineNetwork::sonic_net()).unwrap();
+        let compute_s = CostModel::for_device(&c.device).inference_latency_s(2_000_000);
+        if report.processed_events > 0 {
+            assert!(
+                report.mean_latency_s() > compute_s,
+                "latency {} should exceed pure compute {compute_s}",
+                report.mean_latency_s()
+            );
+        }
+    }
+}

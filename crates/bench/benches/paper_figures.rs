@@ -1,0 +1,107 @@
+//! Criterion benches that time the regeneration of each paper experiment.
+//!
+//! One benchmark per table/figure, so `cargo bench` both exercises every
+//! experiment pipeline and reports how long regenerating it takes. Reduced
+//! event counts and search budgets are used to keep the wall-clock reasonable;
+//! the `figures` binary runs the full-scale versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ie_baselines::{BaselineNetwork, BaselineRunner};
+use ie_bench::experiments::{compression_study, reference_nonuniform_policy};
+use ie_core::policies::GreedyAffordablePolicy;
+use ie_core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
+use ie_runtime::{AdaptationConfig, RuntimeAdaptation};
+use ie_search::{best_uniform_policy, CompressionEnv, RewardMode};
+use std::hint::black_box;
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig { num_events: 120, ..ExperimentConfig::paper_default() }
+}
+
+/// Fig. 1(b): evaluating full-precision / uniform / nonuniform accuracy.
+fn bench_fig1b_compression(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig1b_compression_accuracy", |b| {
+        b.iter(|| {
+            let env = CompressionEnv::new(&config, RewardMode::ExitGuided).unwrap();
+            let uniform = best_uniform_policy(&env, 4).unwrap();
+            let nonuniform = env.evaluate(&reference_nonuniform_policy(env.layers())).unwrap();
+            black_box((uniform.1.accuracy_reward, nonuniform.accuracy_reward))
+        })
+    });
+}
+
+/// Fig. 4: one evaluation of a candidate layer-wise policy under the trace.
+fn bench_fig4_policy_evaluation(c: &mut Criterion) {
+    let config = bench_config();
+    let env = CompressionEnv::new(&config, RewardMode::ExitGuided).unwrap();
+    let policy = reference_nonuniform_policy(env.layers());
+    c.bench_function("fig4_policy_evaluation", |b| {
+        b.iter(|| black_box(env.evaluate(&policy).unwrap().accuracy_reward))
+    });
+}
+
+/// Fig. 5 / Section V-C: the four-system IEpmJ comparison.
+fn bench_fig5_ieepmj(c: &mut Criterion) {
+    let config = bench_config();
+    let study = compression_study(&config, 0).unwrap();
+    let deployed = DeployedModel::new(study.nonuniform.1.profile.clone(), config.cost_model());
+    c.bench_function("fig5_ours_runtime", |b| {
+        b.iter(|| {
+            let adaptation =
+                RuntimeAdaptation::new(AdaptationConfig { episodes: 2, ..Default::default() })
+                    .run(&config, &deployed)
+                    .unwrap();
+            black_box(adaptation.final_report.ie_pmj())
+        })
+    });
+    c.bench_function("fig5_sonicnet_baseline", |b| {
+        b.iter(|| {
+            let report =
+                BaselineRunner::new(&config).run(&BaselineNetwork::sonic_net()).unwrap();
+            black_box(report.ie_pmj())
+        })
+    });
+}
+
+/// Fig. 6 / Section V-D: FLOPs and latency accounting of a deployed model.
+fn bench_fig6_event_loop(c: &mut Criterion) {
+    let config = bench_config();
+    let study = compression_study(&config, 0).unwrap();
+    let deployed = DeployedModel::new(study.nonuniform.1.profile.clone(), config.cost_model());
+    c.bench_function("fig6_event_loop_simulation", |b| {
+        b.iter(|| {
+            let report = EventLoopSimulator::new(&config)
+                .run(&deployed, &mut GreedyAffordablePolicy::new())
+                .unwrap();
+            black_box((report.mean_flops_per_inference(), report.mean_latency_s()))
+        })
+    });
+}
+
+/// Fig. 7: one Q-learning adaptation episode vs the static LUT.
+fn bench_fig7_runtime_adaptation(c: &mut Criterion) {
+    let config = bench_config();
+    let study = compression_study(&config, 0).unwrap();
+    let deployed = DeployedModel::new(study.nonuniform.1.profile.clone(), config.cost_model());
+    c.bench_function("fig7_runtime_adaptation", |b| {
+        b.iter(|| {
+            let outcome =
+                RuntimeAdaptation::new(AdaptationConfig { episodes: 3, ..Default::default() })
+                    .run(&config, &deployed)
+                    .unwrap();
+            black_box(outcome.improvement_over_static())
+        })
+    });
+}
+
+criterion_group!(
+    name = paper_figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1b_compression,
+        bench_fig4_policy_evaluation,
+        bench_fig5_ieepmj,
+        bench_fig6_event_loop,
+        bench_fig7_runtime_adaptation
+);
+criterion_main!(paper_figures);

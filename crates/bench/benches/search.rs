@@ -1,0 +1,74 @@
+//! Criterion benches of the search and runtime-learning components: the cost
+//! of one DDPG search episode, one Q-learning event decision and the energy
+//! substrate primitives they lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ie_core::{DeployedModel, EventContext, ExitPolicy, ExperimentConfig};
+use ie_energy::{EnergyStorage, HarvestSimulator, PowerTrace, SolarTrace};
+use ie_runtime::{QLearningConfig, QLearningExitPolicy, StateDiscretizer};
+use ie_search::{CompressionEnv, DdpgCompressionSearch, RewardMode, SearchConfig};
+use std::hint::black_box;
+
+fn bench_search_episode(c: &mut Criterion) {
+    let config = ExperimentConfig { num_events: 120, ..ExperimentConfig::paper_default() };
+    let env = CompressionEnv::new(&config, RewardMode::ExitGuided).unwrap();
+    c.bench_function("ddpg_search_4_episodes", |b| {
+        b.iter(|| {
+            let search = DdpgCompressionSearch::new(SearchConfig {
+                episodes: 4,
+                warmup_episodes: 2,
+                updates_per_episode: 2,
+                batch_size: 16,
+                ..SearchConfig::default()
+            });
+            black_box(search.run(&env).unwrap().best_outcome.accuracy_reward)
+        })
+    });
+}
+
+fn bench_qlearning_decision(c: &mut Criterion) {
+    let config = ExperimentConfig::paper_default();
+    let model = DeployedModel::uncompressed_reference(&config).unwrap();
+    let mut policy = QLearningExitPolicy::new(
+        model.num_exits(),
+        StateDiscretizer::paper_default(),
+        QLearningConfig::default(),
+    );
+    let ctx = EventContext {
+        event_id: 0,
+        time_s: 0.0,
+        available_energy_mj: 2.0,
+        capacity_mj: config.storage_capacity_mj,
+        charging_efficiency: 0.4,
+        exit_energy_mj: model.exit_energies_mj(),
+        exit_accuracy: model.exit_accuracies(),
+    };
+    // This is the per-event overhead the paper argues is negligible on the MCU.
+    c.bench_function("qlearning_exit_decision", |b| {
+        b.iter(|| black_box(policy.choose_exit(&ctx)))
+    });
+}
+
+fn bench_energy_substrate(c: &mut Criterion) {
+    let trace = SolarTrace::builder().seed(3).build();
+    c.bench_function("solar_trace_energy_one_hour", |b| {
+        b.iter(|| black_box(trace.energy_mj(6.0 * 3600.0, 7.0 * 3600.0)))
+    });
+    c.bench_function("harvest_simulator_advance_day", |b| {
+        b.iter(|| {
+            let mut sim = HarvestSimulator::new(
+                Box::new(SolarTrace::builder().seed(3).build()),
+                EnergyStorage::new(5.0, 0.8),
+            );
+            sim.advance_to(24.0 * 3600.0);
+            black_box(sim.storage().level_mj())
+        })
+    });
+}
+
+criterion_group!(
+    name = search;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search_episode, bench_qlearning_decision, bench_energy_substrate
+);
+criterion_main!(search);

@@ -1,0 +1,313 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ie-bench --bin figures -- all
+//! cargo run --release -p ie-bench --bin figures -- fig5
+//! ```
+//!
+//! Experiment ids: `fig1b`, `fig4`, `fig5`, `fig6`, `fig7a`, `fig7b`,
+//! `table_accuracy`, `table_latency`, `ablation_reward`,
+//! `ablation_incremental`, `ablation_search`, `all`.
+
+use ie_bench::experiments::{
+    ablations, compression_study, system_comparison, BenchResult, CompressionStudy,
+    SystemComparison,
+};
+use ie_bench::reference;
+use ie_bench::report::{header, mflops, pct, ratio, row};
+use ie_core::ExperimentConfig;
+
+/// Number of DDPG search episodes used when regenerating the figures.
+const SEARCH_EPISODES: usize = 60;
+/// Number of runtime-adaptation learning episodes (the paper shows 16).
+const ADAPTATION_EPISODES: usize = 16;
+
+fn print_fig1b(study: &CompressionStudy) {
+    println!("\n## Fig. 1(b) — per-exit accuracy: full precision vs uniform vs nonuniform\n");
+    println!("{}", header(&["exit", "full precision", "uniform", "nonuniform", "paper (full/uni/non)"]));
+    for exit in 0..3 {
+        println!(
+            "{}",
+            row(&[
+                format!("exit {}", exit + 1),
+                pct(study.full_precision.profile.exit_accuracy[exit]),
+                pct(study.uniform.1.profile.exit_accuracy[exit]),
+                pct(study.nonuniform.1.profile.exit_accuracy[exit]),
+                format!(
+                    "{} / {} / {}",
+                    pct(reference::PAPER_FULL_PRECISION_ACC[exit]),
+                    pct(reference::PAPER_UNIFORM_ACC[exit]),
+                    pct(reference::PAPER_NONUNIFORM_ACC[exit])
+                ),
+            ])
+        );
+    }
+    println!(
+        "\nnonuniform policy source: {}",
+        if study.nonuniform_from_search { "DDPG search" } else { "reference policy (search fallback)" }
+    );
+}
+
+fn print_fig4(study: &CompressionStudy, config: &ExperimentConfig) {
+    println!("\n## Fig. 4 — layer-wise preserve ratio and quantization bits of the nonuniform policy\n");
+    println!(
+        "constraints: {} network FLOPs, {} KB weights; achieved: {} FLOPs, {:.1} KB\n",
+        mflops(config.flops_target as f64),
+        config.size_target_bytes / 1024,
+        mflops(study.nonuniform.1.profile.total_flops as f64),
+        study.nonuniform.1.profile.model_size_bytes as f64 / 1024.0
+    );
+    println!("{}", header(&["layer", "preserve ratio", "weight bits", "activation bits"]));
+    let layers = config.architecture.compressible_layers();
+    for (layer, policy) in layers.iter().zip(study.nonuniform.0.layers()) {
+        println!(
+            "{}",
+            row(&[
+                layer.name.clone(),
+                format!("{:.2}", policy.preserve_ratio),
+                policy.weight_bits.to_string(),
+                policy.activation_bits.to_string(),
+            ])
+        );
+    }
+}
+
+fn print_fig5(comparison: &SystemComparison) {
+    println!("\n## Fig. 5 — interesting events per millijoule (IEpmJ)\n");
+    println!("{}", header(&["system", "IEpmJ (measured)", "IEpmJ (paper)", "ours / system"]));
+    let ours = comparison.systems[0].report.ie_pmj();
+    for (i, system) in comparison.systems.iter().enumerate() {
+        let measured = system.report.ie_pmj();
+        println!(
+            "{}",
+            row(&[
+                system.name.clone(),
+                format!("{measured:.3}"),
+                format!("{:.2}", reference::PAPER_IEPMJ[i]),
+                ratio(ours, measured),
+            ])
+        );
+    }
+}
+
+fn print_table_accuracy(comparison: &SystemComparison) {
+    println!("\n## Section V-C — average accuracy of all events and of processed events\n");
+    println!(
+        "{}",
+        header(&[
+            "system",
+            "acc. all events",
+            "paper",
+            "acc. processed",
+            "paper",
+            "events processed"
+        ])
+    );
+    for (i, system) in comparison.systems.iter().enumerate() {
+        println!(
+            "{}",
+            row(&[
+                system.name.clone(),
+                pct(system.report.accuracy_all_events()),
+                pct(reference::PAPER_ACC_ALL_EVENTS[i]),
+                pct(system.report.accuracy_processed_events()),
+                pct(reference::PAPER_ACC_PROCESSED[i]),
+                format!("{}/{}", system.report.processed_events, system.report.total_events),
+            ])
+        );
+    }
+}
+
+fn print_fig6(study: &CompressionStudy, comparison: &SystemComparison) {
+    println!("\n## Fig. 6 — FLOPs before and after compression\n");
+    println!("{}", header(&["exit / system", "FLOPs before", "FLOPs after", "ratio", "paper ratio"]));
+    for exit in 0..3 {
+        let before = study.full_precision.profile.exit_flops[exit] as f64;
+        let after = study.nonuniform.1.profile.exit_flops[exit] as f64;
+        println!(
+            "{}",
+            row(&[
+                format!("exit {}", exit + 1),
+                mflops(before),
+                mflops(after),
+                format!("{:.2}x", after / before),
+                format!("{:.2}x", reference::PAPER_EXIT_FLOPS_RATIO[exit]),
+            ])
+        );
+    }
+    let ours_mean = comparison.systems[0].report.mean_flops_per_inference();
+    for system in comparison.systems.iter().skip(1) {
+        let flops = system.report.mean_flops_per_inference();
+        println!(
+            "{}",
+            row(&[
+                system.name.clone(),
+                mflops(flops),
+                "-".to_string(),
+                format!("ours/theirs {}", ratio(ours_mean, flops)),
+                "-".to_string(),
+            ])
+        );
+    }
+    println!("\nmean FLOPs per processed inference (ours): {}", mflops(ours_mean));
+}
+
+fn print_table_latency(comparison: &SystemComparison) {
+    println!("\n## Section V-D — per-event latency (1 s time units)\n");
+    println!(
+        "{}",
+        header(&["system", "mean latency (s)", "paper (s)", "improvement of ours", "paper improvement"])
+    );
+    let ours = comparison.systems[0].report.mean_latency_s();
+    let paper_improvements = ["-", "7.8x", "10.2x", "3.15x"];
+    for (i, system) in comparison.systems.iter().enumerate() {
+        let latency = system.report.mean_latency_s();
+        println!(
+            "{}",
+            row(&[
+                system.name.clone(),
+                format!("{latency:.1}"),
+                format!("{:.1}", reference::PAPER_LATENCY_S[i]),
+                if i == 0 { "-".to_string() } else { ratio(latency, ours) },
+                paper_improvements[i].to_string(),
+            ])
+        );
+    }
+}
+
+fn print_fig7(comparison: &SystemComparison) {
+    let adaptation = &comparison.adaptation;
+    println!("\n## Fig. 7(a) — runtime learning curve (average accuracy of all events)\n");
+    println!("{}", header(&["episode", "Q-learning", "static LUT"]));
+    for (i, acc) in adaptation.learning_curve.iter().enumerate() {
+        println!(
+            "{}",
+            row(&[(i + 1).to_string(), pct(*acc), pct(adaptation.static_accuracy)])
+        );
+    }
+    println!(
+        "\nimprovement over static LUT: {} (paper: {})",
+        pct(adaptation.improvement_over_static()),
+        pct(reference::PAPER_RUNTIME_IMPROVEMENT)
+    );
+
+    println!("\n## Fig. 7(b) — processed events per exit\n");
+    println!(
+        "{}",
+        header(&["exit", "Q-learning (count)", "Q-learning (%)", "static LUT (count)", "static LUT (%)", "paper (Q / LUT)"])
+    );
+    let q = &adaptation.final_report;
+    let s = &adaptation.static_report;
+    for exit in 0..q.exit_counts.len() {
+        println!(
+            "{}",
+            row(&[
+                format!("exit {}", exit + 1),
+                q.exit_counts[exit].to_string(),
+                pct(q.exit_fractions()[exit]),
+                s.exit_counts[exit].to_string(),
+                pct(s.exit_fractions()[exit]),
+                format!(
+                    "{} / {}",
+                    pct(reference::PAPER_QLEARNING_EXIT_FRACTIONS[exit]),
+                    pct(reference::PAPER_STATIC_EXIT_FRACTIONS[exit])
+                ),
+            ])
+        );
+    }
+    println!(
+        "\nevents processed: Q-learning {} vs static LUT {} (paper: +11.2% for Q-learning)",
+        q.processed_events, s.processed_events
+    );
+}
+
+fn print_ablations(config: &ExperimentConfig) -> BenchResult<()> {
+    let results = ablations(config, 24)?;
+    println!("\n## Ablation — exit-guided vs final-exit-only compression reward\n");
+    println!("{}", header(&["reward", "expected all-event accuracy", "feasible"]));
+    println!(
+        "{}",
+        row(&[
+            "exit-guided (paper)".into(),
+            pct(results.reward_mode.0.accuracy_reward),
+            results.reward_mode.0.feasible.to_string(),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "final-exit only".into(),
+            pct(results.reward_mode.1.accuracy_reward),
+            results.reward_mode.1.feasible.to_string(),
+        ])
+    );
+
+    println!("\n## Ablation — incremental inference on/off\n");
+    println!("{}", header(&["configuration", "all-event accuracy"]));
+    println!("{}", row(&["with incremental inference".into(), pct(results.incremental.0)]));
+    println!("{}", row(&["without incremental inference".into(), pct(results.incremental.1)]));
+
+    println!("\n## Ablation — search strategy (exit-guided reward of the best feasible policy)\n");
+    println!("{}", header(&["strategy", "expected all-event accuracy"]));
+    println!("{}", row(&["DDPG (paper)".into(), pct(results.search_strategy.0)]));
+    println!("{}", row(&["random search".into(), pct(results.search_strategy.1)]));
+    println!("{}", row(&["best uniform".into(), pct(results.search_strategy.2)]));
+    Ok(())
+}
+
+fn main() -> BenchResult<()> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let config = ExperimentConfig::paper_default();
+    println!("# Experiment harness — intermittent multi-exit inference (DAC 2020 reproduction)");
+    println!(
+        "\nenvironment: {} events over {:.0} h of solar harvesting, {} mJ capacitor, {}",
+        config.num_events,
+        config.trace_duration_s / 3600.0,
+        config.storage_capacity_mj,
+        config.device.name()
+    );
+
+    let needs_compression = matches!(
+        which.as_str(),
+        "all" | "fig1b" | "fig4" | "fig5" | "fig6" | "fig7a" | "fig7b" | "table_accuracy" | "table_latency"
+    );
+    let study = if needs_compression {
+        Some(compression_study(&config, SEARCH_EPISODES)?)
+    } else {
+        None
+    };
+    let needs_comparison = matches!(
+        which.as_str(),
+        "all" | "fig5" | "fig6" | "fig7a" | "fig7b" | "table_accuracy" | "table_latency"
+    );
+    let comparison = match (&study, needs_comparison) {
+        (Some(s), true) => Some(system_comparison(&config, &s.nonuniform.1, ADAPTATION_EPISODES)?),
+        _ => None,
+    };
+
+    match which.as_str() {
+        "fig1b" => print_fig1b(study.as_ref().expect("study computed")),
+        "fig4" => print_fig4(study.as_ref().expect("study computed"), &config),
+        "fig5" => print_fig5(comparison.as_ref().expect("comparison computed")),
+        "fig6" => print_fig6(study.as_ref().expect("study computed"), comparison.as_ref().expect("comparison computed")),
+        "fig7a" | "fig7b" => print_fig7(comparison.as_ref().expect("comparison computed")),
+        "table_accuracy" => print_table_accuracy(comparison.as_ref().expect("comparison computed")),
+        "table_latency" => print_table_latency(comparison.as_ref().expect("comparison computed")),
+        "ablation_reward" | "ablation_incremental" | "ablation_search" | "ablations" => {
+            print_ablations(&config)?;
+        }
+        _ => {
+            let study = study.expect("study computed");
+            let comparison = comparison.expect("comparison computed");
+            print_fig1b(&study);
+            print_fig4(&study, &config);
+            print_fig5(&comparison);
+            print_table_accuracy(&comparison);
+            print_fig6(&study, &comparison);
+            print_table_latency(&comparison);
+            print_fig7(&comparison);
+            print_ablations(&config)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! `ie-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section V).
+//!
+//! The heavy lifting lives in this library so that the `figures` binary, the
+//! Criterion benches and the integration tests all share one code path:
+//!
+//! * [`experiments::compression_study`] — Fig. 1(b), Fig. 4 and Fig. 6,
+//! * [`experiments::system_comparison`] — Fig. 5, Fig. 7 and the Section
+//!   V-C/V-D accuracy and latency tables,
+//! * [`experiments::ablations`] — the design-choice ablations listed in
+//!   `DESIGN.md`.
+//!
+//! Run `cargo run --release -p ie-bench --bin figures -- all` to print every
+//! experiment, or pass an experiment id (e.g. `fig5`) to print just one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod reference;
+pub mod report;

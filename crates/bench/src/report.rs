@@ -1,0 +1,47 @@
+//! Small helpers for printing aligned experiment tables.
+
+/// Formats a row of a markdown-style table.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Formats a header plus separator for a markdown-style table.
+pub fn header(cells: &[&str]) -> String {
+    let head = row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    let sep = row(&cells.iter().map(|_| "---".to_string()).collect::<Vec<_>>());
+    format!("{head}\n{sep}")
+}
+
+/// Formats a ratio such as `3.6x`, guarding against division by zero.
+pub fn ratio(ours: f64, baseline: f64) -> String {
+    if baseline.abs() < 1e-12 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", ours / baseline)
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats FLOPs in millions with two decimals.
+pub fn mflops(flops: f64) -> String {
+    format!("{:.3}M", flops / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.501), "50.1%");
+        assert_eq!(mflops(1_150_000.0), "1.150M");
+        assert_eq!(ratio(0.9, 0.25), "3.60x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert!(header(&["a", "b"]).contains("---"));
+        assert_eq!(row(&["x".into(), "y".into()]), "| x | y |");
+    }
+}

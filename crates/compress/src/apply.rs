@@ -1,0 +1,163 @@
+//! Applies a [`CompressionPolicy`] to the weights of a real
+//! [`ie_nn::MultiExitNetwork`].
+//!
+//! Pruned input channels are zeroed (equivalent to removal for the produced
+//! activations) and weights are passed through the quantize→dequantize round
+//! trip, so the compressed network computes exactly what the deployed integer
+//! model would.
+
+use crate::pruning::prune_weight;
+use crate::quantize::quantize_weights;
+use crate::{CompressionPolicy, Result};
+use ie_nn::{Layer, MultiExitNetwork};
+
+/// Applies `policy` to `network` in place.
+///
+/// The policy's entries must be in the canonical compressible-layer order of
+/// the network's architecture (trunk segment 0, branch 0, trunk segment 1, …),
+/// which is the order `MultiExitArchitecture::compressible_layers` reports.
+///
+/// # Errors
+///
+/// Returns [`crate::CompressError::PolicyLengthMismatch`] when the policy does
+/// not cover every parameterised layer.
+pub fn apply_policy(network: &mut MultiExitNetwork, policy: &CompressionPolicy) -> Result<()> {
+    let expected = network.architecture().compressible_layers().len();
+    policy.check_length(expected)?;
+    let mut index = 0usize;
+    let num_exits = network.num_exits();
+    for exit in 0..num_exits {
+        // Trunk segment `exit` first, then branch `exit`, matching the spec order.
+        for part in [true, false] {
+            let layers = if part {
+                &mut network.segments_mut()[exit]
+            } else {
+                &mut network.branches_mut()[exit]
+            };
+            for layer in layers.iter_mut() {
+                let Some(policy_entry) = policy.layer(index).copied() else {
+                    continue;
+                };
+                match layer {
+                    Layer::Conv2d(conv) => {
+                        prune_weight(conv.weight_mut(), policy_entry.preserve_ratio);
+                        let q = quantize_weights(conv.weight(), policy_entry.weight_bits);
+                        *conv.weight_mut() = q.values;
+                        index += 1;
+                    }
+                    Layer::Dense(dense) => {
+                        prune_weight(dense.weight_mut(), policy_entry.preserve_ratio);
+                        let q = quantize_weights(dense.weight(), policy_entry.weight_bits);
+                        *dense.weight_mut() = q.values;
+                        index += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressionPolicy, LayerPolicy};
+    use ie_nn::spec::tiny_multi_exit;
+    use ie_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(seed: u64) -> MultiExitNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn identity_policy_leaves_outputs_unchanged() {
+        let net = network(3);
+        let mut compressed = net.clone();
+        let n = net.architecture().compressible_layers().len();
+        apply_policy(&mut compressed, &CompressionPolicy::full_precision(n)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+        let a = net.forward_all(&x).unwrap();
+        let b = compressed.forward_all(&x).unwrap();
+        for (oa, ob) in a.iter().zip(&b) {
+            for (va, vb) in oa.logits.as_slice().iter().zip(ob.logits.as_slice()) {
+                assert!((va - vb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_policy_changes_weights_and_zeroes_channels() {
+        let mut net = network(4);
+        let n = net.architecture().compressible_layers().len();
+        let policy = CompressionPolicy::uniform(n, 0.5, 2, 8).unwrap();
+        apply_policy(&mut net, &policy).unwrap();
+        // The second conv layer (trunk segment 1) must have some zeroed input channels.
+        let conv2 = net.segments()[1]
+            .iter()
+            .find_map(|l| match l {
+                Layer::Conv2d(c) => Some(c),
+                _ => None,
+            })
+            .expect("segment 1 contains a conv layer");
+        let dims = conv2.weight().dims().to_vec();
+        let per_channel: Vec<f32> = (0..dims[1])
+            .map(|ic| {
+                let mut s = 0.0;
+                for oc in 0..dims[0] {
+                    for ky in 0..dims[2] {
+                        for kx in 0..dims[3] {
+                            s += conv2.weight().get(&[oc, ic, ky, kx]).unwrap().abs();
+                        }
+                    }
+                }
+                s
+            })
+            .collect();
+        let zeroed = per_channel.iter().filter(|&&s| s == 0.0).count();
+        assert!(zeroed >= dims[1] / 2 - 1, "expected roughly half the channels zeroed, got {zeroed}");
+    }
+
+    #[test]
+    fn policy_length_mismatch_is_rejected() {
+        let mut net = network(5);
+        let err = apply_policy(&mut net, &CompressionPolicy::full_precision(1)).unwrap_err();
+        assert!(matches!(err, crate::CompressError::PolicyLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn per_layer_policies_apply_in_canonical_order() {
+        // Give the very first compressible layer (Conv1) 1-bit weights and leave
+        // the rest untouched: only Conv1's weights should collapse to two levels.
+        let mut net = network(6);
+        let n = net.architecture().compressible_layers().len();
+        let mut policy = CompressionPolicy::full_precision(n);
+        policy.layers_mut()[0] = LayerPolicy::new(1.0, 1, 32).unwrap();
+        apply_policy(&mut net, &policy).unwrap();
+        let conv1 = net.segments()[0]
+            .iter()
+            .find_map(|l| match l {
+                Layer::Conv2d(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        let distinct: std::collections::BTreeSet<i64> =
+            conv1.weight().as_slice().iter().map(|v| (v * 1e5).round() as i64).collect();
+        assert!(distinct.len() <= 3, "1-bit weights collapse to ≤2 magnitudes (plus zero)");
+        // A dense layer elsewhere keeps many distinct values.
+        let fc = net.branches()[0]
+            .iter()
+            .find_map(|l| match l {
+                Layer::Dense(d) => Some(d),
+                _ => None,
+            })
+            .unwrap();
+        let distinct_fc: std::collections::BTreeSet<i64> =
+            fc.weight().as_slice().iter().map(|v| (v * 1e5).round() as i64).collect();
+        assert!(distinct_fc.len() > 10);
+    }
+}

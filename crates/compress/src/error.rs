@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by the compression crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// A pruning rate outside the paper's allowed range `[0.05, 1.0]`.
+    InvalidPreserveRatio {
+        /// The offending ratio.
+        ratio: f32,
+    },
+    /// A bitwidth outside the allowed range `1..=32`.
+    InvalidBitwidth {
+        /// The offending bitwidth.
+        bits: u8,
+    },
+    /// The policy has a different number of layer entries than the model has
+    /// compressible layers.
+    PolicyLengthMismatch {
+        /// Entries in the policy.
+        policy_layers: usize,
+        /// Compressible layers in the model.
+        model_layers: usize,
+    },
+    /// A propagated neural-network error (shape problems while applying a
+    /// policy to real weights).
+    Nn(ie_nn::NnError),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::InvalidPreserveRatio { ratio } => {
+                write!(f, "preserve ratio {ratio} outside the allowed range [0.05, 1.0]")
+            }
+            CompressError::InvalidBitwidth { bits } => {
+                write!(f, "bitwidth {bits} outside the allowed range 1..=32")
+            }
+            CompressError::PolicyLengthMismatch { policy_layers, model_layers } => write!(
+                f,
+                "policy describes {policy_layers} layers but the model has {model_layers} compressible layers"
+            ),
+            CompressError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ie_nn::NnError> for CompressError {
+    fn from(e: ie_nn::NnError) -> Self {
+        CompressError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            CompressError::InvalidPreserveRatio { ratio: 0.0 },
+            CompressError::InvalidBitwidth { bits: 0 },
+            CompressError::PolicyLengthMismatch { policy_layers: 3, model_layers: 11 },
+            CompressError::Nn(ie_nn::NnError::InvalidSpec("x".into())),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `ie-compress` — channel pruning, linear quantization and the accuracy /
+//! cost models that drive the paper's nonuniform compression search.
+//!
+//! The crate has two halves:
+//!
+//! * **Mechanisms** that operate on real weights: magnitude-based channel
+//!   pruning ([`pruning`]) and MSE-optimal linear quantization ([`quantize`]),
+//!   plus [`apply`] which applies a whole [`CompressionPolicy`] to an
+//!   [`ie_nn::MultiExitNetwork`] in place.
+//! * **Models** that predict what a policy does to the deployed system
+//!   without retraining: [`PolicyEvaluator`] turns a policy into per-exit
+//!   FLOPs, model size and per-exit accuracy. Accuracy comes from an
+//!   [`ExitAccuracyEstimator`]; the [`CalibratedAccuracyModel`] is anchored to
+//!   the paper's reported CIFAR-10 numbers (see `DESIGN.md` for the
+//!   substitution argument), while [`EmpiricalAccuracyEstimator`] measures a
+//!   real network on a real dataset so the same code path also runs without
+//!   the analytical shortcut.
+//!
+//! # Example
+//!
+//! ```
+//! use ie_compress::{CalibratedAccuracyModel, CompressionPolicy, PolicyEvaluator};
+//! use ie_nn::spec::lenet_multi_exit;
+//!
+//! let arch = lenet_multi_exit();
+//! let evaluator = PolicyEvaluator::new(&arch, CalibratedAccuracyModel::for_paper_backbone());
+//! let policy = CompressionPolicy::uniform(arch.compressible_layers().len(), 0.7, 4, 4)?;
+//! let profile = evaluator.evaluate(&policy)?;
+//! assert_eq!(profile.exit_flops.len(), 3);
+//! assert!(profile.model_size_bytes < arch.model_size_bytes(32));
+//! # Ok::<(), ie_compress::CompressError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod apply;
+mod error;
+mod evaluator;
+mod policy;
+pub mod pruning;
+pub mod quantize;
+
+pub use accuracy::{CalibratedAccuracyModel, EmpiricalAccuracyEstimator, ExitAccuracyEstimator};
+pub use error::CompressError;
+pub use evaluator::{CompressedProfile, PolicyEvaluator};
+pub use policy::{CompressionPolicy, LayerPolicy};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CompressError>;

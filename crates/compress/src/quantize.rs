@@ -1,0 +1,190 @@
+//! Linear quantization of weights and activations (Eq. 3 of the paper).
+//!
+//! Weights are quantized symmetrically into `k`-bit signed integers,
+//! `w' = clamp(round(w / s), −2^{k−1}, 2^{k−1} − 1) · s`, with the scale `s`
+//! chosen to minimise `‖w' − w‖²`. Activations (non-negative after ReLU) use
+//! the unsigned range `[0, 2^k − 1]`.
+
+use ie_tensor::Tensor;
+
+/// Result of quantizing a tensor: the dequantized values (what the MCU's
+/// integer arithmetic effectively computes with) and the scale used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// The values after the quantize→dequantize round trip.
+    pub values: Tensor,
+    /// The scale factor `s`.
+    pub scale: f32,
+    /// Mean-squared quantization error.
+    pub mse: f32,
+}
+
+fn quantize_with_scale(data: &[f32], scale: f32, lo: f32, hi: f32) -> (Vec<f32>, f32) {
+    let mut out = Vec::with_capacity(data.len());
+    let mut err = 0.0f32;
+    for &w in data {
+        let q = (w / scale).round().clamp(lo, hi) * scale;
+        err += (q - w) * (q - w);
+        out.push(q);
+    }
+    (out, err / data.len().max(1) as f32)
+}
+
+fn search_scale(data: &[f32], lo: f32, hi: f32, initial: f32) -> (Vec<f32>, f32, f32) {
+    let mut best_scale = initial;
+    let mut best: Option<(Vec<f32>, f32)> = None;
+    // Scan a multiplicative neighbourhood of the max-abs scale; this is the
+    // simple 1-D minimisation the paper's "determined by minimising the
+    // quantization error" calls for.
+    for step in 0..=65 {
+        let factor = 0.3 + 0.02 * step as f32;
+        let scale = (initial * factor).max(f32::MIN_POSITIVE);
+        let (vals, mse) = quantize_with_scale(data, scale, lo, hi);
+        if best.as_ref().map(|(_, m)| mse < *m).unwrap_or(true) {
+            best = Some((vals, mse));
+            best_scale = scale;
+        }
+    }
+    let (vals, mse) = best.expect("at least one candidate scale was evaluated");
+    (vals, best_scale, mse)
+}
+
+/// Quantizes a weight tensor to `bits` bits with a symmetric signed range.
+///
+/// Bitwidths of 32 or more return the tensor unchanged (full precision).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn quantize_weights(weights: &Tensor, bits: u8) -> Quantized {
+    assert!(bits > 0, "bitwidth must be at least 1");
+    if bits >= 32 || weights.is_empty() {
+        return Quantized { values: weights.clone(), scale: 1.0, mse: 0.0 };
+    }
+    let data = weights.as_slice();
+    let max_abs = data.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+    if max_abs == 0.0 {
+        return Quantized { values: weights.clone(), scale: 1.0, mse: 0.0 };
+    }
+    let hi = (2f32.powi(i32::from(bits) - 1) - 1.0).max(1.0);
+    let lo = -2f32.powi(i32::from(bits) - 1);
+    let initial = max_abs / hi;
+    let (vals, scale, mse) = search_scale(data, lo, hi, initial);
+    Quantized {
+        values: Tensor::from_vec(vals, weights.dims()).expect("quantization preserves shape"),
+        scale,
+        mse,
+    }
+}
+
+/// Quantizes a non-negative activation tensor to `bits` bits with the unsigned
+/// range `[0, 2^k − 1]`.
+///
+/// Bitwidths of 32 or more return the tensor unchanged.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn quantize_activations(activations: &Tensor, bits: u8) -> Quantized {
+    assert!(bits > 0, "bitwidth must be at least 1");
+    if bits >= 32 || activations.is_empty() {
+        return Quantized { values: activations.clone(), scale: 1.0, mse: 0.0 };
+    }
+    let data = activations.as_slice();
+    let max = data.iter().fold(0.0f32, |m, &v| m.max(v));
+    if max <= 0.0 {
+        return Quantized { values: activations.clone(), scale: 1.0, mse: 0.0 };
+    }
+    let hi = 2f32.powi(i32::from(bits)) - 1.0;
+    let initial = max / hi;
+    let (vals, scale, mse) = search_scale(data, 0.0, hi, initial);
+    Quantized {
+        values: Tensor::from_vec(vals, activations.dims()).expect("quantization preserves shape"),
+        scale,
+        mse,
+    }
+}
+
+/// Size in bytes of `params` weights stored at `bits` bits each.
+pub fn storage_bytes(params: u64, bits: u8) -> u64 {
+    (params * u64::from(bits)).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn eight_bit_quantization_is_nearly_lossless_for_smooth_weights() {
+        let w = t(&(0..100).map(|i| (i as f32 - 50.0) / 50.0).collect::<Vec<_>>());
+        let q = quantize_weights(&w, 8);
+        assert!(q.mse < 1e-4, "8-bit mse {}", q.mse);
+        assert_eq!(q.values.dims(), w.dims());
+    }
+
+    #[test]
+    fn lower_bitwidths_increase_error_monotonically() {
+        let w = t(&(0..64).map(|i| ((i * 37) % 13) as f32 / 13.0 - 0.5).collect::<Vec<_>>());
+        let mse: Vec<f32> = [1u8, 2, 4, 8].iter().map(|&b| quantize_weights(&w, b).mse).collect();
+        assert!(mse[0] >= mse[1] && mse[1] >= mse[2] && mse[2] >= mse[3], "mse not monotone: {mse:?}");
+        assert!(mse[3] < mse[0]);
+    }
+
+    #[test]
+    fn one_bit_weights_take_two_levels() {
+        let w = t(&[0.9, -0.8, 0.7, -0.6, 0.5]);
+        let q = quantize_weights(&w, 1);
+        let distinct: std::collections::BTreeSet<i64> =
+            q.values.as_slice().iter().map(|v| (v * 1e4).round() as i64).collect();
+        assert!(distinct.len() <= 2, "1-bit quantization uses at most two levels: {distinct:?}");
+    }
+
+    #[test]
+    fn full_precision_and_zero_tensors_pass_through() {
+        let w = t(&[0.3, -0.7]);
+        let q = quantize_weights(&w, 32);
+        assert_eq!(q.values, w);
+        assert_eq!(q.mse, 0.0);
+        let z = Tensor::zeros(&[8]);
+        assert_eq!(quantize_weights(&z, 4).values, z);
+        assert_eq!(quantize_activations(&z, 4).values, z);
+    }
+
+    #[test]
+    fn activation_quantization_stays_non_negative() {
+        let a = t(&[0.0, 0.1, 0.5, 2.0, 3.7]);
+        let q = quantize_activations(&a, 4);
+        assert!(q.values.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(q.mse < 0.05);
+    }
+
+    #[test]
+    fn quantization_error_is_optimised_over_the_scale() {
+        // A max-abs outlier makes the naive scale poor; the search must beat it.
+        let mut vals: Vec<f32> = (0..200).map(|i| (i as f32 / 200.0) * 0.1).collect();
+        vals.push(5.0);
+        let w = t(&vals);
+        let hi = 2f32.powi(3) - 1.0; // 4-bit signed => hi = 7
+        let naive_scale = 5.0 / hi;
+        let (_, naive_mse) = super::quantize_with_scale(w.as_slice(), naive_scale, -8.0, 7.0);
+        let q = quantize_weights(&w, 4);
+        assert!(q.mse <= naive_mse + 1e-9, "search {} vs naive {naive_mse}", q.mse);
+    }
+
+    #[test]
+    fn storage_bytes_rounds_up() {
+        assert_eq!(storage_bytes(8, 8), 8);
+        assert_eq!(storage_bytes(9, 1), 2);
+        assert_eq!(storage_bytes(177_904, 32), 711_616);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwidth must be at least 1")]
+    fn zero_bits_panics() {
+        let _ = quantize_weights(&t(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Errors produced by the core domain model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated neural-network error.
+    Nn(ie_nn::NnError),
+    /// Propagated compression error.
+    Compress(ie_compress::CompressError),
+    /// Propagated energy-substrate error.
+    Energy(ie_energy::EnergyError),
+    /// Propagated MCU-substrate error.
+    Mcu(ie_mcu::McuError),
+    /// The policy chose an exit that does not exist on the deployed model.
+    UnknownExit {
+        /// The requested exit.
+        requested: usize,
+        /// Number of exits available.
+        available: usize,
+    },
+    /// The experiment configuration is inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Compress(e) => write!(f, "compression error: {e}"),
+            CoreError::Energy(e) => write!(f, "energy error: {e}"),
+            CoreError::Mcu(e) => write!(f, "mcu error: {e}"),
+            CoreError::UnknownExit { requested, available } => {
+                write!(f, "policy chose exit {requested} but the model has {available} exits")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid experiment configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Compress(e) => Some(e),
+            CoreError::Energy(e) => Some(e),
+            CoreError::Mcu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ie_nn::NnError> for CoreError {
+    fn from(e: ie_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<ie_compress::CompressError> for CoreError {
+    fn from(e: ie_compress::CompressError) -> Self {
+        CoreError::Compress(e)
+    }
+}
+
+impl From<ie_energy::EnergyError> for CoreError {
+    fn from(e: ie_energy::EnergyError) -> Self {
+        CoreError::Energy(e)
+    }
+}
+
+impl From<ie_mcu::McuError> for CoreError {
+    fn from(e: ie_mcu::McuError) -> Self {
+        CoreError::Mcu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let errs: Vec<CoreError> = vec![
+            ie_nn::NnError::InvalidSpec("x".into()).into(),
+            ie_compress::CompressError::InvalidBitwidth { bits: 0 }.into(),
+            ie_energy::EnergyError::NegativeAmount { value: -1.0 }.into(),
+            ie_mcu::McuError::EmptyTaskGraph.into(),
+            CoreError::UnknownExit { requested: 4, available: 3 },
+            CoreError::InvalidConfig("no events".into()),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&errs[0]).is_some());
+        assert!(std::error::Error::source(&errs[4]).is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! The IEpmJ figure of merit and per-run statistics.
+//!
+//! IEpmJ (*Interesting Events per milliJoule*, Eq. 1 of the paper) is the
+//! number of events classified correctly per millijoule of harvested energy.
+//! Because the harvested energy and the event count are fixed by the
+//! environment, maximising IEpmJ is equivalent to maximising the average
+//! accuracy over **all** events, where missed events count as incorrect.
+
+/// What happened to one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// The event could not be processed (insufficient energy before it became
+    /// obsolete).
+    Missed,
+    /// The event was processed.
+    Processed {
+        /// The exit that produced the final result.
+        exit: usize,
+        /// Whether the classification was correct.
+        correct: bool,
+        /// Whether an incremental inference to a deeper exit was performed.
+        incremental: bool,
+    },
+}
+
+impl EventOutcome {
+    /// Returns `true` when the event was classified correctly.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, EventOutcome::Processed { correct: true, .. })
+    }
+
+    /// Returns `true` when the event was processed at all.
+    pub fn is_processed(&self) -> bool {
+        matches!(self, EventOutcome::Processed { .. })
+    }
+}
+
+/// Per-event record produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event identifier.
+    pub event_id: usize,
+    /// Arrival time, seconds.
+    pub time_s: f64,
+    /// Outcome of the event.
+    pub outcome: EventOutcome,
+    /// Latency from arrival to result, seconds (0 for missed events).
+    pub latency_s: f64,
+    /// Energy drawn for this event, millijoules.
+    pub energy_mj: f64,
+    /// FLOPs executed for this event.
+    pub flops: u64,
+}
+
+/// Aggregated statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Number of events in the run.
+    pub total_events: usize,
+    /// Events that produced a result.
+    pub processed_events: usize,
+    /// Events missed due to insufficient energy.
+    pub missed_events: usize,
+    /// Events classified correctly.
+    pub correct_events: usize,
+    /// Number of processed events whose final result came from each exit.
+    pub exit_counts: Vec<usize>,
+    /// Number of events that used an incremental inference.
+    pub incremental_count: usize,
+    /// Total energy offered by the harvester over the full trace, millijoules.
+    pub total_harvested_mj: f64,
+    /// Total energy drawn for inference, millijoules.
+    pub total_consumed_mj: f64,
+    /// Sum of per-event latencies over processed events, seconds.
+    pub total_latency_s: f64,
+    /// Total FLOPs executed.
+    pub total_flops: u64,
+    /// Per-event records (in arrival order).
+    pub records: Vec<EventRecord>,
+}
+
+impl SimulationReport {
+    /// Builds the aggregate report from per-event records.
+    pub fn from_records(records: Vec<EventRecord>, num_exits: usize, total_harvested_mj: f64) -> Self {
+        let mut exit_counts = vec![0usize; num_exits];
+        let mut processed = 0;
+        let mut correct = 0;
+        let mut incremental = 0;
+        let mut total_latency = 0.0;
+        let mut total_energy = 0.0;
+        let mut total_flops = 0u64;
+        for r in &records {
+            total_energy += r.energy_mj;
+            total_flops += r.flops;
+            match r.outcome {
+                EventOutcome::Missed => {}
+                EventOutcome::Processed { exit, correct: ok, incremental: inc } => {
+                    processed += 1;
+                    total_latency += r.latency_s;
+                    if exit < num_exits {
+                        exit_counts[exit] += 1;
+                    }
+                    if ok {
+                        correct += 1;
+                    }
+                    if inc {
+                        incremental += 1;
+                    }
+                }
+            }
+        }
+        SimulationReport {
+            total_events: records.len(),
+            processed_events: processed,
+            missed_events: records.len() - processed,
+            correct_events: correct,
+            exit_counts,
+            incremental_count: incremental,
+            total_harvested_mj,
+            total_consumed_mj: total_energy,
+            total_latency_s: total_latency,
+            total_flops,
+            records,
+        }
+    }
+
+    /// Interesting events per millijoule of harvested energy (Eq. 1).
+    pub fn ie_pmj(&self) -> f64 {
+        if self.total_harvested_mj <= 0.0 {
+            0.0
+        } else {
+            self.correct_events as f64 / self.total_harvested_mj
+        }
+    }
+
+    /// Average accuracy over **all** events (missed events count as wrong) —
+    /// the quantity IEpmJ is equivalent to.
+    pub fn accuracy_all_events(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.correct_events as f64 / self.total_events as f64
+        }
+    }
+
+    /// Average accuracy over the processed events only.
+    pub fn accuracy_processed_events(&self) -> f64 {
+        if self.processed_events == 0 {
+            0.0
+        } else {
+            self.correct_events as f64 / self.processed_events as f64
+        }
+    }
+
+    /// Mean per-event latency (arrival → result) over processed events,
+    /// seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.processed_events == 0 {
+            0.0
+        } else {
+            self.total_latency_s / self.processed_events as f64
+        }
+    }
+
+    /// Mean FLOPs per processed event — the paper's per-inference latency
+    /// proxy.
+    pub fn mean_flops_per_inference(&self) -> f64 {
+        if self.processed_events == 0 {
+            0.0
+        } else {
+            self.total_flops as f64 / self.processed_events as f64
+        }
+    }
+
+    /// Fraction of *all* events whose final result came from each exit.
+    pub fn exit_fractions(&self) -> Vec<f64> {
+        if self.total_events == 0 {
+            return vec![0.0; self.exit_counts.len()];
+        }
+        self.exit_counts.iter().map(|&c| c as f64 / self.total_events as f64).collect()
+    }
+
+    /// Fraction of all events that were missed.
+    pub fn missed_fraction(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.missed_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, outcome: EventOutcome, latency: f64, energy: f64, flops: u64) -> EventRecord {
+        EventRecord { event_id: id, time_s: id as f64, outcome, latency_s: latency, energy_mj: energy, flops }
+    }
+
+    fn sample_report() -> SimulationReport {
+        let records = vec![
+            record(0, EventOutcome::Processed { exit: 0, correct: true, incremental: false }, 1.0, 0.2, 100),
+            record(1, EventOutcome::Processed { exit: 2, correct: false, incremental: true }, 5.0, 1.5, 900),
+            record(2, EventOutcome::Missed, 0.0, 0.0, 0),
+            record(3, EventOutcome::Processed { exit: 0, correct: true, incremental: false }, 1.0, 0.2, 100),
+        ];
+        SimulationReport::from_records(records, 3, 10.0)
+    }
+
+    #[test]
+    fn aggregation_counts_are_consistent() {
+        let r = sample_report();
+        assert_eq!(r.total_events, 4);
+        assert_eq!(r.processed_events, 3);
+        assert_eq!(r.missed_events, 1);
+        assert_eq!(r.correct_events, 2);
+        assert_eq!(r.exit_counts, vec![2, 0, 1]);
+        assert_eq!(r.incremental_count, 1);
+        assert_eq!(r.total_flops, 1100);
+        assert!((r.total_consumed_mj - 1.9).abs() < 1e-12);
+        assert_eq!(r.processed_events + r.missed_events, r.total_events);
+    }
+
+    #[test]
+    fn metric_formulas_match_definitions() {
+        let r = sample_report();
+        assert!((r.ie_pmj() - 0.2).abs() < 1e-12, "2 correct / 10 mJ");
+        assert!((r.accuracy_all_events() - 0.5).abs() < 1e-12);
+        assert!((r.accuracy_processed_events() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_latency_s() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_flops_per_inference() - 1100.0 / 3.0).abs() < 1e-9);
+        assert!((r.missed_fraction() - 0.25).abs() < 1e-12);
+        let fr = r.exit_fractions();
+        assert!((fr[0] - 0.5).abs() < 1e-12);
+        assert!((fr[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zeroes() {
+        let r = SimulationReport::from_records(Vec::new(), 3, 0.0);
+        assert_eq!(r.total_events, 0);
+        assert_eq!(r.ie_pmj(), 0.0);
+        assert_eq!(r.accuracy_all_events(), 0.0);
+        assert_eq!(r.accuracy_processed_events(), 0.0);
+        assert_eq!(r.mean_latency_s(), 0.0);
+        assert_eq!(r.mean_flops_per_inference(), 0.0);
+        assert_eq!(r.missed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ie_pmj_equals_scaled_all_event_accuracy() {
+        // IEpmJ = N / E_total * mean accuracy — the equivalence the paper uses.
+        let r = sample_report();
+        let lhs = r.ie_pmj();
+        let rhs = r.total_events as f64 / r.total_harvested_mj * r.accuracy_all_events();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(EventOutcome::Processed { exit: 0, correct: true, incremental: false }.is_correct());
+        assert!(!EventOutcome::Missed.is_correct());
+        assert!(!EventOutcome::Missed.is_processed());
+    }
+}

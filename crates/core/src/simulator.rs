@@ -1,0 +1,312 @@
+use crate::metrics::{EventOutcome, EventRecord, SimulationReport};
+use crate::{
+    ContinueContext, CoreError, DeployedModel, EventContext, EventFeedback, ExitChoice, ExitPolicy,
+    ExperimentConfig, Result,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays the configured event sequence over the configured power trace,
+/// letting an [`ExitPolicy`] decide how each event is handled, and produces a
+/// [`SimulationReport`].
+///
+/// Correctness of each processed event is sampled from the deployed model's
+/// per-exit accuracy (the analytic counterpart of running the real compressed
+/// network on a labelled input — see `DESIGN.md`); the result's confidence is
+/// sampled so that wrong answers tend to look less confident, which is what
+/// makes entropy-triggered incremental inference useful.
+#[derive(Debug, Clone)]
+pub struct EventLoopSimulator {
+    config: ExperimentConfig,
+}
+
+impl EventLoopSimulator {
+    /// Creates a simulator for the given experiment configuration.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        EventLoopSimulator { config: config.clone() }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Samples a normalised confidence for a result that is `correct` or not:
+    /// correct results are usually confident, wrong results usually are not.
+    fn sample_confidence(rng: &mut StdRng, correct: bool) -> f64 {
+        if correct {
+            0.55 + 0.45 * rng.gen::<f64>()
+        } else {
+            0.75 * rng.gen::<f64>()
+        }
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration or
+    /// [`CoreError::UnknownExit`] when the policy requests a non-existent exit.
+    pub fn run(&self, model: &DeployedModel, policy: &mut dyn ExitPolicy) -> Result<SimulationReport> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
+        let mut sim = self.config.build_harvest_simulator();
+        let events = self.config.build_events();
+        let num_exits = model.num_exits();
+        let exit_energy = model.exit_energies_mj();
+        let exit_accuracy = model.exit_accuracies();
+        let mut records = Vec::with_capacity(events.len());
+
+        for event in &events {
+            sim.advance_to(event.time_s);
+            let ctx = EventContext {
+                event_id: event.id,
+                time_s: event.time_s,
+                available_energy_mj: sim.storage().level_mj(),
+                capacity_mj: sim.storage().capacity_mj(),
+                charging_efficiency: sim.charging_efficiency(),
+                exit_energy_mj: exit_energy.clone(),
+                exit_accuracy: exit_accuracy.clone(),
+            };
+            let choice = policy.choose_exit(&ctx);
+
+            let (record, feedback) = match choice {
+                ExitChoice::Skip => self.miss(event.id, event.time_s, None),
+                ExitChoice::Exit(exit) => {
+                    if exit >= num_exits {
+                        return Err(CoreError::UnknownExit { requested: exit, available: num_exits });
+                    }
+                    if !sim.storage().can_supply(exit_energy[exit]) {
+                        self.miss(event.id, event.time_s, Some(exit))
+                    } else {
+                        self.process(event.id, event.time_s, exit, model, policy, &mut sim, &mut rng)?
+                    }
+                }
+            };
+            policy.observe_outcome(&feedback);
+            records.push(record);
+        }
+
+        // Harvest the remainder of the trace so E_total covers the full fixed
+        // energy budget of the environment.
+        sim.advance_to(self.config.trace_duration_s);
+        let total_harvested = self.config.total_harvestable_mj();
+        Ok(SimulationReport::from_records(records, num_exits, total_harvested))
+    }
+
+    fn miss(
+        &self,
+        event_id: usize,
+        time_s: f64,
+        chosen: Option<usize>,
+    ) -> (EventRecord, EventFeedback) {
+        (
+            EventRecord {
+                event_id,
+                time_s,
+                outcome: EventOutcome::Missed,
+                latency_s: 0.0,
+                energy_mj: 0.0,
+                flops: 0,
+            },
+            EventFeedback {
+                event_id,
+                chosen_exit: chosen,
+                final_exit: None,
+                expected_accuracy: 0.0,
+                correct: false,
+                energy_spent_mj: 0.0,
+                missed: true,
+            },
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        &self,
+        event_id: usize,
+        time_s: f64,
+        exit: usize,
+        model: &DeployedModel,
+        policy: &mut dyn ExitPolicy,
+        sim: &mut ie_energy::HarvestSimulator,
+        rng: &mut StdRng,
+    ) -> Result<(EventRecord, EventFeedback)> {
+        let mut final_exit = exit;
+        let mut energy = model.exit_energy_mj(exit);
+        let mut latency = model.exit_latency_s(exit);
+        let mut flops = model.exit_flops(exit);
+        sim.consume(energy)?;
+        sim.advance_by(latency);
+        let mut correct = rng.gen::<f64>() < model.exit_accuracy(exit);
+        let mut incremental = false;
+        let confidence = Self::sample_confidence(rng, correct);
+
+        // Incremental inference: only if enabled, a deeper exit exists and the
+        // confidence fell below the configured threshold.
+        if self.config.incremental_enabled
+            && confidence < self.config.confidence_threshold
+            && exit + 1 < model.num_exits()
+        {
+            let next_exit = exit + 1;
+            let inc_energy = model.incremental_energy_mj(exit, next_exit)?;
+            let cc = ContinueContext {
+                event_id,
+                current_exit: exit,
+                next_exit,
+                confidence,
+                available_energy_mj: sim.storage().level_mj(),
+                capacity_mj: sim.storage().capacity_mj(),
+                incremental_energy_mj: inc_energy,
+            };
+            if policy.choose_continue(&cc) && sim.storage().can_supply(inc_energy) {
+                sim.consume(inc_energy)?;
+                let inc_latency = model.incremental_latency_s(exit, next_exit)?;
+                sim.advance_by(inc_latency);
+                energy += inc_energy;
+                latency += inc_latency;
+                flops += model.incremental_flops(exit, next_exit)?;
+                final_exit = next_exit;
+                incremental = true;
+                // Conditional refinement: inputs the shallow exit already got
+                // right stay right; inputs it got wrong are *hard*, so the
+                // deeper exit only fixes the fraction that makes its
+                // unconditional accuracy come out at `exit_accuracy(next)`.
+                if !correct {
+                    let a_shallow = model.exit_accuracy(exit);
+                    let a_deep = model.exit_accuracy(next_exit);
+                    let fix_probability =
+                        ((a_deep - a_shallow) / (1.0 - a_shallow).max(1e-9)).clamp(0.0, 1.0);
+                    correct = rng.gen::<f64>() < fix_probability;
+                }
+            }
+        }
+
+        Ok((
+            EventRecord {
+                event_id,
+                time_s,
+                outcome: EventOutcome::Processed { exit: final_exit, correct, incremental },
+                latency_s: latency,
+                energy_mj: energy,
+                flops,
+            },
+            EventFeedback {
+                event_id,
+                chosen_exit: Some(exit),
+                final_exit: Some(final_exit),
+                expected_accuracy: model.exit_accuracy(final_exit),
+                correct,
+                energy_spent_mj: energy,
+                missed: false,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{FixedExitPolicy, GreedyAffordablePolicy, ReserveMarginPolicy};
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::small_test()
+    }
+
+    #[test]
+    fn every_event_is_accounted_for() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let mut policy = GreedyAffordablePolicy::new();
+        let report = EventLoopSimulator::new(&c).run(&model, &mut policy).unwrap();
+        assert_eq!(report.total_events, c.num_events);
+        assert_eq!(report.processed_events + report.missed_events, report.total_events);
+        assert_eq!(report.exit_counts.iter().sum::<usize>(), report.processed_events);
+        assert!(report.correct_events <= report.processed_events);
+        assert!(report.total_harvested_mj > 0.0);
+        assert!(report.total_consumed_mj <= report.total_harvested_mj + c.initial_energy_mj + 1e-6);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let a = EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let b = EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_deep_exit_misses_more_events_than_greedy() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let greedy = EventLoopSimulator::new(&c)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        let fixed_deep =
+            EventLoopSimulator::new(&c).run(&model, &mut FixedExitPolicy::new(2)).unwrap();
+        assert!(
+            fixed_deep.missed_events >= greedy.missed_events,
+            "always demanding the deepest exit can only miss more events ({} vs {})",
+            fixed_deep.missed_events,
+            greedy.missed_events
+        );
+        assert!(greedy.processed_events > 0);
+    }
+
+    #[test]
+    fn disabling_incremental_inference_removes_continuations() {
+        let mut c = config();
+        c.incremental_enabled = false;
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let report = EventLoopSimulator::new(&c)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        assert_eq!(report.incremental_count, 0);
+        c.incremental_enabled = true;
+        let with_inc = EventLoopSimulator::new(&c)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        // Greedy continues whenever affordable, so with the threshold at its
+        // default some continuations should occur.
+        assert!(with_inc.incremental_count >= report.incremental_count);
+    }
+
+    #[test]
+    fn unknown_exit_choice_is_an_error() {
+        struct Bogus;
+        impl ExitPolicy for Bogus {
+            fn choose_exit(&mut self, _ctx: &EventContext) -> ExitChoice {
+                ExitChoice::Exit(99)
+            }
+        }
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let err = EventLoopSimulator::new(&c).run(&model, &mut Bogus).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownExit { requested: 99, .. }));
+    }
+
+    #[test]
+    fn reserve_policy_shifts_selection_towards_cheap_exits() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let greedy = EventLoopSimulator::new(&c)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        let reserved = EventLoopSimulator::new(&c)
+            .run(&model, &mut ReserveMarginPolicy::new(0.6))
+            .unwrap();
+        // The reserve policy must use exit 0 at least as often as greedy does.
+        assert!(reserved.exit_counts[0] >= greedy.exit_counts[0]);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = config();
+        c.num_events = 0;
+        let model = DeployedModel::uncompressed_reference(&config()).unwrap();
+        assert!(EventLoopSimulator::new(&c)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .is_err());
+    }
+}

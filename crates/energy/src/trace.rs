@@ -1,0 +1,413 @@
+//! Harvested-power traces.
+
+use crate::{EnergyError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Harvested power as a function of time.
+///
+/// Implementors must return non-negative power (milliwatts) for any time in
+/// `[0, duration_s]`; queries beyond the duration wrap around, which lets the
+/// runtime loop over a day-long trace for arbitrarily long experiments.
+pub trait PowerTrace: std::fmt::Debug + Send + Sync {
+    /// Instantaneous harvested power at time `t` seconds, in milliwatts.
+    fn power_mw(&self, t_s: f64) -> f64;
+
+    /// Length of the trace in seconds.
+    fn duration_s(&self) -> f64;
+
+    /// Harvested energy between `t0` and `t1` (both seconds), in millijoules,
+    /// obtained by trapezoidal integration at a 1-second resolution.
+    fn energy_mj(&self, t0_s: f64, t1_s: f64) -> f64 {
+        if t1_s <= t0_s {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut t = t0_s;
+        while t < t1_s {
+            let step = (t1_s - t).min(1.0);
+            let p0 = self.power_mw(t);
+            let p1 = self.power_mw(t + step);
+            total += 0.5 * (p0 + p1) * step;
+            t += step;
+        }
+        total
+    }
+
+    /// Mean harvested power over the whole trace, in milliwatts.
+    fn mean_power_mw(&self) -> f64 {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.energy_mj(0.0, d) / d
+        }
+    }
+}
+
+/// A constant-power trace (useful for tests and as a best-case baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantTrace {
+    power_mw: f64,
+    duration_s: f64,
+}
+
+impl ConstantTrace {
+    /// Creates a trace that delivers `power_mw` for `duration_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    pub fn new(power_mw: f64, duration_s: f64) -> Self {
+        assert!(power_mw >= 0.0 && duration_s >= 0.0, "power and duration must be non-negative");
+        ConstantTrace { power_mw, duration_s }
+    }
+}
+
+impl PowerTrace for ConstantTrace {
+    fn power_mw(&self, _t_s: f64) -> f64 {
+        self.power_mw
+    }
+
+    fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+}
+
+/// Builder for [`SolarTrace`].
+#[derive(Debug, Clone)]
+pub struct SolarTraceBuilder {
+    peak_power_mw: f64,
+    duration_s: f64,
+    cloud_probability: f64,
+    cloud_attenuation: f64,
+    noise_fraction: f64,
+    seed: u64,
+}
+
+impl Default for SolarTraceBuilder {
+    fn default() -> Self {
+        SolarTraceBuilder {
+            peak_power_mw: 2.0,
+            duration_s: 24.0 * 3600.0,
+            cloud_probability: 0.25,
+            cloud_attenuation: 0.15,
+            noise_fraction: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl SolarTraceBuilder {
+    /// Peak midday harvested power in milliwatts.
+    pub fn peak_power_mw(mut self, p: f64) -> Self {
+        self.peak_power_mw = p;
+        self
+    }
+
+    /// Total trace duration in seconds (default: 24 h).
+    pub fn duration_s(mut self, d: f64) -> Self {
+        self.duration_s = d;
+        self
+    }
+
+    /// Probability that any given minute is clouded over.
+    pub fn cloud_probability(mut self, p: f64) -> Self {
+        self.cloud_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of the clear-sky power that remains under cloud.
+    pub fn cloud_attenuation(mut self, a: f64) -> Self {
+        self.cloud_attenuation = a.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Relative standard deviation of the fast multiplicative noise.
+    pub fn noise_fraction(mut self, n: f64) -> Self {
+        self.noise_fraction = n.max(0.0);
+        self
+    }
+
+    /// RNG seed; the same seed always produces the same trace.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builds the trace by sampling the cloud/noise processes once per minute.
+    pub fn build(self) -> SolarTrace {
+        let minutes = (self.duration_s / 60.0).ceil() as usize + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut samples = Vec::with_capacity(minutes);
+        let mut clouded = false;
+        for m in 0..minutes {
+            // Cloud state persists with some stickiness so overcast periods last
+            // several minutes rather than flickering every sample.
+            if rng.gen::<f64>() < 0.2 {
+                clouded = rng.gen::<f64>() < self.cloud_probability;
+            }
+            let t = m as f64 * 60.0;
+            // Diurnal clear-sky irradiance: half-sine over the middle of the day,
+            // zero at night (first and last quarter of the 24 h cycle).
+            let day_fraction = (t / (24.0 * 3600.0)).fract();
+            let clear = if (0.25..0.75).contains(&day_fraction) {
+                let x = (day_fraction - 0.25) / 0.5;
+                (std::f64::consts::PI * x).sin()
+            } else {
+                0.0
+            };
+            let cloud_factor = if clouded { self.cloud_attenuation } else { 1.0 };
+            let noise = 1.0 + self.noise_fraction * (rng.gen::<f64>() * 2.0 - 1.0);
+            samples.push((self.peak_power_mw * clear * cloud_factor * noise).max(0.0));
+        }
+        SolarTrace { samples, duration_s: self.duration_s }
+    }
+}
+
+/// A synthetic solar harvesting trace: diurnal half-sine irradiance with
+/// sticky cloud attenuation and fast multiplicative noise, sampled per minute.
+///
+/// This substitutes for the NREL Oak Ridge rotating-shadowband-radiometer
+/// profile the paper uses; see `DESIGN.md` for the substitution argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolarTrace {
+    samples: Vec<f64>,
+    duration_s: f64,
+}
+
+impl SolarTrace {
+    /// Starts building a solar trace.
+    pub fn builder() -> SolarTraceBuilder {
+        SolarTraceBuilder::default()
+    }
+
+    /// The per-minute power samples backing the trace.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl PowerTrace for SolarTrace {
+    fn power_mw(&self, t_s: f64) -> f64 {
+        if self.samples.is_empty() || self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        let t = t_s.rem_euclid(self.duration_s);
+        let idx = ((t / 60.0) as usize).min(self.samples.len() - 1);
+        self.samples[idx]
+    }
+
+    fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+}
+
+/// A kinetic-harvesting style trace: near-zero baseline with short random
+/// bursts of power (e.g. footsteps for a wearable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KineticBurstTrace {
+    samples: Vec<f64>,
+    duration_s: f64,
+}
+
+impl KineticBurstTrace {
+    /// Creates a burst trace of the given duration where each second has the
+    /// given probability of carrying a burst of `burst_power_mw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` or `burst_power_mw` is negative.
+    pub fn new(duration_s: f64, burst_probability: f64, burst_power_mw: f64, seed: u64) -> Self {
+        assert!(duration_s >= 0.0 && burst_power_mw >= 0.0, "negative duration or power");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = duration_s.ceil() as usize + 1;
+        let p = burst_probability.clamp(0.0, 1.0);
+        let samples = (0..n)
+            .map(|_| if rng.gen::<f64>() < p { burst_power_mw } else { 0.02 * burst_power_mw })
+            .collect();
+        KineticBurstTrace { samples, duration_s }
+    }
+}
+
+impl PowerTrace for KineticBurstTrace {
+    fn power_mw(&self, t_s: f64) -> f64 {
+        if self.samples.is_empty() || self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        let t = t_s.rem_euclid(self.duration_s);
+        self.samples[(t as usize).min(self.samples.len() - 1)]
+    }
+
+    fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+}
+
+/// A trace defined by explicit `(time_s, power_mw)` samples with
+/// piecewise-linear interpolation. Can be parsed from two-column CSV text, so
+/// real measured profiles (e.g. the NREL data) can be dropped in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseTrace {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseTrace {
+    /// Creates a trace from `(time_s, power_mw)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidTrace`] when fewer than two points are
+    /// given, times are not strictly increasing, or any power is negative.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(EnergyError::InvalidTrace("need at least two samples".into()));
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(EnergyError::InvalidTrace("times must be strictly increasing".into()));
+            }
+        }
+        if points.iter().any(|&(_, p)| p < 0.0) {
+            return Err(EnergyError::InvalidTrace("power must be non-negative".into()));
+        }
+        Ok(PiecewiseTrace { points })
+    }
+
+    /// Parses two-column CSV text (`time_s,power_mw`), ignoring empty lines
+    /// and lines starting with `#`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidTrace`] for malformed rows or traces that
+    /// violate [`Self::from_points`]'s requirements.
+    pub fn from_csv(text: &str) -> Result<Self> {
+        let mut points = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let t = cols
+                .next()
+                .and_then(|c| c.trim().parse::<f64>().ok())
+                .ok_or_else(|| EnergyError::InvalidTrace(format!("bad time on line {}", lineno + 1)))?;
+            let p = cols
+                .next()
+                .and_then(|c| c.trim().parse::<f64>().ok())
+                .ok_or_else(|| EnergyError::InvalidTrace(format!("bad power on line {}", lineno + 1)))?;
+            points.push((t, p));
+        }
+        Self::from_points(points)
+    }
+}
+
+impl PowerTrace for PiecewiseTrace {
+    fn power_mw(&self, t_s: f64) -> f64 {
+        let duration = self.duration_s();
+        let t = if duration > 0.0 { t_s.rem_euclid(duration) + self.points[0].0 } else { t_s };
+        if t <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for w in self.points.windows(2) {
+            let (t0, p0) = w[0];
+            let (t1, p1) = w[1];
+            if t <= t1 {
+                let alpha = (t - t0) / (t1 - t0);
+                return p0 + alpha * (p1 - p0);
+            }
+        }
+        self.points.last().map(|&(_, p)| p).unwrap_or(0.0)
+    }
+
+    fn duration_s(&self) -> f64 {
+        self.points.last().map(|&(t, _)| t).unwrap_or(0.0) - self.points.first().map(|&(t, _)| t).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_integrates_exactly() {
+        let t = ConstantTrace::new(2.0, 100.0);
+        assert_eq!(t.power_mw(50.0), 2.0);
+        assert!((t.energy_mj(0.0, 10.0) - 20.0).abs() < 1e-9);
+        assert!((t.mean_power_mw() - 2.0).abs() < 1e-9);
+        assert_eq!(t.energy_mj(10.0, 10.0), 0.0);
+        assert_eq!(t.energy_mj(10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn solar_trace_is_dark_at_night_and_bright_at_noon() {
+        let t = SolarTrace::builder().seed(1).cloud_probability(0.0).build();
+        let midnight = t.power_mw(0.0);
+        let noon = t.power_mw(12.0 * 3600.0);
+        assert!(midnight < 1e-9, "midnight power {midnight}");
+        assert!(noon > 1.0, "noon power {noon}");
+    }
+
+    #[test]
+    fn solar_trace_is_reproducible_and_seed_sensitive() {
+        let a = SolarTrace::builder().seed(5).build();
+        let b = SolarTrace::builder().seed(5).build();
+        let c = SolarTrace::builder().seed(6).build();
+        assert_eq!(a.samples(), b.samples());
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn solar_trace_wraps_beyond_duration() {
+        let t = SolarTrace::builder().seed(2).duration_s(3600.0).build();
+        let p_wrapped = t.power_mw(3600.0 + 30.0);
+        let p_direct = t.power_mw(30.0);
+        assert!((p_wrapped - p_direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clouds_reduce_harvested_energy() {
+        let clear = SolarTrace::builder().seed(3).cloud_probability(0.0).noise_fraction(0.0).build();
+        let cloudy = SolarTrace::builder()
+            .seed(3)
+            .cloud_probability(0.9)
+            .cloud_attenuation(0.1)
+            .noise_fraction(0.0)
+            .build();
+        let e_clear = clear.energy_mj(0.0, clear.duration_s());
+        let e_cloudy = cloudy.energy_mj(0.0, cloudy.duration_s());
+        assert!(e_cloudy < e_clear * 0.8, "cloudy {e_cloudy} vs clear {e_clear}");
+    }
+
+    #[test]
+    fn kinetic_trace_has_bursts() {
+        let t = KineticBurstTrace::new(1000.0, 0.3, 5.0, 9);
+        let energies: Vec<f64> = (0..1000).map(|s| t.power_mw(s as f64)).collect();
+        let bursts = energies.iter().filter(|&&p| p > 4.0).count();
+        assert!(bursts > 100 && bursts < 600, "burst count {bursts}");
+    }
+
+    #[test]
+    fn piecewise_trace_interpolates_linearly() {
+        let t = PiecewiseTrace::from_points(vec![(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)]).unwrap();
+        assert!((t.power_mw(5.0) - 5.0).abs() < 1e-9);
+        assert!((t.power_mw(15.0) - 5.0).abs() < 1e-9);
+        assert_eq!(t.duration_s(), 20.0);
+    }
+
+    #[test]
+    fn piecewise_trace_validates_input() {
+        assert!(PiecewiseTrace::from_points(vec![(0.0, 1.0)]).is_err());
+        assert!(PiecewiseTrace::from_points(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PiecewiseTrace::from_points(vec![(0.0, 1.0), (1.0, -2.0)]).is_err());
+    }
+
+    #[test]
+    fn csv_parsing_skips_comments_and_rejects_garbage() {
+        let t = PiecewiseTrace::from_csv("# header\n0,1.0\n\n10,2.0\n20,0.5\n").unwrap();
+        assert_eq!(t.duration_s(), 20.0);
+        assert!(PiecewiseTrace::from_csv("0,abc\n1,2\n").is_err());
+        assert!(PiecewiseTrace::from_csv("justonecolumn\n").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced by the MCU substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McuError {
+    /// A model does not fit into the device's weight storage.
+    ModelTooLarge {
+        /// Model size in bytes.
+        model_bytes: u64,
+        /// Available weight storage in bytes.
+        storage_bytes: u64,
+    },
+    /// The non-volatile memory is full.
+    NonvolatileFull {
+        /// Bytes requested for the write.
+        requested: usize,
+        /// Bytes still free.
+        available: usize,
+    },
+    /// An execution could not finish because the energy environment never
+    /// provided enough energy within the allowed waiting time.
+    ExecutionStarved {
+        /// Name of the task that could not be powered.
+        task: String,
+        /// Energy the task needed, in millijoules.
+        needed_mj: f64,
+    },
+    /// An empty task graph was submitted for execution.
+    EmptyTaskGraph,
+    /// A propagated energy-substrate error.
+    Energy(ie_energy::EnergyError),
+}
+
+impl fmt::Display for McuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McuError::ModelTooLarge { model_bytes, storage_bytes } => write!(
+                f,
+                "model of {model_bytes} bytes exceeds the {storage_bytes} bytes of weight storage"
+            ),
+            McuError::NonvolatileFull { requested, available } => {
+                write!(f, "non-volatile write of {requested} bytes exceeds the {available} bytes free")
+            }
+            McuError::ExecutionStarved { task, needed_mj } => {
+                write!(f, "task {task} starved waiting for {needed_mj:.3} mJ of harvested energy")
+            }
+            McuError::EmptyTaskGraph => write!(f, "task graph contains no tasks"),
+            McuError::Energy(e) => write!(f, "energy substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McuError::Energy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ie_energy::EnergyError> for McuError {
+    fn from(e: ie_energy::EnergyError) -> Self {
+        McuError::Energy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            McuError::ModelTooLarge { model_bytes: 580_000, storage_bytes: 16_384 },
+            McuError::NonvolatileFull { requested: 128, available: 12 },
+            McuError::ExecutionStarved { task: "conv1".into(), needed_mj: 0.5 },
+            McuError::EmptyTaskGraph,
+            McuError::Energy(ie_energy::EnergyError::NegativeAmount { value: -1.0 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn energy_errors_convert_and_expose_source() {
+        let e: McuError = ie_energy::EnergyError::NegativeAmount { value: -2.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,298 @@
+//! SONIC-style task-based intermittent execution.
+//!
+//! Gobieski et al.'s SONIC (the paper's "SonicNet" baseline) splits a DNN
+//! inference into tasks, checkpoints progress into non-volatile memory after
+//! every task and therefore survives arbitrarily many power failures — at the
+//! price of waiting, possibly for a very long time, until enough energy has
+//! been harvested to finish all tasks. This module reproduces that execution
+//! model over the [`ie_energy::HarvestSimulator`].
+
+use crate::{CostModel, McuError, NonvolatileMemory, Result};
+use ie_energy::HarvestSimulator;
+
+/// One atomic unit of work: runs to completion within a single power cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name (used in diagnostics).
+    pub name: String,
+    /// FLOPs the task performs.
+    pub flops: u64,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(name: &str, flops: u64) -> Self {
+        Task { name: name.to_string(), flops }
+    }
+}
+
+/// An ordered collection of tasks making up one inference.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Splits a monolithic inference of `total_flops` into `num_tasks` equal
+    /// tasks (SONIC tiles loop iterations; equal splitting captures the same
+    /// behaviour at the granularity that matters for energy accounting).
+    pub fn split_evenly(name_prefix: &str, total_flops: u64, num_tasks: usize) -> Self {
+        let n = num_tasks.max(1) as u64;
+        let base = total_flops / n;
+        let remainder = total_flops % n;
+        let tasks = (0..n)
+            .map(|i| Task::new(&format!("{name_prefix}-{i}"), base + u64::from(i < remainder)))
+            .collect();
+        TaskGraph { tasks }
+    }
+
+    /// Appends a task.
+    pub fn push(&mut self, task: Task) {
+        self.tasks.push(task);
+    }
+
+    /// The tasks in execution order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total FLOPs across all tasks.
+    pub fn total_flops(&self) -> u64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl FromIterator<Task> for TaskGraph {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        TaskGraph { tasks: iter.into_iter().collect() }
+    }
+}
+
+/// Outcome of running a task graph under intermittent power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Whether every task completed.
+    pub completed: bool,
+    /// Wall-clock time spent, in seconds (compute plus waiting for energy).
+    pub elapsed_s: f64,
+    /// Time spent waiting for energy, in seconds.
+    pub waiting_s: f64,
+    /// Total energy drawn from storage, in millijoules.
+    pub energy_consumed_mj: f64,
+    /// Number of power failures (recharge waits) encountered.
+    pub power_cycles: u64,
+    /// Number of checkpoints written.
+    pub checkpoints: u64,
+    /// Index of the first task that failed to run (when `completed == false`).
+    pub failed_task: Option<usize>,
+}
+
+/// Executes task graphs over a harvesting environment with checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntermittentExecutor {
+    cost: CostModel,
+    /// Maximum time the executor will wait for energy before declaring the
+    /// inference dead (the event is then missed).
+    max_wait_s: f64,
+    /// Polling step while waiting for energy, seconds.
+    wait_step_s: f64,
+}
+
+impl IntermittentExecutor {
+    /// Creates an executor with the given cost model and a default waiting
+    /// budget of one hour per task.
+    pub fn new(cost: CostModel) -> Self {
+        IntermittentExecutor { cost, max_wait_s: 3_600.0, wait_step_s: 1.0 }
+    }
+
+    /// Overrides the maximum time to wait for energy before giving up.
+    pub fn with_max_wait_s(mut self, max_wait_s: f64) -> Self {
+        self.max_wait_s = max_wait_s.max(0.0);
+        self
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs `graph` to completion (or starvation) against the harvesting
+    /// simulator, checkpointing progress into `nv` after every task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::EmptyTaskGraph`] for an empty graph. Starvation is
+    /// *not* an error: it is reported through
+    /// [`ExecutionReport::completed`] so callers can count missed events.
+    pub fn execute(
+        &self,
+        graph: &TaskGraph,
+        sim: &mut HarvestSimulator,
+        nv: &mut NonvolatileMemory,
+    ) -> Result<ExecutionReport> {
+        if graph.is_empty() {
+            return Err(McuError::EmptyTaskGraph);
+        }
+        let start_s = sim.now_s();
+        let mut waiting_s = 0.0;
+        let mut energy_consumed = 0.0;
+        let mut power_cycles = 0u64;
+        let mut checkpoints = 0u64;
+
+        for (index, task) in graph.tasks().iter().enumerate() {
+            let task_energy = self.cost.inference_energy_mj(task.flops);
+            let checkpoint_energy = self.cost.checkpoint_energy_mj();
+            let needed = task_energy + checkpoint_energy;
+
+            if !sim.storage().can_supply(needed) {
+                // Power failure: progress is safe in NV memory; wait to recharge.
+                power_cycles += 1;
+                nv.power_failure();
+                match sim.wait_for_energy(needed, self.wait_step_s, self.max_wait_s) {
+                    Ok(waited) => waiting_s += waited,
+                    Err(_) => {
+                        return Ok(ExecutionReport {
+                            completed: false,
+                            elapsed_s: sim.now_s() - start_s,
+                            waiting_s: waiting_s + self.max_wait_s,
+                            energy_consumed_mj: energy_consumed,
+                            power_cycles,
+                            checkpoints,
+                            failed_task: Some(index),
+                        });
+                    }
+                }
+            }
+
+            sim.consume(needed)?;
+            energy_consumed += needed;
+            sim.advance_by(self.cost.inference_latency_s(task.flops) + self.cost.checkpoint_latency_s());
+            // Persist progress so a later power failure resumes after this task.
+            nv.write("task-progress", &(index as u32).to_le_bytes())?;
+            checkpoints += 1;
+        }
+
+        Ok(ExecutionReport {
+            completed: true,
+            elapsed_s: sim.now_s() - start_s,
+            waiting_s,
+            energy_consumed_mj: energy_consumed,
+            power_cycles,
+            checkpoints,
+            failed_task: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::McuDevice;
+    use ie_energy::{ConstantTrace, EnergyStorage, HarvestSimulator};
+
+    fn executor() -> IntermittentExecutor {
+        IntermittentExecutor::new(CostModel::for_device(&McuDevice::msp432()))
+    }
+
+    fn sim_with(power_mw: f64, capacity_mj: f64, initial_mj: f64) -> HarvestSimulator {
+        HarvestSimulator::new(
+            Box::new(ConstantTrace::new(power_mw, 10_000_000.0)),
+            EnergyStorage::new(capacity_mj, 1.0).with_initial_level(initial_mj),
+        )
+    }
+
+    #[test]
+    fn split_evenly_preserves_total_flops() {
+        let g = TaskGraph::split_evenly("conv", 1_000_003, 7);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.total_flops(), 1_000_003);
+        // Individual tasks differ by at most one FLOP.
+        let min = g.tasks().iter().map(|t| t.flops).min().unwrap();
+        let max = g.tasks().iter().map(|t| t.flops).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn ample_energy_completes_in_one_power_cycle() {
+        let exec = executor();
+        // 2 MFLOPs -> 3 mJ; give the capacitor plenty.
+        let graph = TaskGraph::split_evenly("net", 2_000_000, 10);
+        let mut sim = sim_with(1.0, 100.0, 50.0);
+        let mut nv = NonvolatileMemory::new(1024);
+        let report = exec.execute(&graph, &mut sim, &mut nv).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.power_cycles, 0);
+        assert_eq!(report.checkpoints, 10);
+        assert!(report.energy_consumed_mj >= 3.0);
+        assert!(report.waiting_s == 0.0);
+        assert!(report.failed_task.is_none());
+    }
+
+    #[test]
+    fn weak_harvesting_needs_multiple_power_cycles() {
+        let exec = executor();
+        // 2 MFLOPs -> 3 mJ total, but the capacitor only holds 0.5 mJ, so the
+        // executor must repeatedly wait for recharge between tasks.
+        let graph = TaskGraph::split_evenly("net", 2_000_000, 10);
+        let mut sim = sim_with(0.05, 0.5, 0.0);
+        let mut nv = NonvolatileMemory::new(1024);
+        let report = exec.execute(&graph, &mut sim, &mut nv).unwrap();
+        assert!(report.completed);
+        assert!(report.power_cycles >= 5, "power cycles {}", report.power_cycles);
+        assert!(report.waiting_s > 0.0);
+        assert_eq!(nv.power_failures(), report.power_cycles);
+    }
+
+    #[test]
+    fn starvation_reports_incomplete_instead_of_erroring() {
+        let exec = executor().with_max_wait_s(10.0);
+        let graph = TaskGraph::split_evenly("net", 2_000_000, 4);
+        // Zero harvest power and an empty capacitor: nothing can ever run.
+        let mut sim = sim_with(0.0, 1.0, 0.0);
+        let mut nv = NonvolatileMemory::new(1024);
+        let report = exec.execute(&graph, &mut sim, &mut nv).unwrap();
+        assert!(!report.completed);
+        assert_eq!(report.failed_task, Some(0));
+        assert_eq!(report.checkpoints, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let exec = executor();
+        let mut sim = sim_with(1.0, 10.0, 10.0);
+        let mut nv = NonvolatileMemory::new(64);
+        assert!(matches!(
+            exec.execute(&TaskGraph::new(), &mut sim, &mut nv),
+            Err(McuError::EmptyTaskGraph)
+        ));
+    }
+
+    #[test]
+    fn more_tasks_mean_more_checkpoint_energy() {
+        let coarse = TaskGraph::split_evenly("net", 1_000_000, 2);
+        let fine = TaskGraph::split_evenly("net", 1_000_000, 50);
+        let exec = executor();
+        let mut nv1 = NonvolatileMemory::new(1024);
+        let mut nv2 = NonvolatileMemory::new(1024);
+        let mut sim1 = sim_with(1.0, 100.0, 100.0);
+        let mut sim2 = sim_with(1.0, 100.0, 100.0);
+        let r1 = exec.execute(&coarse, &mut sim1, &mut nv1).unwrap();
+        let r2 = exec.execute(&fine, &mut sim2, &mut nv2).unwrap();
+        assert!(r2.energy_consumed_mj > r1.energy_consumed_mj);
+    }
+}

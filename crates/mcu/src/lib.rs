@@ -1,0 +1,44 @@
+//! `ie-mcu` — the microcontroller substrate.
+//!
+//! The paper deploys onto a TI MSP432 and reports energy as 1.5 mJ per million
+//! FLOPs with one-second latency "time units". This crate captures that
+//! device model and the intermittent-execution machinery the baselines need:
+//!
+//! * [`McuDevice`] — storage and compute budget of the target MCU (the
+//!   `msp432()` constructor carries the paper's constants),
+//! * [`CostModel`] — FLOPs → energy (mJ) and FLOPs → latency (s) conversion,
+//!   plus checkpointing overheads,
+//! * [`NonvolatileMemory`] — a FRAM-like byte store that survives power
+//!   failures,
+//! * [`IntermittentExecutor`] — a SONIC-style task-based executor that runs a
+//!   [`TaskGraph`] across as many power cycles as the harvested energy
+//!   requires, checkpointing progress in non-volatile memory.
+//!
+//! # Example
+//!
+//! ```
+//! use ie_mcu::{CostModel, McuDevice};
+//!
+//! let device = McuDevice::msp432();
+//! let cost = CostModel::for_device(&device);
+//! // A 1.0-MFLOP inference costs 1.5 mJ on the paper's device model.
+//! assert!((cost.inference_energy_mj(1_000_000) - 1.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod device;
+mod error;
+mod intermittent;
+mod nonvolatile;
+
+pub use cost::CostModel;
+pub use device::McuDevice;
+pub use error::McuError;
+pub use intermittent::{ExecutionReport, IntermittentExecutor, Task, TaskGraph};
+pub use nonvolatile::NonvolatileMemory;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, McuError>;

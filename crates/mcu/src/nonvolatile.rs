@@ -1,0 +1,137 @@
+use crate::{McuError, Result};
+use std::collections::BTreeMap;
+
+/// A FRAM-like non-volatile byte store.
+///
+/// Contents survive simulated power failures (which only clear volatile
+/// state), have a bounded capacity, and every write is metered so the
+/// intermittent executor can charge checkpointing energy against the storage.
+///
+/// # Example
+///
+/// ```
+/// use ie_mcu::NonvolatileMemory;
+///
+/// let mut nv = NonvolatileMemory::new(1024);
+/// nv.write("progress", &[3])?;
+/// assert_eq!(nv.read("progress"), Some(&[3][..]));
+/// nv.power_failure();
+/// assert_eq!(nv.read("progress"), Some(&[3][..]), "contents survive power loss");
+/// # Ok::<(), ie_mcu::McuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NonvolatileMemory {
+    capacity_bytes: usize,
+    entries: BTreeMap<String, Vec<u8>>,
+    bytes_written: u64,
+    power_failures: u64,
+}
+
+impl NonvolatileMemory {
+    /// Creates an empty store with the given capacity in bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        NonvolatileMemory { capacity_bytes, ..Default::default() }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Total bytes ever written (for energy accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of power failures the memory has survived.
+    pub fn power_failures(&self) -> u64 {
+        self.power_failures
+    }
+
+    /// Writes (or overwrites) `key` with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::NonvolatileFull`] when the write would exceed the
+    /// capacity; the previous value of `key` is kept in that case.
+    pub fn write(&mut self, key: &str, data: &[u8]) -> Result<()> {
+        let existing = self.entries.get(key).map(Vec::len).unwrap_or(0);
+        let used_without = self.used_bytes() - existing;
+        if used_without + data.len() > self.capacity_bytes {
+            return Err(McuError::NonvolatileFull {
+                requested: data.len(),
+                available: self.capacity_bytes - used_without,
+            });
+        }
+        self.bytes_written += data.len() as u64;
+        self.entries.insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    /// Reads the value stored under `key`, if any.
+    pub fn read(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Removes `key`, returning whether it existed.
+    pub fn erase(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Records a power failure. Non-volatile contents are untouched; the
+    /// counter exists so experiments can report how many power cycles an
+    /// execution needed.
+    pub fn power_failure(&mut self) {
+        self.power_failures += 1;
+    }
+
+    /// Clears all contents (a deliberate reset, not a power failure).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_erase_roundtrip() {
+        let mut nv = NonvolatileMemory::new(64);
+        nv.write("a", &[1, 2, 3]).unwrap();
+        assert_eq!(nv.read("a"), Some(&[1, 2, 3][..]));
+        assert_eq!(nv.used_bytes(), 3);
+        assert!(nv.erase("a"));
+        assert!(!nv.erase("a"));
+        assert_eq!(nv.read("a"), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_existing_value_preserved() {
+        let mut nv = NonvolatileMemory::new(8);
+        nv.write("k", &[0; 6]).unwrap();
+        let err = nv.write("other", &[0; 4]).unwrap_err();
+        assert!(matches!(err, McuError::NonvolatileFull { .. }));
+        // Overwriting the same key with a size that fits after reclaiming is fine.
+        nv.write("k", &[1; 8]).unwrap();
+        assert_eq!(nv.read("k"), Some(&[1u8; 8][..]));
+    }
+
+    #[test]
+    fn contents_survive_power_failures_and_writes_are_metered() {
+        let mut nv = NonvolatileMemory::new(32);
+        nv.write("progress", &[7]).unwrap();
+        nv.power_failure();
+        nv.power_failure();
+        assert_eq!(nv.power_failures(), 2);
+        assert_eq!(nv.read("progress"), Some(&[7][..]));
+        assert_eq!(nv.bytes_written(), 1);
+        nv.clear();
+        assert_eq!(nv.read("progress"), None);
+    }
+}

@@ -1,0 +1,77 @@
+use crate::Result;
+use ie_tensor::Tensor;
+
+/// Rectified linear unit activation layer.
+///
+/// Stateless; the backward pass masks the upstream gradient with the sign of
+/// the forward input.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::Relu;
+/// use ie_tensor::Tensor;
+///
+/// let relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap())?;
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// # Ok::<(), ie_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu
+    }
+
+    /// Forward pass: `max(0, x)` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` keeps the layer signature uniform.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.relu())
+    }
+
+    /// Backward pass: passes gradients only where the input was positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `input` and `grad_output` differ in shape.
+    pub fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = input.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        Ok(mask.mul(grad_output)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_zeroes_negatives() {
+        let relu = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 1.5], &[4]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.0, 1.5]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0, 3.0], &[4]).unwrap();
+        let go = Tensor::ones(&[4]);
+        let dx = relu.backward(&x, &go).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_rejects_shape_mismatch() {
+        let relu = Relu::new();
+        let x = Tensor::zeros(&[3]);
+        let go = Tensor::zeros(&[4]);
+        assert!(relu.backward(&x, &go).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+use crate::{NnError, Result};
+use ie_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution layer over `[C, H, W]` inputs.
+///
+/// Filters are stored as `[out_channels, in_channels, k, k]`. The forward
+/// pass lowers the input with `im2col` and performs a single matrix product,
+/// which is also how the MCU deployment in the paper executes convolutions.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::Conv2d;
+/// use ie_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1, 16, 16);
+/// let x = Tensor::zeros(&[3, 16, 16]);
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.dims(), &[8, 16, 16]);
+/// # Ok::<(), ie_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Xavier-uniform initialised filters.
+    ///
+    /// `in_h`/`in_w` fix the expected input spatial size; the paper's MCU
+    /// deployment is fully static, so carrying the geometry in the layer keeps
+    /// FLOPs accounting exact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let geom = Conv2dGeometry { in_channels, in_h, in_w, kernel, stride, padding };
+        Conv2d {
+            weight: Tensor::uniform(rng, &[out_channels, in_channels, kernel, kernel], limit),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            geom,
+            out_channels,
+        }
+    }
+
+    /// The convolution geometry (input size, kernel, stride, padding).
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.geom.in_channels
+    }
+
+    /// Filter tensor, shaped `[out_channels, in_channels, k, k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the filters (used by pruning / quantization).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Bias vector, one entry per output channel.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Output shape `[out_channels, out_h, out_w]`.
+    pub fn output_dims(&self) -> [usize; 3] {
+        [self.out_channels, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    /// Forward pass over a `[in_channels, in_h, in_w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when the input shape does not
+    /// match the layer geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let expected = [self.geom.in_channels, self.geom.in_h, self.geom.in_w];
+        if input.dims() != expected {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d".into(),
+                expected: expected.to_vec(),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let k = self.geom.kernel;
+        let cols = im2col(input, &self.geom)?;
+        let wmat = self.weight.reshape(&[self.out_channels, self.geom.in_channels * k * k])?;
+        let out = wmat.matmul(&cols)?;
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let mut out = out.reshape(&[self.out_channels, oh, ow])?;
+        // Add per-channel bias.
+        let plane = oh * ow;
+        {
+            let data = out.as_mut_slice();
+            for c in 0..self.out_channels {
+                let b = self.bias.as_slice()[c];
+                for v in &mut data[c * plane..(c + 1) * plane] {
+                    *v += b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates filter/bias gradients and returns the
+    /// gradient with respect to the input image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `input` or `grad_output` have unexpected
+    /// sizes.
+    pub fn backward(&mut self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let expected_out = [self.out_channels, oh, ow];
+        if grad_output.dims() != expected_out {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d(backward)".into(),
+                expected: expected_out.to_vec(),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let k = self.geom.kernel;
+        let cols = im2col(input, &self.geom)?;
+        let go_mat = grad_output.reshape(&[self.out_channels, oh * ow])?;
+        // dW = grad_output · colsᵀ
+        let cols_t = cols.transpose()?;
+        let dw = go_mat.matmul(&cols_t)?;
+        let dw = dw.reshape(&[self.out_channels, self.geom.in_channels, k, k])?;
+        self.grad_weight.add_scaled_inplace(&dw, 1.0)?;
+        // dbias = row sums of grad_output
+        for c in 0..self.out_channels {
+            let s: f32 = go_mat.as_slice()[c * oh * ow..(c + 1) * oh * ow].iter().sum();
+            self.grad_bias.as_mut_slice()[c] += s;
+        }
+        // dcols = Wᵀ · grad_output, then scatter back to image layout.
+        let wmat = self.weight.reshape(&[self.out_channels, self.geom.in_channels * k * k])?;
+        let wt = wmat.transpose()?;
+        let dcols = wt.matmul(&go_mat)?;
+        let dx = col2im(&dcols, &self.geom)?;
+        Ok(dx)
+    }
+
+    /// Accumulated filter gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Accumulated bias gradient.
+    pub fn grad_bias(&self) -> &Tensor {
+        &self.grad_bias
+    }
+
+    /// Applies one SGD step with the given learning rate and clears gradients.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        for (w, g) in self.weight.as_mut_slice().iter_mut().zip(self.grad_weight.as_slice()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.as_mut_slice().iter_mut().zip(self.grad_bias.as_slice()) {
+            *b -= lr * g;
+        }
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 and zero bias is the identity on a single channel.
+        let mut conv = Conv2d::new(&mut rng(), 1, 1, 1, 1, 0, 3, 3);
+        conv.weight_mut().as_mut_slice()[0] = 1.0;
+        conv.bias_mut().as_mut_slice()[0] = 0.0;
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Sum-pooling kernel (all ones) over a 3x3 input with no padding gives
+        // the total sum as the single output value.
+        let mut conv = Conv2d::new(&mut rng(), 1, 1, 3, 1, 0, 3, 3);
+        for w in conv.weight_mut().as_mut_slice() {
+            *w = 1.0;
+        }
+        conv.bias_mut().as_mut_slice()[0] = 0.5;
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert_eq!(y.as_slice()[0], 45.5);
+    }
+
+    #[test]
+    fn output_shape_honours_stride_and_padding() {
+        let conv = Conv2d::new(&mut rng(), 3, 6, 5, 2, 2, 32, 32);
+        assert_eq!(conv.output_dims(), [6, 16, 16]);
+        let y = conv.forward(&Tensor::zeros(&[3, 32, 32])).unwrap();
+        assert_eq!(y.dims(), &[6, 16, 16]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_shape() {
+        let conv = Conv2d::new(&mut rng(), 3, 6, 3, 1, 1, 8, 8);
+        assert!(conv.forward(&Tensor::zeros(&[3, 9, 8])).is_err());
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 1, 2, 3, 1, 1, 4, 4);
+        let x = Tensor::randn(&mut r, &[1, 4, 4], 0.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        let go = Tensor::ones(&[2, 4, 4]);
+        conv.backward(&x, &go).unwrap();
+        let analytic = conv.grad_weight().clone();
+        let eps = 1e-2;
+        // Spot-check a handful of filter entries.
+        for idx in [0usize, 3, 7, 10, 17] {
+            let mut up = conv.clone();
+            up.weight_mut().as_mut_slice()[idx] += eps;
+            let lu = up.forward(&x).unwrap().sum();
+            let mut down = conv.clone();
+            down.weight_mut().as_mut_slice()[idx] -= eps;
+            let ld = down.forward(&x).unwrap().sum();
+            let numeric = (lu - ld) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!((numeric - a).abs() < 2e-2, "dW[{idx}]: analytic {a} vs numeric {numeric}");
+        }
+        let _ = y;
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 1, 1, 3, 1, 0, 4, 4);
+        let x = Tensor::randn(&mut r, &[1, 4, 4], 0.0, 1.0);
+        let go = Tensor::ones(&[1, 2, 2]);
+        let dx = conv.backward(&x, &go).unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 5, 10, 15] {
+            let mut xu = x.clone();
+            xu.as_mut_slice()[idx] += eps;
+            let lu = conv.forward(&xu).unwrap().sum();
+            let mut xd = x.clone();
+            xd.as_mut_slice()[idx] -= eps;
+            let ld = conv.forward(&xd).unwrap().sum();
+            let numeric = (lu - ld) / (2.0 * eps);
+            let a = dx.as_slice()[idx];
+            assert!((numeric - a).abs() < 2e-2, "dx[{idx}]: analytic {a} vs numeric {numeric}");
+        }
+    }
+
+    #[test]
+    fn apply_gradients_clears_accumulators() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 1, 1, 3, 1, 1, 4, 4);
+        let x = Tensor::ones(&[1, 4, 4]);
+        let go = Tensor::ones(&[1, 4, 4]);
+        conv.backward(&x, &go).unwrap();
+        assert!(conv.grad_weight().norm_sq() > 0.0);
+        conv.apply_gradients(0.01);
+        assert_eq!(conv.grad_weight().norm_sq(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Procedurally generated image datasets.
+//!
+//! The paper trains on CIFAR-10, which is not available in this environment.
+//! To keep the full train → compress → deploy pipeline executable end-to-end,
+//! this module generates a small synthetic image-classification dataset whose
+//! classes are distinguishable texture patterns (stripes, checkerboards,
+//! gradients, blobs) corrupted with Gaussian noise. A LeNet-class network can
+//! learn it in a few seconds of CPU time, which is exactly what the tests and
+//! the `train_synthetic` example rely on.
+
+use ie_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One labelled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Input image, shaped `[1, size, size]`.
+    pub image: Tensor,
+    /// Class label in `0..num_classes`.
+    pub label: usize,
+}
+
+/// A synthetic texture-classification dataset.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::dataset::SyntheticDataset;
+///
+/// let data = SyntheticDataset::generate(4, 8, 40, 0.1, 7);
+/// assert_eq!(data.train().len() + data.test().len(), 40);
+/// assert_eq!(data.num_classes(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    train: Vec<Sample>,
+    test: Vec<Sample>,
+    num_classes: usize,
+    image_size: usize,
+}
+
+impl SyntheticDataset {
+    /// Generates `total` samples of `num_classes` classes over
+    /// `image_size × image_size` single-channel images, with additive
+    /// Gaussian noise of the given standard deviation. 80 % of the samples go
+    /// to the training split and 20 % to the test split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero or greater than 6 (only six base
+    /// patterns are defined), or if `image_size` is zero.
+    pub fn generate(
+        num_classes: usize,
+        image_size: usize,
+        total: usize,
+        noise_std: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(num_classes >= 1 && num_classes <= 6, "between 1 and 6 classes are supported");
+        assert!(image_size > 0, "image size must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(total);
+        for i in 0..total {
+            let label = i % num_classes;
+            samples.push(Sample { image: Self::pattern(label, image_size, noise_std, &mut rng), label });
+        }
+        // Deterministic shuffle so the splits are class-balanced but not ordered.
+        for i in (1..samples.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            samples.swap(i, j);
+        }
+        let split = (total as f32 * 0.8).round() as usize;
+        let test = samples.split_off(split.min(samples.len()));
+        SyntheticDataset { train: samples, test, num_classes, image_size }
+    }
+
+    fn pattern(label: usize, size: usize, noise_std: f32, rng: &mut StdRng) -> Tensor {
+        let mut img = vec![0.0f32; size * size];
+        let phase = rng.gen_range(0..size);
+        for y in 0..size {
+            for x in 0..size {
+                let v = match label {
+                    // Vertical stripes.
+                    0 => {
+                        if (x + phase) % 4 < 2 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    // Horizontal stripes.
+                    1 => {
+                        if (y + phase) % 4 < 2 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    // Checkerboard.
+                    2 => {
+                        if (x / 2 + y / 2) % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    // Diagonal gradient.
+                    3 => (x as f32 + y as f32) / (2.0 * size as f32) * 2.0 - 1.0,
+                    // Bright centre blob.
+                    4 => {
+                        let cx = size as f32 / 2.0;
+                        let cy = size as f32 / 2.0;
+                        let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                        (-(d2) / (size as f32)).exp() * 2.0 - 1.0
+                    }
+                    // Bright corner blob.
+                    _ => {
+                        let d2 = (x as f32).powi(2) + (y as f32).powi(2);
+                        (-(d2) / (size as f32)).exp() * 2.0 - 1.0
+                    }
+                };
+                img[y * size + x] = v;
+            }
+        }
+        let mut t = Tensor::from_vec(img, &[1, size, size]).expect("pattern buffer matches shape");
+        if noise_std > 0.0 {
+            let noise = Tensor::randn(rng, &[1, size, size], 0.0, noise_std);
+            t.add_scaled_inplace(&noise, 1.0).expect("noise shape matches");
+        }
+        t
+    }
+
+    /// Training split.
+    pub fn train(&self) -> &[Sample] {
+        &self.train
+    }
+
+    /// Held-out test split.
+    pub fn test(&self) -> &[Sample] {
+        &self.test
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Side length of the square images.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_sum_to_total_and_images_have_right_shape() {
+        let d = SyntheticDataset::generate(3, 8, 50, 0.05, 1);
+        assert_eq!(d.train().len() + d.test().len(), 50);
+        assert_eq!(d.train().len(), 40);
+        for s in d.train().iter().chain(d.test()) {
+            assert_eq!(s.image.dims(), &[1, 8, 8]);
+            assert!(s.label < 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = SyntheticDataset::generate(4, 8, 20, 0.1, 99);
+        let b = SyntheticDataset::generate(4, 8, 20, 0.1, 99);
+        assert_eq!(a.train()[0].image, b.train()[0].image);
+        assert_eq!(a.train()[0].label, b.train()[0].label);
+    }
+
+    #[test]
+    fn different_classes_produce_different_patterns() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = SyntheticDataset::pattern(0, 8, 0.0, &mut rng);
+        let b = SyntheticDataset::pattern(1, 8, 0.0, &mut rng);
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1.0, "patterns of different classes must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 6 classes")]
+    fn too_many_classes_panics() {
+        let _ = SyntheticDataset::generate(9, 8, 10, 0.0, 0);
+    }
+
+    #[test]
+    fn all_classes_present_in_training_split() {
+        let d = SyntheticDataset::generate(4, 8, 80, 0.1, 3);
+        for c in 0..4 {
+            assert!(d.train().iter().any(|s| s.label == c), "class {c} missing from train split");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+use crate::{NnError, Result};
+use ie_tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected (dense) layer: `y = W·x + b`.
+///
+/// Weights are stored as a `[out_features, in_features]` matrix so that the
+/// forward pass is a single matrix–vector product. The layer caches nothing;
+/// the caller passes the saved input back in for the backward pass, which
+/// keeps the layer usable from both the training loop and the incremental
+/// inference engine.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::Dense;
+/// use ie_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = Dense::new(&mut rng, 4, 2);
+/// let x = Tensor::ones(&[4]);
+/// let y = layer.forward(&x)?;
+/// assert_eq!(y.len(), 2);
+/// # Ok::<(), ie_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform initialised weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let limit = (6.0 / (in_features + out_features) as f32).sqrt();
+        Dense {
+            weight: Tensor::uniform(rng, &[out_features, in_features], limit),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Creates a dense layer from explicit weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] if `weight` is not
+    /// `[out_features, in_features]` or `bias` is not `[out_features]`.
+    pub fn from_parameters(weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.shape().rank() != 2 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense".into(),
+                expected: vec![0, 0],
+                actual: weight.dims().to_vec(),
+            });
+        }
+        let (out_features, in_features) = (weight.dims()[0], weight.dims()[1]);
+        if bias.len() != out_features {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense(bias)".into(),
+                expected: vec![out_features],
+                actual: bias.dims().to_vec(),
+            });
+        }
+        Ok(Dense {
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            weight,
+            bias,
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix, shaped `[out_features, in_features]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weight matrix (used by pruning / quantization).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass for a flat input of `in_features` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when the input length differs
+    /// from `in_features`.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.len() != self.in_features {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense".into(),
+                expected: vec![self.in_features],
+                actual: input.dims().to_vec(),
+            });
+        }
+        let flat = input.reshape(&[self.in_features])?;
+        let mut y = self.weight.matvec(&flat)?;
+        y.add_scaled_inplace(&self.bias, 1.0)?;
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `input` or `grad_output` have unexpected
+    /// sizes.
+    pub fn backward(&mut self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        if grad_output.len() != self.out_features {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense(backward)".into(),
+                expected: vec![self.out_features],
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let flat_in = input.reshape(&[self.in_features])?;
+        let flat_go = grad_output.reshape(&[self.out_features])?;
+        // dW = grad_output ⊗ input
+        let dw = flat_go.outer(&flat_in);
+        self.grad_weight.add_scaled_inplace(&dw, 1.0)?;
+        self.grad_bias.add_scaled_inplace(&flat_go, 1.0)?;
+        // dx = Wᵀ · grad_output
+        let wt = self.weight.transpose()?;
+        let dx = wt.matvec(&flat_go)?;
+        Ok(dx)
+    }
+
+    /// Accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Accumulated bias gradient.
+    pub fn grad_bias(&self) -> &Tensor {
+        &self.grad_bias
+    }
+
+    /// Applies one SGD step with the given learning rate and clears gradients.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        for (w, g) in self.weight.as_mut_slice().iter_mut().zip(self.grad_weight.as_slice()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.as_mut_slice().iter_mut().zip(self.grad_bias.as_slice()) {
+            *b -= lr * g;
+        }
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let bias = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let layer = Dense::from_parameters(weight, bias).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-1.5, -2.5]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_size() {
+        let layer = Dense::new(&mut rng(), 4, 2);
+        assert!(layer.forward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut layer = Dense::new(&mut r, 3, 2);
+        let x = Tensor::randn(&mut r, &[3], 0.0, 1.0);
+        // Loss = sum(forward(x)); dL/dy = ones.
+        let ones = Tensor::ones(&[2]);
+        layer.backward(&x, &ones).unwrap();
+        let analytic = layer.grad_weight().clone();
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut bumped = layer.clone();
+                let idx = i * 3 + j;
+                bumped.weight_mut().as_mut_slice()[idx] += eps;
+                let up = bumped.forward(&x).unwrap().sum();
+                let mut bumped_down = layer.clone();
+                bumped_down.weight_mut().as_mut_slice()[idx] -= eps;
+                let down = bumped_down.forward(&x).unwrap().sum();
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.as_slice()[idx];
+                assert!((numeric - a).abs() < 1e-2, "dW[{i},{j}]: analytic {a} vs numeric {numeric}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_is_weight_transpose_times_grad() {
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let bias = Tensor::zeros(&[2]);
+        let mut layer = Dense::from_parameters(weight, bias).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let go = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let dx = layer.backward(&x, &go).unwrap();
+        assert_eq!(dx.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn apply_gradients_moves_weights_and_clears() {
+        let mut layer = Dense::new(&mut rng(), 2, 2);
+        let before = layer.weight().clone();
+        let x = Tensor::ones(&[2]);
+        let go = Tensor::ones(&[2]);
+        layer.backward(&x, &go).unwrap();
+        layer.apply_gradients(0.1);
+        assert_ne!(layer.weight(), &before);
+        assert_eq!(layer.grad_weight().sum(), 0.0);
+        assert_eq!(layer.grad_bias().sum(), 0.0);
+    }
+
+    #[test]
+    fn from_parameters_validates_shapes() {
+        let w = Tensor::zeros(&[2, 3]);
+        assert!(Dense::from_parameters(w.clone(), Tensor::zeros(&[3])).is_err());
+        assert!(Dense::from_parameters(Tensor::zeros(&[6]), Tensor::zeros(&[2])).is_err());
+        assert!(Dense::from_parameters(w, Tensor::zeros(&[2])).is_ok());
+    }
+}

@@ -1,0 +1,292 @@
+use crate::{Dense, Relu, Result};
+use ie_tensor::Tensor;
+use rand::Rng;
+
+/// Output activation applied by an [`Mlp`] after its final dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputActivation {
+    /// No activation (linear output) — used by critics.
+    #[default]
+    Linear,
+    /// Logistic sigmoid, squashing each output into `(0, 1)` — used by the
+    /// compression agents whose actions are pruning rates / bitwidth fractions.
+    Sigmoid,
+    /// Hyperbolic tangent, squashing into `(-1, 1)`.
+    Tanh,
+}
+
+/// A small multi-layer perceptron with ReLU hidden activations.
+///
+/// This is the function approximator behind the DDPG actor and critic in
+/// `ie-rl`. It supports forward evaluation, backward propagation of an output
+/// gradient, SGD updates and the soft ("Polyak") parameter blending DDPG uses
+/// for its target networks.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::{Mlp, OutputActivation};
+/// use ie_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&mut rng, &[4, 8, 2], OutputActivation::Tanh);
+/// let y = mlp.forward(&Tensor::zeros(&[4]))?;
+/// assert_eq!(y.len(), 2);
+/// # Ok::<(), ie_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    relu: Relu,
+    output_activation: OutputActivation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes (`sizes[0]` inputs,
+    /// `sizes.last()` outputs) and output activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, sizes: &[usize], output: OutputActivation) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        let layers = sizes.windows(2).map(|w| Dense::new(rng, w[0], w[1])).collect();
+        Mlp { layers, relu: Relu::new(), output_activation: output }
+    }
+
+    /// Number of inputs.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map(Dense::in_features).unwrap_or(0)
+    }
+
+    /// Number of outputs.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map(Dense::out_features).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    fn apply_output(&self, x: &Tensor) -> Tensor {
+        match self.output_activation {
+            OutputActivation::Linear => x.clone(),
+            OutputActivation::Sigmoid => x.sigmoid(),
+            OutputActivation::Tanh => x.tanh(),
+        }
+    }
+
+    fn output_grad(&self, pre_activation: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(match self.output_activation {
+            OutputActivation::Linear => grad_out.clone(),
+            OutputActivation::Sigmoid => {
+                let s = pre_activation.sigmoid();
+                let ds = s.map(|v| v * (1.0 - v));
+                ds.mul(grad_out)?
+            }
+            OutputActivation::Tanh => {
+                let t = pre_activation.tanh();
+                let dt = t.map(|v| 1.0 - v * v);
+                dt.mul(grad_out)?
+            }
+        })
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `input` does not match the first layer.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let (out, _) = self.forward_cached(input)?;
+        Ok(out)
+    }
+
+    /// Forward pass that also returns the cached layer inputs and the final
+    /// pre-activation, as needed by [`Self::backward`].
+    fn forward_cached(&self, input: &Tensor) -> Result<(Tensor, (Vec<Tensor>, Tensor))> {
+        let mut x = input.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            caches.push(x.clone());
+            x = layer.forward(&x)?;
+            if i + 1 < self.layers.len() {
+                x = self.relu.forward(&x)?;
+            }
+        }
+        let pre = x.clone();
+        Ok((self.apply_output(&x), (caches, pre)))
+    }
+
+    /// Backward pass: accumulates parameter gradients for `dL/d_output` and
+    /// returns `dL/d_input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `grad_output` does not match the output size.
+    pub fn backward(&mut self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        let (_, (caches, pre)) = self.forward_cached(input)?;
+        let mut g = self.output_grad(&pre, grad_output)?;
+        let n = self.layers.len();
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                // Gradient through the hidden ReLU: its input is the dense output,
+                // which equals forward(cache) of that layer.
+                let dense_out = self.layers[i].forward(&caches[i])?;
+                g = self.relu.backward(&dense_out, &g)?;
+            }
+            g = self.layers[i].backward(&caches[i], &g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies accumulated gradients with learning rate `lr` and clears them.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr);
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Polyak soft update: `self ← τ·other + (1 − τ)·self`.
+    ///
+    /// Used to track DDPG target networks. Layer shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two MLPs have different layer shapes.
+    pub fn blend_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.layers.len(), other.layers.len(), "MLP layer counts differ");
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(mine.weight().dims(), theirs.weight().dims(), "MLP layer shapes differ");
+            for (w, o) in mine.weight_mut().as_mut_slice().iter_mut().zip(theirs.weight().as_slice())
+            {
+                *w = tau * o + (1.0 - tau) * *w;
+            }
+            for (b, o) in mine.bias_mut().as_mut_slice().iter_mut().zip(theirs.bias().as_slice()) {
+                *b = tau * o + (1.0 - tau) * *b;
+            }
+        }
+    }
+
+    /// Copies all parameters from `other` (equivalent to `blend_from` with τ = 1).
+    pub fn copy_from(&mut self, other: &Mlp) {
+        self.blend_from(other, 1.0);
+    }
+
+    /// The dense layers of the MLP (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn forward_respects_output_activation_ranges() {
+        let mut r = rng();
+        let x = Tensor::randn(&mut r, &[6], 0.0, 3.0);
+        let sig = Mlp::new(&mut r, &[6, 12, 4], OutputActivation::Sigmoid);
+        let tanh = Mlp::new(&mut r, &[6, 12, 4], OutputActivation::Tanh);
+        let y_sig = sig.forward(&x).unwrap();
+        let y_tanh = tanh.forward(&x).unwrap();
+        assert!(y_sig.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(y_tanh.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn gradient_descent_fits_a_simple_target() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&mut r, &[2, 16, 1], OutputActivation::Linear);
+        // Fit y = x0 + x1 on a few points.
+        let data: Vec<(Tensor, f32)> = (0..20)
+            .map(|i| {
+                let a = (i % 5) as f32 / 5.0;
+                let b = (i / 5) as f32 / 4.0;
+                (Tensor::from_vec(vec![a, b], &[2]).unwrap(), a + b)
+            })
+            .collect();
+        let loss_of = |m: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, y)| {
+                    let p = m.forward(x).unwrap().as_slice()[0];
+                    (p - y) * (p - y)
+                })
+                .sum::<f32>()
+                / data.len() as f32
+        };
+        let initial = loss_of(&mlp);
+        for _ in 0..300 {
+            for (x, y) in &data {
+                let p = mlp.forward(x).unwrap().as_slice()[0];
+                let grad = Tensor::from_vec(vec![2.0 * (p - y)], &[1]).unwrap();
+                mlp.backward(x, &grad).unwrap();
+            }
+            mlp.apply_gradients(0.01 / data.len() as f32);
+        }
+        let final_loss = loss_of(&mlp);
+        assert!(final_loss < initial * 0.2, "MSE should drop: {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&mut r, &[3, 5, 2], OutputActivation::Tanh);
+        let x = Tensor::randn(&mut r, &[3], 0.0, 1.0);
+        let ones = Tensor::ones(&[2]);
+        let dx = mlp.backward(&x, &ones).unwrap();
+        mlp.zero_grad();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xu = x.clone();
+            xu.as_mut_slice()[i] += eps;
+            let up = mlp.forward(&xu).unwrap().sum();
+            let mut xd = x.clone();
+            xd.as_mut_slice()[i] -= eps;
+            let down = mlp.forward(&xd).unwrap().sum();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[i]).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn blend_from_moves_parameters_towards_source() {
+        let mut r = rng();
+        let a = Mlp::new(&mut r, &[2, 4, 1], OutputActivation::Linear);
+        let mut b = Mlp::new(&mut r, &[2, 4, 1], OutputActivation::Linear);
+        let before = b.layers()[0].weight().as_slice()[0];
+        let target = a.layers()[0].weight().as_slice()[0];
+        b.blend_from(&a, 0.5);
+        let after = b.layers()[0].weight().as_slice()[0];
+        assert!((after - (0.5 * target + 0.5 * before)).abs() < 1e-6);
+        b.copy_from(&a);
+        assert_eq!(b.layers()[0].weight().as_slice()[0], target);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output size")]
+    fn mlp_requires_two_sizes() {
+        let mut r = rng();
+        let _ = Mlp::new(&mut r, &[4], OutputActivation::Linear);
+    }
+}

@@ -1,0 +1,190 @@
+use crate::{NnError, Result};
+use ie_tensor::Tensor;
+
+/// Non-overlapping 2-D max pooling over `[C, H, W]` inputs.
+///
+/// The pool size equals the stride (the common LeNet configuration). Input
+/// height and width must be divisible by the pool size; the architecture spec
+/// guarantees this for the paper's backbone.
+///
+/// # Example
+///
+/// ```
+/// use ie_nn::MaxPool2d;
+/// use ie_tensor::Tensor;
+///
+/// let pool = MaxPool2d::new(2);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+/// let y = pool.forward(&x)?;
+/// assert_eq!(y.as_slice(), &[4.0]);
+/// # Ok::<(), ie_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    size: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window (and stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be non-zero");
+        MaxPool2d { size }
+    }
+
+    /// The pooling window size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.shape().rank() != 3 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d".into(),
+                expected: vec![0, 0, 0],
+                actual: input.dims().to_vec(),
+            });
+        }
+        let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        if h % self.size != 0 || w % self.size != 0 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d".into(),
+                expected: vec![c, h / self.size * self.size, w / self.size * self.size],
+                actual: input.dims().to_vec(),
+            });
+        }
+        Ok((c, h, w))
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when the input is not rank 3 or
+    /// its spatial size is not divisible by the pool size.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let (c, h, w) = self.check_input(input)?;
+        let (oh, ow) = (h / self.size, w / self.size);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let src = input.as_slice();
+        {
+            let dst = out.as_mut_slice();
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..self.size {
+                            for dx in 0..self.size {
+                                let iy = oy * self.size + dy;
+                                let ix = ox * self.size + dx;
+                                best = best.max(src[(ch * h + iy) * w + ix]);
+                            }
+                        }
+                        dst[(ch * oh + oy) * ow + ox] = best;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: routes each output gradient to the input position that
+    /// achieved the maximum (first position on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `input` or `grad_output` have unexpected
+    /// shapes.
+    pub fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        let (c, h, w) = self.check_input(input)?;
+        let (oh, ow) = (h / self.size, w / self.size);
+        if grad_output.dims() != [c, oh, ow] {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(backward)".into(),
+                expected: vec![c, oh, ow],
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let mut dx = Tensor::zeros(&[c, h, w]);
+        let src = input.as_slice();
+        let go = grad_output.as_slice();
+        {
+            let dst = dx.as_mut_slice();
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_pos = (0usize, 0usize);
+                        for dy in 0..self.size {
+                            for dx_ in 0..self.size {
+                                let iy = oy * self.size + dy;
+                                let ix = ox * self.size + dx_;
+                                let v = src[(ch * h + iy) * w + ix];
+                                if v > best {
+                                    best = v;
+                                    best_pos = (iy, ix);
+                                }
+                            }
+                        }
+                        dst[(ch * h + best_pos.0) * w + best_pos.1] += go[(ch * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Output shape for a `[c, h, w]` input.
+    pub fn output_dims(&self, input_dims: &[usize]) -> [usize; 3] {
+        [input_dims[0], input_dims[1] / self.size, input_dims[2] / self.size]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_window_maxima() {
+        let pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, -1.0, -2.0, 0.0, 1.0, -3.0, -4.0, 2.0, 3.0],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, -1.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let go = Tensor::from_vec(vec![10.0], &[1, 1, 1]).unwrap();
+        let dx = pool.backward(&x, &go).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn rejects_non_divisible_inputs() {
+        let pool = MaxPool2d::new(2);
+        assert!(pool.forward(&Tensor::zeros(&[1, 3, 4])).is_err());
+        assert!(pool.forward(&Tensor::zeros(&[3, 4])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size must be non-zero")]
+    fn zero_pool_size_panics() {
+        let _ = MaxPool2d::new(0);
+    }
+
+    #[test]
+    fn output_dims_halve_spatial_size() {
+        let pool = MaxPool2d::new(2);
+        assert_eq!(pool.output_dims(&[16, 8, 8]), [16, 4, 4]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Deep deterministic policy gradient (DDPG) with small MLP actor/critic
+//! networks, as used by the paper's compression agents.
+
+use crate::{OrnsteinUhlenbeck, ReplayBuffer};
+use ie_nn::{Mlp, OutputActivation, Result as NnResult};
+use ie_tensor::Tensor;
+use rand::Rng;
+
+/// One experience tuple collected while exploring compression policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Observation before acting.
+    pub state: Vec<f32>,
+    /// Action taken (each component in `[0, 1]`).
+    pub action: Vec<f32>,
+    /// Scalar reward.
+    pub reward: f32,
+    /// Observation after acting.
+    pub next_state: Vec<f32>,
+    /// Whether the episode ended with this transition.
+    pub done: bool,
+}
+
+/// Hyper-parameters of a [`DdpgAgent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdpgConfig {
+    /// Learning rate of the actor network.
+    pub actor_lr: f32,
+    /// Learning rate of the critic network.
+    pub critic_lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Polyak averaging coefficient τ for the target networks.
+    pub tau: f32,
+    /// Hidden-layer width of both networks.
+    pub hidden: usize,
+    /// Replay-buffer capacity.
+    pub replay_capacity: usize,
+    /// Initial Ornstein–Uhlenbeck noise magnitude.
+    pub noise_sigma: f32,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            actor_lr: 1e-3,
+            critic_lr: 1e-2,
+            gamma: 0.95,
+            tau: 0.01,
+            hidden: 64,
+            replay_capacity: 2_000,
+            noise_sigma: 0.3,
+        }
+    }
+}
+
+/// A DDPG agent over a continuous action space in `[0, 1]^action_dim`.
+///
+/// The actor ends in a sigmoid so actions land directly in the unit box the
+/// compression search expects (pruning rates, normalised bitwidths).
+#[derive(Debug, Clone)]
+pub struct DdpgAgent {
+    actor: Mlp,
+    critic: Mlp,
+    target_actor: Mlp,
+    target_critic: Mlp,
+    noise: OrnsteinUhlenbeck,
+    replay: ReplayBuffer<Transition>,
+    config: DdpgConfig,
+    state_dim: usize,
+    action_dim: usize,
+}
+
+impl DdpgAgent {
+    /// Creates an agent for the given state/action dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        state_dim: usize,
+        action_dim: usize,
+        config: DdpgConfig,
+    ) -> Self {
+        let actor = Mlp::new(
+            rng,
+            &[state_dim, config.hidden, config.hidden, action_dim],
+            OutputActivation::Sigmoid,
+        );
+        let critic = Mlp::new(
+            rng,
+            &[state_dim + action_dim, config.hidden, config.hidden, 1],
+            OutputActivation::Linear,
+        );
+        let target_actor = actor.clone();
+        let target_critic = critic.clone();
+        let noise = OrnsteinUhlenbeck::new(action_dim, 0.15, config.noise_sigma);
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        DdpgAgent {
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            noise,
+            replay,
+            config,
+            state_dim,
+            action_dim,
+        }
+    }
+
+    /// Dimension of the observation vector.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Dimension of the action vector.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Anneals the exploration noise magnitude.
+    pub fn set_noise_sigma(&mut self, sigma: f32) {
+        self.noise.set_sigma(sigma);
+    }
+
+    /// Deterministic (exploitation) action for a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `state` has the wrong dimension.
+    pub fn act(&self, state: &[f32]) -> NnResult<Vec<f32>> {
+        let s = Tensor::from_vec(state.to_vec(), &[state.len()]).map_err(ie_nn::NnError::from)?;
+        Ok(self.actor.forward(&s)?.into_vec())
+    }
+
+    /// Exploratory action: the deterministic action plus OU noise, clamped to
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `state` has the wrong dimension.
+    pub fn act_exploring<R: Rng + ?Sized>(&mut self, state: &[f32], rng: &mut R) -> NnResult<Vec<f32>> {
+        let mut action = self.act(state)?;
+        let noise = self.noise.sample(rng);
+        for (a, n) in action.iter_mut().zip(noise) {
+            *a = (*a + n).clamp(0.0, 1.0);
+        }
+        Ok(action)
+    }
+
+    /// Stores a transition in the replay buffer.
+    pub fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+    }
+
+    /// Resets the exploration noise (call at the start of each episode).
+    pub fn begin_episode(&mut self) {
+        self.noise.reset();
+    }
+
+    /// Critic value `Q(s, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the concatenated input has the wrong dimension.
+    pub fn q_value(&self, state: &[f32], action: &[f32]) -> NnResult<f32> {
+        let mut input = state.to_vec();
+        input.extend_from_slice(action);
+        let len = input.len();
+        let x = Tensor::from_vec(input, &[len]).map_err(ie_nn::NnError::from)?;
+        Ok(self.critic.forward(&x)?.as_slice()[0])
+    }
+
+    fn target_q(&self, state: &[f32]) -> NnResult<f32> {
+        let s = Tensor::from_vec(state.to_vec(), &[state.len()]).map_err(ie_nn::NnError::from)?;
+        let a = self.target_actor.forward(&s)?;
+        let mut input = state.to_vec();
+        input.extend_from_slice(a.as_slice());
+        let len = input.len();
+        let x = Tensor::from_vec(input, &[len]).map_err(ie_nn::NnError::from)?;
+        Ok(self.target_critic.forward(&x)?.as_slice()[0])
+    }
+
+    /// Performs one mini-batch update of the critic and actor and soft-updates
+    /// the target networks. Returns the mean critic TD error of the batch, or
+    /// `None` when the replay buffer is still empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying networks.
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, batch_size: usize) -> NnResult<Option<f32>> {
+        if self.replay.is_empty() {
+            return Ok(None);
+        }
+        let batch = self.replay.sample(rng, batch_size.max(1));
+        let n = batch.len() as f32;
+
+        // --- Critic update: minimise (Q(s,a) − y)² with y = r + γ·Q'(s', µ'(s')).
+        let mut td_error_sum = 0.0;
+        for t in &batch {
+            let target = if t.done {
+                t.reward
+            } else {
+                t.reward + self.config.gamma * self.target_q(&t.next_state)?
+            };
+            let mut input = t.state.clone();
+            input.extend_from_slice(&t.action);
+            let len = input.len();
+            let x = Tensor::from_vec(input, &[len]).map_err(ie_nn::NnError::from)?;
+            let q = self.critic.forward(&x)?.as_slice()[0];
+            let td = q - target;
+            td_error_sum += td.abs();
+            let grad = Tensor::from_vec(vec![2.0 * td], &[1]).map_err(ie_nn::NnError::from)?;
+            self.critic.backward(&x, &grad)?;
+        }
+        self.critic.apply_gradients(self.config.critic_lr / n);
+
+        // --- Actor update: ascend ∇_a Q(s, µ(s)) ∇_θ µ(s).
+        for t in &batch {
+            let s = Tensor::from_vec(t.state.clone(), &[t.state.len()])
+                .map_err(ie_nn::NnError::from)?;
+            let action = self.actor.forward(&s)?;
+            let mut input = t.state.clone();
+            input.extend_from_slice(action.as_slice());
+            let len = input.len();
+            let x = Tensor::from_vec(input, &[len]).map_err(ie_nn::NnError::from)?;
+            // dQ/d(input) through the critic; we only want the action part and
+            // must not leave gradients behind in the critic.
+            let ones = Tensor::from_vec(vec![1.0], &[1]).map_err(ie_nn::NnError::from)?;
+            let dq_dinput = self.critic.backward(&x, &ones)?;
+            self.critic.zero_grad();
+            let dq_daction = &dq_dinput.as_slice()[t.state.len()..];
+            // Gradient ascent on Q == descent on −Q.
+            let grad = Tensor::from_vec(dq_daction.iter().map(|g| -g).collect(), &[self.action_dim])
+                .map_err(ie_nn::NnError::from)?;
+            self.actor.backward(&s, &grad)?;
+        }
+        self.actor.apply_gradients(self.config.actor_lr / n);
+
+        // --- Target network soft updates.
+        self.target_actor.blend_from(&self.actor, self.config.tau);
+        self.target_critic.blend_from(&self.critic, self.config.tau);
+
+        Ok(Some(td_error_sum / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn actions_are_in_the_unit_box() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = DdpgAgent::new(&mut rng, 4, 3, DdpgConfig::default());
+        let a = agent.act(&[0.1, 0.5, -0.3, 2.0]).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+        let e = agent.act_exploring(&[0.1, 0.5, -0.3, 2.0], &mut rng).unwrap();
+        assert!(e.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(agent.act(&[0.0; 3]).is_err(), "wrong state dimension must fail");
+    }
+
+    #[test]
+    fn update_without_experience_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = DdpgAgent::new(&mut rng, 2, 1, DdpgConfig::default());
+        assert_eq!(agent.update(&mut rng, 8).unwrap(), None);
+    }
+
+    #[test]
+    fn agent_learns_a_simple_bandit() {
+        // Reward = 1 − (a − 0.8)²: the optimal action is 0.8 regardless of state.
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = DdpgConfig {
+            actor_lr: 5e-3,
+            critic_lr: 2e-2,
+            gamma: 0.0,
+            tau: 0.05,
+            hidden: 24,
+            replay_capacity: 512,
+            noise_sigma: 0.4,
+        };
+        let mut agent = DdpgAgent::new(&mut rng, 1, 1, config);
+        let state = vec![0.5f32];
+        for episode in 0..60 {
+            agent.begin_episode();
+            agent.set_noise_sigma(0.4 * (1.0 - episode as f32 / 60.0) + 0.05);
+            for _ in 0..10 {
+                let a = agent.act_exploring(&state, &mut rng).unwrap();
+                let reward = 1.0 - (a[0] - 0.8).powi(2);
+                agent.observe(Transition {
+                    state: state.clone(),
+                    action: a,
+                    reward,
+                    next_state: state.clone(),
+                    done: true,
+                });
+                agent.update(&mut rng, 32).unwrap();
+            }
+        }
+        let final_action = agent.act(&state).unwrap()[0];
+        assert!(
+            (final_action - 0.8).abs() < 0.2,
+            "agent should converge near 0.8, got {final_action}"
+        );
+    }
+
+    #[test]
+    fn q_values_track_observed_rewards() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = DdpgConfig { gamma: 0.0, critic_lr: 5e-2, ..DdpgConfig::default() };
+        let mut agent = DdpgAgent::new(&mut rng, 1, 1, config);
+        // Fixed state/action with constant reward 2.0.
+        for _ in 0..200 {
+            agent.observe(Transition {
+                state: vec![0.0],
+                action: vec![0.5],
+                reward: 2.0,
+                next_state: vec![0.0],
+                done: true,
+            });
+            agent.update(&mut rng, 16).unwrap();
+        }
+        let q = agent.q_value(&[0.0], &[0.5]).unwrap();
+        assert!((q - 2.0).abs() < 0.5, "critic should approach the reward, got {q}");
+    }
+
+    #[test]
+    fn replay_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = DdpgConfig { replay_capacity: 16, ..DdpgConfig::default() };
+        let mut agent = DdpgAgent::new(&mut rng, 1, 1, config);
+        for i in 0..100 {
+            agent.observe(Transition {
+                state: vec![i as f32],
+                action: vec![0.0],
+                reward: 0.0,
+                next_state: vec![0.0],
+                done: false,
+            });
+        }
+        assert_eq!(agent.replay_len(), 16);
+    }
+}

@@ -1,0 +1,36 @@
+//! `ie-rl` — the reinforcement-learning substrate.
+//!
+//! Two learners are needed by the paper:
+//!
+//! * **Tabular Q-learning** ([`QTable`]) — the lightweight runtime learner
+//!   that picks an exit from the discretised (stored energy, charging
+//!   efficiency) state and decides whether to run an incremental inference.
+//!   Its entire cost is one table lookup and one table update per event,
+//!   which is what makes it deployable on the MCU.
+//! * **DDPG** ([`DdpgAgent`]) — the offline continuous-action actor–critic
+//!   used by the compression search, with Ornstein–Uhlenbeck exploration
+//!   noise ([`OrnsteinUhlenbeck`]), an experience [`ReplayBuffer`] and Polyak
+//!   target networks, following Lillicrap et al. as cited by the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use ie_rl::QTable;
+//!
+//! let mut q = QTable::new(4, 2, 0.5, 0.9);
+//! q.update(0, 1, 1.0, Some(2));
+//! assert!(q.value(0, 1) > q.value(0, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ddpg;
+mod noise;
+mod qlearning;
+mod replay;
+
+pub use ddpg::{DdpgAgent, DdpgConfig, Transition};
+pub use noise::OrnsteinUhlenbeck;
+pub use qlearning::{EpsilonSchedule, QTable};
+pub use replay::ReplayBuffer;

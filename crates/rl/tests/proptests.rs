@@ -1,0 +1,79 @@
+//! Property-based tests of the reinforcement-learning substrate.
+
+use ie_rl::{EpsilonSchedule, QTable, ReplayBuffer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q-values stay bounded by the reward bounds divided by (1 − γ): with all
+    /// rewards in [0, r_max], no value can exceed r_max / (1 − γ).
+    #[test]
+    fn q_values_respect_the_discounted_bound(
+        updates in proptest::collection::vec((0usize..4, 0usize..3, 0.0f64..1.0, proptest::option::of(0usize..4)), 1..300),
+        alpha in 0.05f64..1.0,
+        gamma in 0.0f64..0.95,
+    ) {
+        let mut q = QTable::new(4, 3, alpha, gamma);
+        for (s, a, r, next) in updates {
+            q.update(s, a, r, next);
+        }
+        let bound = 1.0 / (1.0 - gamma) + 1e-6;
+        for s in 0..4 {
+            for a in 0..3 {
+                prop_assert!(q.value(s, a) >= -1e-9);
+                prop_assert!(q.value(s, a) <= bound, "Q({s},{a}) = {} exceeds {bound}", q.value(s, a));
+            }
+        }
+    }
+
+    /// The greedy action always has the maximal Q-value of its state.
+    #[test]
+    fn greedy_action_is_argmax(
+        updates in proptest::collection::vec((0usize..5, 0usize..4, -1.0f64..1.0), 1..200),
+    ) {
+        let mut q = QTable::new(5, 4, 0.5, 0.9);
+        for (s, a, r) in updates {
+            q.update(s, a, r, None);
+        }
+        for s in 0..5 {
+            let greedy = q.select_greedy(s);
+            let best = (0..4).map(|a| q.value(s, a)).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((q.value(s, greedy) - best).abs() < 1e-12);
+        }
+    }
+
+    /// The epsilon schedule is monotone non-increasing (when start ≥ end) and
+    /// always stays within [min(start,end), max(start,end)].
+    #[test]
+    fn epsilon_schedule_is_monotone(start in 0.0f64..1.0, end in 0.0f64..1.0, steps in 1u64..1000) {
+        let schedule = EpsilonSchedule::new(start, end, steps);
+        let lo = start.min(end);
+        let hi = start.max(end);
+        let mut previous = schedule.epsilon(0);
+        for t in (0..steps * 2).step_by((steps as usize / 10).max(1)) {
+            let eps = schedule.epsilon(t);
+            prop_assert!(eps >= lo - 1e-12 && eps <= hi + 1e-12);
+            if start >= end {
+                prop_assert!(eps <= previous + 1e-12);
+            } else {
+                prop_assert!(eps >= previous - 1e-12);
+            }
+            previous = eps;
+        }
+    }
+
+    /// The replay buffer never exceeds its capacity and always keeps the most
+    /// recent items.
+    #[test]
+    fn replay_buffer_keeps_the_newest(capacity in 1usize..32, items in proptest::collection::vec(0u32..1000, 1..200)) {
+        let mut buffer = ReplayBuffer::new(capacity);
+        for &item in &items {
+            buffer.push(item);
+        }
+        prop_assert!(buffer.len() <= capacity);
+        let expected: Vec<u32> = items.iter().rev().take(capacity).rev().copied().collect();
+        let stored: Vec<u32> = buffer.iter().copied().collect();
+        prop_assert_eq!(stored, expected);
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the runtime adaptation crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Propagated core error (simulation / deployment).
+    Core(ie_core::CoreError),
+    /// The adaptation was configured with zero learning episodes.
+    NoEpisodes,
+    /// A discretisation was configured with zero bins.
+    InvalidDiscretization(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Core(e) => write!(f, "core error: {e}"),
+            RuntimeError::NoEpisodes => write!(f, "runtime adaptation needs at least one episode"),
+            RuntimeError::InvalidDiscretization(msg) => {
+                write!(f, "invalid state discretisation: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ie_core::CoreError> for RuntimeError {
+    fn from(e: ie_core::CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<RuntimeError> = vec![
+            ie_core::CoreError::InvalidConfig("x".into()).into(),
+            RuntimeError::NoEpisodes,
+            RuntimeError::InvalidDiscretization("zero bins".into()),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&errs[0]).is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! `ie-runtime` — phase 2 of the paper: online exit selection and incremental
+//! inference on the deployed device.
+//!
+//! During compression the exit for each event was chosen by a *static* policy
+//! (select the deepest exit the stored energy can pay for). At runtime the
+//! power trace and event distribution are unknown, so the paper replaces the
+//! static rule with a lightweight Q-learning agent:
+//!
+//! * the **exit Q-table** maps the discretised `(stored energy, charging
+//!   efficiency)` state to the exit to run ([`QLearningExitPolicy`]),
+//! * a second **continuation Q-table** maps `(confidence, remaining energy)`
+//!   to the binary decision of whether to run an incremental inference to the
+//!   next exit,
+//! * both tables are updated with Eq. (16); the reward is the accuracy of the
+//!   selected exit (zero for missed events).
+//!
+//! [`StaticLutPolicy`] reproduces the static lookup-table baseline of
+//! Fig. 7, and [`RuntimeAdaptation`] runs the repeated learning episodes that
+//! generate the Fig. 7(a) learning curve and the Fig. 7(b) exit histogram.
+//!
+//! # Example
+//!
+//! ```
+//! use ie_core::{DeployedModel, ExperimentConfig};
+//! use ie_runtime::{AdaptationConfig, RuntimeAdaptation};
+//!
+//! let config = ExperimentConfig::small_test();
+//! let model = DeployedModel::uncompressed_reference(&config)?;
+//! let adaptation = RuntimeAdaptation::new(AdaptationConfig { episodes: 3, ..Default::default() });
+//! let outcome = adaptation.run(&config, &model)?;
+//! assert_eq!(outcome.learning_curve.len(), 3);
+//! # Ok::<(), ie_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptation;
+mod error;
+mod qpolicy;
+mod state;
+mod static_lut;
+
+pub use adaptation::{AdaptationConfig, AdaptationOutcome, RuntimeAdaptation};
+pub use error::RuntimeError;
+pub use qpolicy::{QLearningConfig, QLearningExitPolicy};
+pub use state::StateDiscretizer;
+pub use static_lut::StaticLutPolicy;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,122 @@
+use crate::{Result, RuntimeError};
+
+/// Discretises the continuous runtime observables into the finite state space
+/// the Q-tables index.
+///
+/// The exit Q-table state is `(energy bin, charging-efficiency bin)`; the
+/// continuation Q-table state is `(confidence bin, energy bin)`. Both reuse
+/// the same binning helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateDiscretizer {
+    energy_bins: usize,
+    efficiency_bins: usize,
+    confidence_bins: usize,
+}
+
+impl StateDiscretizer {
+    /// Creates a discretiser with the given bin counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidDiscretization`] when any bin count is
+    /// zero.
+    pub fn new(energy_bins: usize, efficiency_bins: usize, confidence_bins: usize) -> Result<Self> {
+        if energy_bins == 0 || efficiency_bins == 0 || confidence_bins == 0 {
+            return Err(RuntimeError::InvalidDiscretization(
+                "all bin counts must be non-zero".into(),
+            ));
+        }
+        Ok(StateDiscretizer { energy_bins, efficiency_bins, confidence_bins })
+    }
+
+    /// The paper-scale default: 8 energy levels × 4 efficiency levels for the
+    /// exit table, 4 confidence levels for the continuation table.
+    pub fn paper_default() -> Self {
+        StateDiscretizer { energy_bins: 8, efficiency_bins: 4, confidence_bins: 4 }
+    }
+
+    fn bin(value: f64, bins: usize) -> usize {
+        let clamped = value.clamp(0.0, 1.0);
+        ((clamped * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// Number of states of the exit Q-table.
+    pub fn exit_state_count(&self) -> usize {
+        self.energy_bins * self.efficiency_bins
+    }
+
+    /// Number of states of the continuation Q-table.
+    pub fn continue_state_count(&self) -> usize {
+        self.confidence_bins * self.energy_bins
+    }
+
+    /// Number of energy bins.
+    pub fn energy_bins(&self) -> usize {
+        self.energy_bins
+    }
+
+    /// State index of the exit Q-table for the given normalised energy level
+    /// and charging efficiency (both in `[0, 1]`).
+    pub fn exit_state(&self, energy_fraction: f64, charging_efficiency: f64) -> usize {
+        Self::bin(energy_fraction, self.energy_bins) * self.efficiency_bins
+            + Self::bin(charging_efficiency, self.efficiency_bins)
+    }
+
+    /// State index of the continuation Q-table for the given confidence and
+    /// normalised remaining energy (both in `[0, 1]`).
+    pub fn continue_state(&self, confidence: f64, energy_fraction: f64) -> usize {
+        Self::bin(confidence, self.confidence_bins) * self.energy_bins
+            + Self::bin(energy_fraction, self.energy_bins)
+    }
+
+    /// The representative (mid-point) energy fraction of an energy bin,
+    /// used when building the static LUT.
+    pub fn energy_bin_midpoint(&self, bin: usize) -> f64 {
+        (bin.min(self.energy_bins - 1) as f64 + 0.5) / self.energy_bins as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_bins() {
+        assert!(StateDiscretizer::new(0, 4, 4).is_err());
+        assert!(StateDiscretizer::new(8, 0, 4).is_err());
+        assert!(StateDiscretizer::new(8, 4, 0).is_err());
+        assert!(StateDiscretizer::new(8, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn state_indices_are_in_range_and_distinct() {
+        let d = StateDiscretizer::paper_default();
+        assert_eq!(d.exit_state_count(), 32);
+        assert_eq!(d.continue_state_count(), 32);
+        let s_low = d.exit_state(0.0, 0.0);
+        let s_high = d.exit_state(1.0, 1.0);
+        assert!(s_low < d.exit_state_count());
+        assert!(s_high < d.exit_state_count());
+        assert_ne!(s_low, s_high);
+        // Values outside [0, 1] are clamped.
+        assert_eq!(d.exit_state(2.0, -1.0), d.exit_state(1.0, 0.0));
+    }
+
+    #[test]
+    fn energy_dimension_orders_states() {
+        let d = StateDiscretizer::paper_default();
+        // Higher energy with equal efficiency gives a strictly larger index.
+        assert!(d.exit_state(0.9, 0.5) > d.exit_state(0.1, 0.5));
+        assert!(d.continue_state(0.9, 0.1) > d.continue_state(0.1, 0.1));
+    }
+
+    #[test]
+    fn bin_midpoints_are_centred() {
+        let d = StateDiscretizer::new(4, 2, 2).unwrap();
+        assert!((d.energy_bin_midpoint(0) - 0.125).abs() < 1e-12);
+        assert!((d.energy_bin_midpoint(3) - 0.875).abs() < 1e-12);
+        // Out-of-range bins are clamped to the last bin.
+        assert_eq!(d.energy_bin_midpoint(9), d.energy_bin_midpoint(3));
+        assert_eq!(d.energy_bins(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+use crate::StateDiscretizer;
+use ie_core::{ContinueContext, DeployedModel, EventContext, ExitChoice, ExitPolicy};
+
+/// The static lookup-table policy built during the compression phase:
+/// for every discretised energy level the LUT stores the deepest exit whose
+/// from-scratch energy cost fits that level. At runtime the table is only
+/// read, never updated — this is the baseline the Q-learning adaptation is
+/// compared against in Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticLutPolicy {
+    discretizer: StateDiscretizer,
+    /// Entry per energy bin: `Some(exit)` or `None` when even the cheapest
+    /// exit does not fit the bin's representative energy level.
+    table: Vec<Option<usize>>,
+    capacity_mj: f64,
+}
+
+impl StaticLutPolicy {
+    /// Builds the LUT for a deployed model and storage capacity.
+    pub fn build(model: &DeployedModel, capacity_mj: f64, discretizer: StateDiscretizer) -> Self {
+        let exit_energy = model.exit_energies_mj();
+        let table = (0..discretizer.energy_bins())
+            .map(|bin| {
+                let budget = discretizer.energy_bin_midpoint(bin) * capacity_mj;
+                exit_energy
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &cost)| cost <= budget)
+                    .map(|(i, _)| i)
+                    .next_back()
+            })
+            .collect();
+        StaticLutPolicy { discretizer, table, capacity_mj }
+    }
+
+    /// The lookup table (index = energy bin).
+    pub fn table(&self) -> &[Option<usize>] {
+        &self.table
+    }
+
+    /// The exit the LUT prescribes for a stored-energy fraction.
+    pub fn lookup(&self, energy_fraction: f64) -> Option<usize> {
+        let bin = ((energy_fraction.clamp(0.0, 1.0) * self.discretizer.energy_bins() as f64)
+            as usize)
+            .min(self.discretizer.energy_bins() - 1);
+        self.table[bin]
+    }
+}
+
+impl ExitPolicy for StaticLutPolicy {
+    fn choose_exit(&mut self, ctx: &EventContext) -> ExitChoice {
+        match self.lookup(ctx.energy_fraction()) {
+            // The LUT was built from bin mid-points; the actual stored energy
+            // may be slightly below the prescribed exit's cost, in which case
+            // the simulator would miss the event. Fall back to the deepest
+            // affordable exit at or below the prescription.
+            Some(exit) => {
+                let affordable = (0..=exit).rev().find(|&e| ctx.affordable(e));
+                match affordable {
+                    Some(e) => ExitChoice::Exit(e),
+                    None => ExitChoice::Skip,
+                }
+            }
+            None => {
+                if ctx.affordable(0) {
+                    ExitChoice::Exit(0)
+                } else {
+                    ExitChoice::Skip
+                }
+            }
+        }
+    }
+
+    fn choose_continue(&mut self, ctx: &ContinueContext) -> bool {
+        // Static rule: continue whenever the continuation is affordable.
+        ctx.affordable()
+    }
+
+    fn name(&self) -> &str {
+        "static-lut"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ie_core::ExperimentConfig;
+
+    fn model() -> (ExperimentConfig, DeployedModel) {
+        let config = ExperimentConfig::small_test();
+        let model = DeployedModel::uncompressed_reference(&config).unwrap();
+        (config, model)
+    }
+
+    #[test]
+    fn lut_is_monotone_in_energy() {
+        let (config, model) = model();
+        let lut = StaticLutPolicy::build(&model, config.storage_capacity_mj, StateDiscretizer::paper_default());
+        let entries = lut.table();
+        let mut last = -1isize;
+        for e in entries {
+            let v = e.map(|x| x as isize).unwrap_or(-1);
+            assert!(v >= last, "deeper exits require more energy: {entries:?}");
+            last = v;
+        }
+        // The fullest bin affords the deepest exit for this capacity.
+        assert_eq!(entries.last().copied().flatten(), Some(model.num_exits() - 1));
+    }
+
+    #[test]
+    fn lookup_matches_bins_and_policy_respects_affordability() {
+        let (config, model) = model();
+        let mut lut = StaticLutPolicy::build(
+            &model,
+            config.storage_capacity_mj,
+            StateDiscretizer::paper_default(),
+        );
+        let ctx = EventContext {
+            event_id: 0,
+            time_s: 0.0,
+            available_energy_mj: config.storage_capacity_mj,
+            capacity_mj: config.storage_capacity_mj,
+            charging_efficiency: 0.5,
+            exit_energy_mj: model.exit_energies_mj(),
+            exit_accuracy: model.exit_accuracies(),
+        };
+        assert_eq!(lut.choose_exit(&ctx), ExitChoice::Exit(model.num_exits() - 1));
+        let broke = EventContext { available_energy_mj: 0.0, ..ctx };
+        assert_eq!(lut.choose_exit(&broke), ExitChoice::Skip);
+        assert_eq!(lut.name(), "static-lut");
+    }
+
+    #[test]
+    fn continuation_follows_affordability() {
+        let (config, model) = model();
+        let mut lut = StaticLutPolicy::build(
+            &model,
+            config.storage_capacity_mj,
+            StateDiscretizer::paper_default(),
+        );
+        let cc = ContinueContext {
+            event_id: 0,
+            current_exit: 0,
+            next_exit: 1,
+            confidence: 0.1,
+            available_energy_mj: 3.0,
+            capacity_mj: 4.0,
+            incremental_energy_mj: 1.0,
+        };
+        assert!(lut.choose_continue(&cc));
+        let broke = ContinueContext { available_energy_mj: 0.5, ..cc };
+        assert!(!lut.choose_continue(&broke));
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the compression search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// Propagated core error (deployment / simulation).
+    Core(ie_core::CoreError),
+    /// Propagated compression error (policy validation / evaluation).
+    Compress(ie_compress::CompressError),
+    /// Propagated neural-network error (from the DDPG agents).
+    Nn(ie_nn::NnError),
+    /// The search was configured with no episodes or no candidates.
+    EmptySearch,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Core(e) => write!(f, "core error: {e}"),
+            SearchError::Compress(e) => write!(f, "compression error: {e}"),
+            SearchError::Nn(e) => write!(f, "network error: {e}"),
+            SearchError::EmptySearch => write!(f, "search was configured with zero candidates"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Core(e) => Some(e),
+            SearchError::Compress(e) => Some(e),
+            SearchError::Nn(e) => Some(e),
+            SearchError::EmptySearch => None,
+        }
+    }
+}
+
+impl From<ie_core::CoreError> for SearchError {
+    fn from(e: ie_core::CoreError) -> Self {
+        SearchError::Core(e)
+    }
+}
+
+impl From<ie_compress::CompressError> for SearchError {
+    fn from(e: ie_compress::CompressError) -> Self {
+        SearchError::Compress(e)
+    }
+}
+
+impl From<ie_nn::NnError> for SearchError {
+    fn from(e: ie_nn::NnError) -> Self {
+        SearchError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<SearchError> = vec![
+            ie_core::CoreError::InvalidConfig("x".into()).into(),
+            ie_compress::CompressError::InvalidBitwidth { bits: 0 }.into(),
+            ie_nn::NnError::InvalidSpec("y".into()).into(),
+            SearchError::EmptySearch,
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&errs[0]).is_some());
+    }
+}

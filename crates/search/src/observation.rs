@@ -1,0 +1,118 @@
+//! The shared layer-wise observation of Eq. (9).
+
+use ie_compress::CompressionPolicy;
+use ie_nn::spec::CompressibleLayer;
+
+/// Dimension of the observation vector both agents receive.
+pub const OBSERVATION_DIM: usize = 12;
+
+/// Builds the normalised observation `O_l` for layer `layer_index`:
+/// `(l, α_{l−1}, b^w_{l−1}, b^a_{l−1}, flop_reduced, flop_remain, s_reduced,
+/// s_remain, i_conv, c_in, c_out, s_weight)`, each scaled into `[0, 1]`.
+///
+/// `policy` holds the decisions already made for layers `0..layer_index`;
+/// later entries are ignored.
+///
+/// # Panics
+///
+/// Panics if `layer_index` is out of range for `layers`.
+pub fn observation_for_layer(
+    layers: &[CompressibleLayer],
+    policy: &CompressionPolicy,
+    layer_index: usize,
+) -> Vec<f32> {
+    assert!(layer_index < layers.len(), "layer index out of range");
+    let layer = &layers[layer_index];
+    let total_macs: f64 = layers.iter().map(|l| l.macs as f64).sum();
+    let total_params: f64 = layers.iter().map(|l| l.weight_params as f64).sum();
+    let max_channels =
+        layers.iter().map(|l| l.in_channels.max(l.out_channels)).max().unwrap_or(1) as f32;
+    let max_params = layers.iter().map(|l| l.weight_params).max().unwrap_or(1) as f64;
+
+    // Decisions already taken reduce FLOPs/size in the processed prefix.
+    let mut flop_reduced = 0.0f64;
+    let mut size_reduced = 0.0f64;
+    for (l, p) in layers[..layer_index].iter().zip(policy.layers()) {
+        let ratio = f64::from(p.preserve_ratio.clamp(0.0, 1.0));
+        flop_reduced += l.macs as f64 * (1.0 - ratio);
+        let kept_bits = f64::from(p.weight_bits.min(32)) / 32.0;
+        size_reduced += l.weight_params as f64 * (1.0 - ratio * kept_bits);
+    }
+    let flop_remaining: f64 = layers[layer_index..].iter().map(|l| l.macs as f64).sum();
+    let size_remaining: f64 = layers[layer_index..].iter().map(|l| l.weight_params as f64).sum();
+
+    let prev = layer_index
+        .checked_sub(1)
+        .and_then(|i| policy.layer(i).copied())
+        .unwrap_or_else(ie_compress::LayerPolicy::identity);
+
+    vec![
+        layer_index as f32 / layers.len() as f32,
+        prev.preserve_ratio,
+        f32::from(prev.weight_bits.min(32)) / 32.0,
+        f32::from(prev.activation_bits.min(32)) / 32.0,
+        (flop_reduced / total_macs.max(1.0)) as f32,
+        (flop_remaining / total_macs.max(1.0)) as f32,
+        (size_reduced / total_params.max(1.0)) as f32,
+        (size_remaining / total_params.max(1.0)) as f32,
+        if layer.is_conv { 1.0 } else { 0.0 },
+        layer.in_channels as f32 / max_channels,
+        layer.out_channels as f32 / max_channels,
+        (layer.weight_params as f64 / max_params) as f32,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ie_compress::{CompressionPolicy, LayerPolicy};
+    use ie_nn::spec::lenet_multi_exit;
+
+    #[test]
+    fn observation_has_the_documented_dimension_and_range() {
+        let layers = lenet_multi_exit().compressible_layers();
+        let policy = CompressionPolicy::full_precision(layers.len());
+        for i in 0..layers.len() {
+            let obs = observation_for_layer(&layers, &policy, i);
+            assert_eq!(obs.len(), OBSERVATION_DIM);
+            assert!(obs.iter().all(|v| (0.0..=1.0).contains(v)), "layer {i}: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn reductions_accumulate_as_layers_are_decided() {
+        let layers = lenet_multi_exit().compressible_layers();
+        let mut policy = CompressionPolicy::full_precision(layers.len());
+        // Decide the first three layers aggressively.
+        for i in 0..3 {
+            policy.layers_mut()[i] = LayerPolicy::new(0.25, 2, 2).unwrap();
+        }
+        let early = observation_for_layer(&layers, &policy, 1);
+        let later = observation_for_layer(&layers, &policy, 5);
+        assert!(later[4] > early[4], "flop_reduced grows with the prefix");
+        assert!(later[6] > early[6], "size_reduced grows with the prefix");
+        assert!(later[5] < early[5], "flop_remaining shrinks");
+    }
+
+    #[test]
+    fn conv_flag_and_previous_action_are_reported() {
+        let layers = lenet_multi_exit().compressible_layers();
+        let mut policy = CompressionPolicy::full_precision(layers.len());
+        policy.layers_mut()[0] = LayerPolicy::new(0.5, 4, 8).unwrap();
+        let obs1 = observation_for_layer(&layers, &policy, 1);
+        assert_eq!(obs1[8], 1.0, "ConvB1 is a conv layer");
+        assert!((obs1[1] - 0.5).abs() < 1e-6, "previous preserve ratio is visible");
+        assert!((obs1[2] - 4.0 / 32.0).abs() < 1e-6);
+        // FC-B1 is layer index 2 in canonical order.
+        let obs_fc = observation_for_layer(&layers, &policy, 2);
+        assert_eq!(obs_fc[8], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn out_of_range_layer_panics() {
+        let layers = lenet_multi_exit().compressible_layers();
+        let policy = CompressionPolicy::full_precision(layers.len());
+        let _ = observation_for_layer(&layers, &policy, 99);
+    }
+}

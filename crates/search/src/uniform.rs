@@ -1,0 +1,168 @@
+//! Uniform-compression and random-search baselines.
+
+use crate::env::{CompressionEnv, PolicyOutcome};
+use crate::{Result, SearchError};
+use ie_compress::{CompressionPolicy, LayerPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grid-searches a single `(preserve_ratio, bitwidth)` pair applied uniformly
+/// to every layer (the paper's "uniform compression" comparison point) and
+/// returns the feasible point with the highest exit-guided reward, or — when
+/// no uniform point satisfies both constraints — the one that comes closest to
+/// satisfying them.
+///
+/// `ratio_steps` controls the granularity of the preserve-ratio grid.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; returns [`SearchError::EmptySearch`] when
+/// `ratio_steps` is zero.
+pub fn best_uniform_policy(
+    env: &CompressionEnv,
+    ratio_steps: usize,
+) -> Result<(CompressionPolicy, PolicyOutcome)> {
+    if ratio_steps == 0 {
+        return Err(SearchError::EmptySearch);
+    }
+    let n = env.num_layers();
+    let mut best_feasible: Option<(CompressionPolicy, PolicyOutcome)> = None;
+    let mut best_any: Option<(CompressionPolicy, PolicyOutcome, u64)> = None;
+    for step in 1..=ratio_steps {
+        let ratio = 0.05_f32.max(step as f32 / ratio_steps as f32);
+        for bits in [1u8, 2, 4, 6, 8] {
+            let policy = CompressionPolicy::uniform(n, ratio, bits, bits)?;
+            let outcome = env.evaluate(&policy)?;
+            let violation = outcome
+                .profile
+                .total_flops
+                .saturating_sub(env.config().flops_target)
+                + outcome
+                    .profile
+                    .model_size_bytes
+                    .saturating_sub(env.config().size_target_bytes);
+            if outcome.feasible {
+                let better = best_feasible
+                    .as_ref()
+                    .map(|(_, b)| outcome.accuracy_reward > b.accuracy_reward)
+                    .unwrap_or(true);
+                if better {
+                    best_feasible = Some((policy.snapped(), outcome.clone()));
+                }
+            }
+            let closer =
+                best_any.as_ref().map(|(_, _, v)| violation < *v).unwrap_or(true);
+            if closer {
+                best_any = Some((policy.snapped(), outcome, violation));
+            }
+        }
+    }
+    match best_feasible {
+        Some(found) => Ok(found),
+        None => best_any.map(|(p, o, _)| (p, o)).ok_or(SearchError::EmptySearch),
+    }
+}
+
+/// Samples `candidates` random nonuniform policies and returns the best
+/// feasible one (by exit-guided reward), falling back to the best infeasible
+/// one if none is feasible. Used as the search-quality ablation baseline for
+/// the DDPG search.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; returns [`SearchError::EmptySearch`] when
+/// `candidates` is zero.
+pub fn random_search(
+    env: &CompressionEnv,
+    candidates: usize,
+    seed: u64,
+) -> Result<(CompressionPolicy, PolicyOutcome)> {
+    if candidates == 0 {
+        return Err(SearchError::EmptySearch);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = env.num_layers();
+    let mut best: Option<(CompressionPolicy, PolicyOutcome)> = None;
+    let mut best_infeasible: Option<(CompressionPolicy, PolicyOutcome)> = None;
+    for _ in 0..candidates {
+        let policy: CompressionPolicy = (0..n)
+            .map(|_| {
+                let ratio = rng.gen_range(0.05..=1.0f32);
+                let wbits = rng.gen_range(1..=8u8);
+                let abits = rng.gen_range(1..=8u8);
+                LayerPolicy::new(ratio, wbits, abits).expect("sampled values are in range")
+            })
+            .collect();
+        let outcome = env.evaluate(&policy)?;
+        if outcome.feasible {
+            let better = best
+                .as_ref()
+                .map(|(_, b)| outcome.accuracy_reward > b.accuracy_reward)
+                .unwrap_or(true);
+            if better {
+                best = Some((outcome.policy.clone(), outcome));
+            }
+        } else {
+            let better = best_infeasible
+                .as_ref()
+                .map(|(_, b)| outcome.accuracy_reward > b.accuracy_reward)
+                .unwrap_or(true);
+            if better {
+                best_infeasible = Some((outcome.policy.clone(), outcome));
+            }
+        }
+    }
+    best.or(best_infeasible).ok_or(SearchError::EmptySearch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::RewardMode;
+    use ie_core::ExperimentConfig;
+
+    fn env() -> CompressionEnv {
+        CompressionEnv::new(&ExperimentConfig::small_test(), RewardMode::ExitGuided).unwrap()
+    }
+
+    #[test]
+    fn uniform_search_returns_a_feasible_point() {
+        let env = env();
+        let (policy, outcome) = best_uniform_policy(&env, 6).unwrap();
+        assert_eq!(policy.len(), env.num_layers());
+        assert!(outcome.feasible, "a feasible uniform point must exist for the paper targets");
+        // Uniform means every layer has the same policy entry.
+        let first = policy.layers()[0];
+        assert!(policy.layers().iter().all(|l| *l == first));
+        assert!(best_uniform_policy(&env, 0).is_err());
+    }
+
+    #[test]
+    fn random_search_finds_a_candidate_and_is_deterministic() {
+        let env = env();
+        let (p1, o1) = random_search(&env, 12, 3).unwrap();
+        let (p2, _o2) = random_search(&env, 12, 3).unwrap();
+        assert_eq!(p1, p2, "same seed, same result");
+        assert_eq!(p1.len(), env.num_layers());
+        assert!(o1.accuracy_reward > 0.0);
+        assert!(random_search(&env, 0, 1).is_err());
+    }
+
+    #[test]
+    fn nonuniform_random_search_can_beat_the_best_uniform_point() {
+        // This is the motivation for nonuniform compression: with enough
+        // candidates, at least one nonuniform policy matches or exceeds the
+        // uniform optimum under the same constraints.
+        let env = env();
+        let (_, uniform) = best_uniform_policy(&env, 6).unwrap();
+        let (_, random) = random_search(&env, 40, 11).unwrap();
+        if random.feasible {
+            assert!(
+                random.accuracy_reward >= uniform.accuracy_reward - 0.05,
+                "random nonuniform ({}) should be competitive with uniform ({})",
+                random.accuracy_reward,
+                uniform.accuracy_reward
+            );
+        }
+    }
+}

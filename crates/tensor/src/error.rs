@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements implied
+    /// by the shape.
+    DataShapeMismatch {
+        /// Number of elements in the provided buffer.
+        data_len: usize,
+        /// Number of elements implied by the shape.
+        shape_len: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank the tensor actually has.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A reshape would change the total number of elements.
+    ReshapeSizeMismatch {
+        /// Element count of the source shape.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// The convolution geometry is invalid (e.g. kernel larger than padded input).
+    InvalidConvGeometry(String),
+    /// A tensor with zero elements was supplied where a non-empty one is required.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+                f,
+                "data length {data_len} does not match shape element count {shape_len}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulDimMismatch { left_cols, right_rows } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected tensor of rank {expected}, found rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::ReshapeSizeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+            }
+            TensorError::InvalidConvGeometry(msg) => {
+                write!(f, "invalid convolution geometry: {msg}")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            TensorError::DataShapeMismatch { data_len: 1, shape_len: 2 },
+            TensorError::ShapeMismatch { left: vec![1], right: vec![2] },
+            TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 4 },
+            TensorError::RankMismatch { expected: 4, actual: 2 },
+            TensorError::IndexOutOfBounds { index: 9, len: 3 },
+            TensorError::ReshapeSizeMismatch { from: 6, to: 8 },
+            TensorError::InvalidConvGeometry("kernel too large".to_string()),
+            TensorError::EmptyTensor,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

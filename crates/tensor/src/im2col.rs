@@ -1,0 +1,238 @@
+//! `im2col`/`col2im` lowering used by the convolution layers.
+//!
+//! A convolution over a `[C, H, W]` input with `[O, C, K, K]` filters is
+//! computed as a matrix product between the filter matrix `[O, C·K·K]` and
+//! the column matrix `[C·K·K, H_out·W_out]` produced by [`im2col`]. The
+//! backward pass uses [`col2im`] to scatter column gradients back into image
+//! layout.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: input size, kernel, stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height of the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width of the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Validates that the kernel fits in the padded input and the stride is
+    /// non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvGeometry`] describing the problem.
+    pub fn validate(&self) -> Result<()> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidConvGeometry("stride must be non-zero".into()));
+        }
+        if self.kernel == 0 {
+            return Err(TensorError::InvalidConvGeometry("kernel must be non-zero".into()));
+        }
+        if self.in_h + 2 * self.padding < self.kernel || self.in_w + 2 * self.padding < self.kernel
+        {
+            return Err(TensorError::InvalidConvGeometry(format!(
+                "kernel {} larger than padded input {}x{}",
+                self.kernel,
+                self.in_h + 2 * self.padding,
+                self.in_w + 2 * self.padding
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a `[C, H, W]` image into a `[C·K·K, out_h·out_w]` column matrix.
+///
+/// # Errors
+///
+/// Returns an error when the input tensor is not rank 3, its channel/height/
+/// width do not match `geom`, or the geometry itself is invalid.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    geom.validate()?;
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: input.shape().rank() });
+    }
+    let dims = input.dims();
+    if dims != [geom.in_channels, geom.in_h, geom.in_w] {
+        return Err(TensorError::ShapeMismatch {
+            left: dims.to_vec(),
+            right: vec![geom.in_channels, geom.in_h, geom.in_w],
+        });
+    }
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = out_h * out_w;
+    let rows = geom.in_channels * k * k;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    for c in 0..geom.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        let col = oy * out_w + ox;
+                        let value = if iy >= 0
+                            && iy < geom.in_h as isize
+                            && ix >= 0
+                            && ix < geom.in_w as isize
+                        {
+                            data[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + col] = value;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatters a `[C·K·K, out_h·out_w]` column-gradient matrix back into a
+/// `[C, H, W]` image-gradient tensor (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Returns an error when the column matrix shape does not match `geom` or the
+/// geometry is invalid.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    geom.validate()?;
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let expected = [geom.in_channels * k * k, out_h * out_w];
+    if cols.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: expected.to_vec(),
+        });
+    }
+    let mut image = Tensor::zeros(&[geom.in_channels, geom.in_h, geom.in_w]);
+    let src = cols.as_slice();
+    let ncols = out_h * out_w;
+    {
+        let dst = image.as_mut_slice();
+        for c in 0..geom.in_channels {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (c * k + ky) * k + kx;
+                    for oy in 0..out_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for ox in 0..out_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            let col = oy * out_w + ox;
+                            dst[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize] +=
+                                src[row * ncols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_3x3_stride1_nopad() -> Conv2dGeometry {
+        Conv2dGeometry { in_channels: 1, in_h: 4, in_w: 4, kernel: 3, stride: 1, padding: 0 }
+    }
+
+    #[test]
+    fn output_dims_follow_conv_arithmetic() {
+        let g = Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 1, padding: 2 };
+        assert_eq!(g.out_h(), 32);
+        assert_eq!(g.out_w(), 32);
+        let g2 = Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 2, padding: 0 };
+        assert_eq!(g2.out_h(), 14);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometry() {
+        let mut g = geom_3x3_stride1_nopad();
+        g.stride = 0;
+        assert!(g.validate().is_err());
+        let mut g = geom_3x3_stride1_nopad();
+        g.kernel = 9;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_produces_expected_columns() {
+        let g = geom_3x3_stride1_nopad();
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 4, 4]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // First column is the top-left 3x3 patch in row-major order.
+        let first_col: Vec<f32> = (0..9).map(|r| cols.get(&[r, 0]).unwrap()).collect();
+        assert_eq!(first_col, vec![0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 9.0, 10.0]);
+        // Last column is the bottom-right patch.
+        let last_col: Vec<f32> = (0..9).map(|r| cols.get(&[r, 3]).unwrap()).collect();
+        assert_eq!(last_col, vec![5.0, 6.0, 7.0, 9.0, 10.0, 11.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_border() {
+        let g = Conv2dGeometry { in_channels: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, padding: 1 };
+        let input = Tensor::ones(&[1, 2, 2]);
+        let cols = im2col(&input, &g).unwrap();
+        // Top-left output position: only the bottom-right 2x2 of the kernel
+        // overlaps real pixels, so exactly 4 ones.
+        let first_col_sum: f32 = (0..9).map(|r| cols.get(&[r, 0]).unwrap()).sum();
+        assert_eq!(first_col_sum, 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_counting() {
+        // col2im(im2col(ones)) counts how many patches cover each pixel.
+        let g = geom_3x3_stride1_nopad();
+        let input = Tensor::ones(&[1, 4, 4]);
+        let cols = im2col(&input, &g).unwrap();
+        let back = col2im(&cols, &g).unwrap();
+        // Centre pixels are covered by all 4 patches, corners by exactly 1.
+        assert_eq!(back.get(&[0, 0, 0]), Some(1.0));
+        assert_eq!(back.get(&[0, 1, 1]), Some(4.0));
+        assert_eq!(back.get(&[0, 3, 3]), Some(1.0));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let g = geom_3x3_stride1_nopad();
+        let wrong = Tensor::zeros(&[1, 5, 5]);
+        assert!(im2col(&wrong, &g).is_err());
+        let wrong_cols = Tensor::zeros(&[9, 5]);
+        assert!(col2im(&wrong_cols, &g).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! `ie-tensor` — dense `f32` tensor substrate used by the neural-network,
+//! compression and reinforcement-learning crates of the intermittent
+//! multi-exit inference reproduction.
+//!
+//! The crate intentionally stays small: row-major dense tensors with up to
+//! four dimensions (`[N, C, H, W]` for activations, `[O, I, Kh, Kw]` for
+//! convolution filters), the handful of element-wise and linear-algebra
+//! operations a LeNet-class network needs, and the `im2col` lowering used by
+//! the convolution layers.
+//!
+//! # Example
+//!
+//! ```
+//! use ie_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok::<(), ie_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod im2col;
+mod linalg;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,147 @@
+//! Matrix multiplication and vector products.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when either operand is not a
+    /// matrix and [`TensorError::MatmulDimMismatch`] when the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        if other.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: other.shape().rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `self` must be `[m, k]`, `vec` must have `k`
+    /// elements; the result has `m` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`] on incompatible shapes.
+    pub fn matvec(&self, vec: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if vec.len() != k {
+            return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: vec.len() });
+        }
+        let a = self.as_slice();
+        let x = vec.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Dot product of two equally sized tensors (flattened).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the element counts differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| a * b).sum())
+    }
+
+    /// Outer product of two vectors: result is `[self.len(), other.len()]`.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        let m = self.len();
+        let n = other.len();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a = self.as_slice()[i];
+            for j in 0..n {
+                out[i * n + j] = a * other.as_slice()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("outer product shape is consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[2, 2]).unwrap();
+        let c = a.matmul(&Tensor::eye(2)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap();
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        let o = a.outer(&b);
+        assert_eq!(o.dims(), &[2, 2]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.dot(&c).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Element-wise arithmetic between tensors and scalars.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    fn check_same_shape(&self, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        Ok(self.zip_with(other, |a, b| a + b))
+    }
+
+    /// Element-wise difference of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        Ok(self.zip_with(other, |a, b| a - b))
+    }
+
+    /// Element-wise (Hadamard) product of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        Ok(self.zip_with(other, |a, b| a * b))
+    }
+
+    /// Adds `other * scale` to `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, scale: f32) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Adds a scalar to every element, returning a new tensor.
+    pub fn add_scalar(&self, value: f32) -> Tensor {
+        self.map(|x| x + value)
+    }
+
+    /// Applies the rectified linear unit (`max(0, x)`).
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Applies the hyperbolic tangent element-wise.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Applies the logistic sigmoid element-wise.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that shapes match; public callers go through the checked
+    /// arithmetic methods above.
+    pub(crate) fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
+        debug_assert_eq!(self.shape(), other.shape());
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims()).expect("zip_with preserves shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_elementwise() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = t(&[1.0, 2.0]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        let g = t(&[2.0, -4.0]);
+        a.add_scaled_inplace(&g, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn activations_behave() {
+        let x = t(&[-1.0, 0.0, 2.0]);
+        assert_eq!(x.relu().as_slice(), &[0.0, 0.0, 2.0]);
+        let s = x.sigmoid();
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(s.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        let c = x.clamp(-0.5, 1.0);
+        assert_eq!(c.as_slice(), &[-0.5, 0.0, 1.0]);
+        let th = x.tanh();
+        assert!(th.as_slice()[2] > 0.9 && th.as_slice()[2] < 1.0);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let x = t(&[1.0, 2.0]);
+        assert_eq!(x.scale(3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!(x.add_scalar(-1.0).as_slice(), &[0.0, 1.0]);
+    }
+}

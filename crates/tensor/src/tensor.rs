@@ -1,0 +1,366 @@
+use crate::{Result, Shape, TensorError};
+use rand::Rng;
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// This is the single numeric container shared by the neural-network,
+/// compression and reinforcement-learning crates. It deliberately supports
+/// only what a LeNet-class workload needs: contiguous storage, reshaping,
+/// element-wise arithmetic, reductions and matrix multiplication.
+///
+/// # Example
+///
+/// ```
+/// use ie_tensor::Tensor;
+///
+/// let x = Tensor::zeros(&[2, 3]);
+/// assert_eq!(x.len(), 6);
+/// assert_eq!(x.shape().dims(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataShapeMismatch`] when `data.len()` differs
+    /// from the element count implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::DataShapeMismatch {
+                data_len: data.len(),
+                shape_len: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![1.0; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor with entries drawn uniformly from `[-limit, limit]`.
+    ///
+    /// This is the initialiser used for network weights (a scaled uniform /
+    /// "Xavier-like" scheme where the caller computes `limit` from fan-in).
+    pub fn uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], limit: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with entries drawn from a normal distribution with
+    /// the given mean and standard deviation (Box–Muller transform).
+    pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes of the tensor.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads a single element by multi-dimensional index.
+    ///
+    /// Returns `None` when the index rank or coordinates are invalid.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|o| self.data[o])
+    }
+
+    /// Writes a single element by multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds { index: 0, len: self.data.len() }),
+        }
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeSizeMismatch`] when the element counts
+    /// differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let new_shape = Shape::new(dims);
+        if new_shape.len() != self.len() {
+            return Err(TensorError::ReshapeSizeMismatch { from: self.len(), to: new_shape.len() });
+        }
+        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the tensor is not a matrix.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+            .ok_or(TensorError::EmptyTensor)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.min(x))))
+            .ok_or(TensorError::EmptyTensor)
+    }
+
+    /// Index of the maximum element (first one on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::EmptyTensor);
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} {:?}", self.shape, &self.data[..self.data.len().min(8)])?;
+        if self.data.len() > 8 {
+            write!(f, " …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.get(&[0, 0]), Some(1.0));
+        assert_eq!(i.get(&[0, 1]), Some(0.0));
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[0, 1]), Some(4.0));
+        assert_eq!(tt.get(&[2, 0]), Some(3.0));
+    }
+
+    #[test]
+    fn reductions_behave() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0, 2.5, 0.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 5.5);
+        assert!((t.mean() - 1.375).abs() < 1e-6);
+        assert_eq!(t.max().unwrap(), 4.0);
+        assert_eq!(t.min().unwrap(), -1.0);
+        assert_eq!(t.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_reductions_error() {
+        let t = Tensor::zeros(&[0]);
+        assert!(t.max().is_err());
+        assert!(t.min().is_err());
+        assert!(t.argmax().is_err());
+    }
+
+    #[test]
+    fn randn_has_roughly_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&mut rng, &[10_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::uniform(&mut rng, &[1000], 0.5);
+        assert!(t.as_slice().iter().all(|x| x.abs() <= 0.5));
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let m = t.map(|x| x * x);
+        assert_eq!(m.as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 0]), Some(9.0));
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+}

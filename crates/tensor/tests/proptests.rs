@@ -1,0 +1,94 @@
+//! Property-based tests of the tensor substrate.
+
+use ie_tensor::{im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).expect("length matches shape"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matrix multiplication with the identity is a no-op (up to float exactness,
+    /// which holds because identity rows have a single 1).
+    #[test]
+    fn matmul_identity_is_neutral(m in arb_matrix(6)) {
+        let n = m.dims()[1];
+        let result = m.matmul(&Tensor::eye(n)).expect("shapes are compatible");
+        prop_assert_eq!(result, m);
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ for arbitrary compatible matrices.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(5), b in arb_matrix(5)) {
+        // Make the shapes compatible by construction: b reshaped to [a_cols, x].
+        let k = a.dims()[1];
+        let total = b.len();
+        let cols = (total / k).max(1);
+        let b = Tensor::from_vec(
+            b.as_slice().iter().copied().chain(std::iter::repeat(0.0)).take(k * cols).collect(),
+            &[k, cols],
+        ).expect("constructed shape is consistent");
+        let left = a.matmul(&b).expect("compatible").transpose().expect("rank 2");
+        let right = b.transpose().expect("rank 2").matmul(&a.transpose().expect("rank 2")).expect("compatible");
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    /// Element-wise addition commutes and subtraction is its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(a in arb_matrix(6)) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).expect("same shape");
+        let ba = b.add(&a).expect("same shape");
+        prop_assert_eq!(ab.clone(), ba);
+        let back = ab.sub(&b).expect("same shape");
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Reshape preserves the sum and the element count.
+    #[test]
+    fn reshape_preserves_contents(a in arb_matrix(6)) {
+        let flat = a.reshape(&[a.len()]).expect("same element count");
+        prop_assert_eq!(flat.len(), a.len());
+        prop_assert!((flat.sum() - a.sum()).abs() < 1e-4);
+    }
+
+    /// ReLU output is non-negative and never exceeds the input.
+    #[test]
+    fn relu_bounds(a in arb_matrix(6)) {
+        let r = a.relu();
+        for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!(*x >= 0.0);
+            prop_assert!(*x >= *y || *x == 0.0);
+        }
+    }
+
+    /// im2col of a constant image yields columns whose sums never exceed the
+    /// kernel area times the constant (padding only removes mass).
+    #[test]
+    fn im2col_column_mass_is_bounded(c in 1usize..3, hw in 3usize..7, k in 1usize..4, pad in 0usize..2) {
+        prop_assume!(hw + 2 * pad >= k);
+        // With padding >= kernel a window can lie entirely in the zero padding,
+        // so the "every patch overlaps a pixel" part only holds for pad < k.
+        prop_assume!(pad < k);
+        let geom = Conv2dGeometry { in_channels: c, in_h: hw, in_w: hw, kernel: k, stride: 1, padding: pad };
+        let image = Tensor::full(&[c, hw, hw], 1.0);
+        let cols = im2col(&image, &geom).expect("valid geometry");
+        let rows = cols.dims()[0];
+        let ncols = cols.dims()[1];
+        prop_assert_eq!(rows, c * k * k);
+        for col in 0..ncols {
+            let sum: f32 = (0..rows).map(|r| cols.get(&[r, col]).expect("in range")).sum();
+            prop_assert!(sum <= (c * k * k) as f32 + 1e-5);
+            prop_assert!(sum >= 1.0 - 1e-5, "every patch overlaps at least one pixel");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: compress the paper's multi-exit backbone, deploy it onto the
+//! MCU model and simulate one day of event-triggered intermittent inference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use intermittent_multiexit::baselines::{BaselineNetwork, BaselineRunner};
+use intermittent_multiexit::core::policies::GreedyAffordablePolicy;
+use intermittent_multiexit::core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
+use intermittent_multiexit::runtime::{AdaptationConfig, RuntimeAdaptation};
+use intermittent_multiexit::search::{CompressionEnv, DdpgCompressionSearch, RewardMode, SearchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The environment of Section V-A: 500 events over a day-long solar
+    //    trace, an MSP432-class MCU and the 1.15 M-FLOP / 16 KB targets.
+    let config = ExperimentConfig::paper_default();
+    println!(
+        "backbone: {} exits, {:.0} KB at fp32 (MCU offers {} KB)",
+        config.architecture.num_exits(),
+        config.architecture.model_size_bytes(32) as f64 / 1024.0,
+        config.device.weight_storage_bytes() / 1024
+    );
+
+    // 2. Phase 1 — power-trace-aware, exit-guided nonuniform compression.
+    let env = CompressionEnv::new(&config, RewardMode::ExitGuided)?;
+    let search = DdpgCompressionSearch::new(SearchConfig {
+        episodes: 40,
+        warmup_episodes: 10,
+        ..SearchConfig::default()
+    });
+    let result = search.run(&env)?;
+    let outcome = &result.best_outcome;
+    println!(
+        "\nsearch: best policy feasible={} | {:.3} M network FLOPs | {:.1} KB | exit accuracies {:?}",
+        outcome.feasible,
+        outcome.profile.total_flops as f64 / 1e6,
+        outcome.profile.model_size_bytes as f64 / 1024.0,
+        outcome
+            .profile
+            .exit_accuracy
+            .iter()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Deploy and run with the simple greedy exit selection.
+    let deployed = DeployedModel::new(outcome.profile.clone(), config.cost_model());
+    let greedy_report =
+        EventLoopSimulator::new(&config).run(&deployed, &mut GreedyAffordablePolicy::new())?;
+    println!(
+        "\ngreedy runtime: IEpmJ {:.3}, accuracy over all events {:.1}%, {} of {} events processed",
+        greedy_report.ie_pmj(),
+        greedy_report.accuracy_all_events() * 100.0,
+        greedy_report.processed_events,
+        greedy_report.total_events
+    );
+
+    // 4. Phase 2 — runtime Q-learning exit selection with incremental inference.
+    let adaptation = RuntimeAdaptation::new(AdaptationConfig { episodes: 8, ..Default::default() })
+        .run(&config, &deployed)?;
+    println!(
+        "q-learning runtime: IEpmJ {:.3}, accuracy over all events {:.1}% (static LUT {:.1}%)",
+        adaptation.final_report.ie_pmj(),
+        adaptation.final_report.accuracy_all_events() * 100.0,
+        adaptation.static_accuracy * 100.0
+    );
+
+    // 5. Compare against the SONIC-style single-exit baseline.
+    let sonic = BaselineRunner::new(&config).run(&BaselineNetwork::sonic_net())?;
+    println!(
+        "\nSonicNet baseline: IEpmJ {:.3}, mean per-event latency {:.1} s (ours {:.1} s)",
+        sonic.ie_pmj(),
+        sonic.mean_latency_s(),
+        adaptation.final_report.mean_latency_s()
+    );
+    Ok(())
+}

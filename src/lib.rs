@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the whole intermittent multi-exit inference workspace.
+//!
+//! See the README and `DESIGN.md` for the architecture overview. The typical entry
+//! points are [`ie_core::ExperimentConfig`] and [`ie_core::DeployedModel`] for the
+//! end-to-end flow and the sub-crates for individual subsystems.
+
+pub use ie_baselines as baselines;
+pub use ie_compress as compress;
+pub use ie_core as core;
+pub use ie_energy as energy;
+pub use ie_mcu as mcu;
+pub use ie_nn as nn;
+pub use ie_rl as rl;
+pub use ie_runtime as runtime;
+pub use ie_search as search;
+pub use ie_tensor as tensor;

@@ -1,0 +1,98 @@
+//! Cross-crate property-based tests (proptest) on the system's invariants:
+//! any valid compression policy yields a consistent cost/accuracy profile, the
+//! energy accounting never goes negative, and the event simulator conserves
+//! event counts for arbitrary policies and environments.
+
+use intermittent_multiexit::compress::{
+    CalibratedAccuracyModel, CompressionPolicy, LayerPolicy, PolicyEvaluator,
+};
+use intermittent_multiexit::core::policies::{FixedExitPolicy, ReserveMarginPolicy};
+use intermittent_multiexit::core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
+use intermittent_multiexit::energy::{EnergyStorage, EventDistribution};
+use intermittent_multiexit::nn::spec::lenet_multi_exit;
+use proptest::prelude::*;
+
+fn arb_layer_policy() -> impl Strategy<Value = LayerPolicy> {
+    (1u32..=20, 1u8..=8, 1u8..=8).prop_map(|(ratio_steps, wbits, abits)| {
+        LayerPolicy::new(ratio_steps as f32 * 0.05, wbits, abits).expect("grid values are valid")
+    })
+}
+
+fn arb_policy(layers: usize) -> impl Strategy<Value = CompressionPolicy> {
+    proptest::collection::vec(arb_layer_policy(), layers).prop_map(CompressionPolicy::from_layers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any policy on the paper backbone produces monotone exit FLOPs, bounded
+    /// accuracies and a size no larger than the fp32 size.
+    #[test]
+    fn any_policy_yields_a_consistent_profile(policy in arb_policy(lenet_multi_exit().compressible_layers().len())) {
+        let arch = lenet_multi_exit();
+        let evaluator = PolicyEvaluator::new(&arch, CalibratedAccuracyModel::for_paper_backbone());
+        let profile = evaluator.evaluate(&policy).expect("every grid policy evaluates");
+        prop_assert_eq!(profile.exit_flops.len(), 3);
+        // Note: per-exit FLOPs need not be monotone across exits for arbitrary
+        // nonuniform policies (a heavily pruned deep trunk can undercut an
+        // unpruned early branch), so only the per-exit upper bounds are checked.
+        prop_assert!(profile.model_size_bytes <= arch.model_size_bytes(32));
+        for (i, acc) in profile.exit_accuracy.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(acc), "exit {} accuracy {}", i, acc);
+        }
+        for exit in 0..3 {
+            prop_assert!(profile.exit_flops[exit] <= arch.exit_flops()[exit]);
+        }
+        // Incremental continuation never costs more than starting over.
+        if let Some(inc) = profile.incremental_flops(0, 2) {
+            prop_assert!(inc <= profile.exit_flops[2]);
+        }
+    }
+
+    /// Energy storage never goes negative or above capacity, whatever the
+    /// harvest/consume interleaving.
+    #[test]
+    fn storage_stays_within_bounds(ops in proptest::collection::vec((0.0f64..3.0, 0.0f64..2.0), 1..200),
+                                    capacity in 1.0f64..50.0,
+                                    efficiency in 0.1f64..1.0) {
+        let mut storage = EnergyStorage::new(capacity, efficiency);
+        for (harvest, consume) in ops {
+            storage.harvest(harvest);
+            if storage.can_supply(consume) {
+                storage.consume(consume).expect("checked supply");
+            }
+            prop_assert!(storage.level_mj() >= 0.0);
+            prop_assert!(storage.level_mj() <= capacity + 1e-9);
+        }
+        prop_assert!(storage.conservation_error_mj() < 1e-6);
+    }
+
+    /// The event-loop simulator accounts for every event under arbitrary
+    /// policies, event counts and capacitor sizes.
+    #[test]
+    fn simulator_conserves_events(num_events in 10usize..120,
+                                  capacity in 2.0f64..40.0,
+                                  reserve in 0.0f64..0.8,
+                                  fixed_exit in 0usize..3,
+                                  poisson in proptest::bool::ANY) {
+        let config = ExperimentConfig {
+            num_events,
+            storage_capacity_mj: capacity,
+            event_distribution: if poisson { EventDistribution::Poisson } else { EventDistribution::Uniform },
+            ..ExperimentConfig::paper_default()
+        };
+        let model = DeployedModel::uncompressed_reference(&config).expect("builds");
+        let simulator = EventLoopSimulator::new(&config);
+        for report in [
+            simulator.run(&model, &mut ReserveMarginPolicy::new(reserve)).expect("runs"),
+            simulator.run(&model, &mut FixedExitPolicy::new(fixed_exit)).expect("runs"),
+        ] {
+            prop_assert_eq!(report.total_events, num_events);
+            prop_assert_eq!(report.processed_events + report.missed_events, num_events);
+            prop_assert_eq!(report.exit_counts.iter().sum::<usize>(), report.processed_events);
+            prop_assert!(report.correct_events <= report.processed_events);
+            prop_assert!(report.total_consumed_mj >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&report.accuracy_all_events()));
+        }
+    }
+}
