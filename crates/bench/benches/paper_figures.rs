@@ -57,8 +57,7 @@ fn bench_fig5_ieepmj(c: &mut Criterion) {
     });
     c.bench_function("fig5_sonicnet_baseline", |b| {
         b.iter(|| {
-            let report =
-                BaselineRunner::new(&config).run(&BaselineNetwork::sonic_net()).unwrap();
+            let report = BaselineRunner::new(&config).run(&BaselineNetwork::sonic_net()).unwrap();
             black_box(report.ie_pmj())
         })
     });

@@ -44,9 +44,7 @@ fn bench_qlearning_decision(c: &mut Criterion) {
         exit_accuracy: model.exit_accuracies(),
     };
     // This is the per-event overhead the paper argues is negligible on the MCU.
-    c.bench_function("qlearning_exit_decision", |b| {
-        b.iter(|| black_box(policy.choose_exit(&ctx)))
-    });
+    c.bench_function("qlearning_exit_decision", |b| b.iter(|| black_box(policy.choose_exit(&ctx))));
 }
 
 fn bench_energy_substrate(c: &mut Criterion) {

@@ -24,7 +24,10 @@ const ADAPTATION_EPISODES: usize = 16;
 
 fn print_fig1b(study: &CompressionStudy) {
     println!("\n## Fig. 1(b) — per-exit accuracy: full precision vs uniform vs nonuniform\n");
-    println!("{}", header(&["exit", "full precision", "uniform", "nonuniform", "paper (full/uni/non)"]));
+    println!(
+        "{}",
+        header(&["exit", "full precision", "uniform", "nonuniform", "paper (full/uni/non)"])
+    );
     for exit in 0..3 {
         println!(
             "{}",
@@ -44,12 +47,18 @@ fn print_fig1b(study: &CompressionStudy) {
     }
     println!(
         "\nnonuniform policy source: {}",
-        if study.nonuniform_from_search { "DDPG search" } else { "reference policy (search fallback)" }
+        if study.nonuniform_from_search {
+            "DDPG search"
+        } else {
+            "reference policy (search fallback)"
+        }
     );
 }
 
 fn print_fig4(study: &CompressionStudy, config: &ExperimentConfig) {
-    println!("\n## Fig. 4 — layer-wise preserve ratio and quantization bits of the nonuniform policy\n");
+    println!(
+        "\n## Fig. 4 — layer-wise preserve ratio and quantization bits of the nonuniform policy\n"
+    );
     println!(
         "constraints: {} network FLOPs, {} KB weights; achieved: {} FLOPs, {:.1} KB\n",
         mflops(config.flops_target as f64),
@@ -120,7 +129,10 @@ fn print_table_accuracy(comparison: &SystemComparison) {
 
 fn print_fig6(study: &CompressionStudy, comparison: &SystemComparison) {
     println!("\n## Fig. 6 — FLOPs before and after compression\n");
-    println!("{}", header(&["exit / system", "FLOPs before", "FLOPs after", "ratio", "paper ratio"]));
+    println!(
+        "{}",
+        header(&["exit / system", "FLOPs before", "FLOPs after", "ratio", "paper ratio"])
+    );
     for exit in 0..3 {
         let before = study.full_precision.profile.exit_flops[exit] as f64;
         let after = study.nonuniform.1.profile.exit_flops[exit] as f64;
@@ -156,7 +168,13 @@ fn print_table_latency(comparison: &SystemComparison) {
     println!("\n## Section V-D — per-event latency (1 s time units)\n");
     println!(
         "{}",
-        header(&["system", "mean latency (s)", "paper (s)", "improvement of ours", "paper improvement"])
+        header(&[
+            "system",
+            "mean latency (s)",
+            "paper (s)",
+            "improvement of ours",
+            "paper improvement"
+        ])
     );
     let ours = comparison.systems[0].report.mean_latency_s();
     let paper_improvements = ["-", "7.8x", "10.2x", "3.15x"];
@@ -180,10 +198,7 @@ fn print_fig7(comparison: &SystemComparison) {
     println!("\n## Fig. 7(a) — runtime learning curve (average accuracy of all events)\n");
     println!("{}", header(&["episode", "Q-learning", "static LUT"]));
     for (i, acc) in adaptation.learning_curve.iter().enumerate() {
-        println!(
-            "{}",
-            row(&[(i + 1).to_string(), pct(*acc), pct(adaptation.static_accuracy)])
-        );
+        println!("{}", row(&[(i + 1).to_string(), pct(*acc), pct(adaptation.static_accuracy)]));
     }
     println!(
         "\nimprovement over static LUT: {} (paper: {})",
@@ -194,7 +209,14 @@ fn print_fig7(comparison: &SystemComparison) {
     println!("\n## Fig. 7(b) — processed events per exit\n");
     println!(
         "{}",
-        header(&["exit", "Q-learning (count)", "Q-learning (%)", "static LUT (count)", "static LUT (%)", "paper (Q / LUT)"])
+        header(&[
+            "exit",
+            "Q-learning (count)",
+            "Q-learning (%)",
+            "static LUT (count)",
+            "static LUT (%)",
+            "paper (Q / LUT)"
+        ])
     );
     let q = &adaptation.final_report;
     let s = &adaptation.static_report;
@@ -269,13 +291,18 @@ fn main() -> BenchResult<()> {
 
     let needs_compression = matches!(
         which.as_str(),
-        "all" | "fig1b" | "fig4" | "fig5" | "fig6" | "fig7a" | "fig7b" | "table_accuracy" | "table_latency"
+        "all"
+            | "fig1b"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7a"
+            | "fig7b"
+            | "table_accuracy"
+            | "table_latency"
     );
-    let study = if needs_compression {
-        Some(compression_study(&config, SEARCH_EPISODES)?)
-    } else {
-        None
-    };
+    let study =
+        if needs_compression { Some(compression_study(&config, SEARCH_EPISODES)?) } else { None };
     let needs_comparison = matches!(
         which.as_str(),
         "all" | "fig5" | "fig6" | "fig7a" | "fig7b" | "table_accuracy" | "table_latency"
@@ -289,7 +316,10 @@ fn main() -> BenchResult<()> {
         "fig1b" => print_fig1b(study.as_ref().expect("study computed")),
         "fig4" => print_fig4(study.as_ref().expect("study computed"), &config),
         "fig5" => print_fig5(comparison.as_ref().expect("comparison computed")),
-        "fig6" => print_fig6(study.as_ref().expect("study computed"), comparison.as_ref().expect("comparison computed")),
+        "fig6" => print_fig6(
+            study.as_ref().expect("study computed"),
+            comparison.as_ref().expect("comparison computed"),
+        ),
         "fig7a" | "fig7b" => print_fig7(comparison.as_ref().expect("comparison computed")),
         "table_accuracy" => print_table_accuracy(comparison.as_ref().expect("comparison computed")),
         "table_latency" => print_table_latency(comparison.as_ref().expect("comparison computed")),

@@ -171,7 +171,10 @@ pub struct AblationResults {
 /// # Errors
 ///
 /// Propagates environment and simulation errors.
-pub fn ablations(config: &ExperimentConfig, search_episodes: usize) -> BenchResult<AblationResults> {
+pub fn ablations(
+    config: &ExperimentConfig,
+    search_episodes: usize,
+) -> BenchResult<AblationResults> {
     // Reward-mode ablation: search under both rewards, evaluate both winners
     // under the *exit-guided* (deployment-relevant) criterion.
     let guided_env = CompressionEnv::new(config, RewardMode::ExitGuided)?;
@@ -233,7 +236,11 @@ mod tests {
         let c = ExperimentConfig::paper_default();
         let env = CompressionEnv::new(&c, RewardMode::ExitGuided).unwrap();
         let outcome = env.evaluate(&reference_nonuniform_policy(env.layers())).unwrap();
-        assert!(outcome.feasible, "size {} flops {}", outcome.profile.model_size_bytes, outcome.profile.total_flops);
+        assert!(
+            outcome.feasible,
+            "size {} flops {}",
+            outcome.profile.model_size_bytes, outcome.profile.total_flops
+        );
         // Nonuniform compression keeps every exit's accuracy above the uniform point.
         let (_, uniform) = best_uniform_policy(&env, 6).unwrap();
         for (n, u) in outcome.profile.exit_accuracy.iter().zip(&uniform.profile.exit_accuracy) {

@@ -41,9 +41,9 @@ mod tests {
     #[test]
     fn reference_tables_are_internally_consistent() {
         // IEpmJ ordering of Fig. 5.
-        assert!(PAPER_IEPMJ[0] > PAPER_IEPMJ[3]);
-        assert!(PAPER_IEPMJ[3] > PAPER_IEPMJ[1]);
-        assert!(PAPER_IEPMJ[1] > PAPER_IEPMJ[2]);
+        const { assert!(PAPER_IEPMJ[0] > PAPER_IEPMJ[3]) };
+        const { assert!(PAPER_IEPMJ[3] > PAPER_IEPMJ[1]) };
+        const { assert!(PAPER_IEPMJ[1] > PAPER_IEPMJ[2]) };
         // Nonuniform beats uniform at every exit.
         for i in 0..3 {
             assert!(PAPER_NONUNIFORM_ACC[i] > PAPER_UNIFORM_ACC[i]);

@@ -129,7 +129,8 @@ impl CalibratedAccuracyModel {
         // more events — a behaviour real CIFAR-10 networks do not survive.
         let prune = prune_w * removed.powi(2) + collapse_w * removed.powi(12);
         let quant = quant_w
-            * (Self::quant_damage(policy.weight_bits) + 0.5 * Self::quant_damage(policy.activation_bits));
+            * (Self::quant_damage(policy.weight_bits)
+                + 0.5 * Self::quant_damage(policy.activation_bits));
         prune + quant
     }
 }
@@ -147,11 +148,8 @@ impl ExitAccuracyEstimator for CalibratedAccuracyModel {
         policy.check_length(layers.len())?;
         let mut out = Vec::with_capacity(self.num_exits());
         for exit in 0..self.num_exits() {
-            let members: Vec<(&CompressibleLayer, &crate::LayerPolicy)> = layers
-                .iter()
-                .zip(policy.layers())
-                .filter(|(l, _)| l.used_by_exit(exit))
-                .collect();
+            let members: Vec<(&CompressibleLayer, &crate::LayerPolicy)> =
+                layers.iter().zip(policy.layers()).filter(|(l, _)| l.used_by_exit(exit)).collect();
             let total_macs: f64 = members.iter().map(|(l, _)| l.macs as f64).sum();
             let damage: f64 = if total_macs > 0.0 {
                 members
@@ -221,9 +219,7 @@ mod tests {
     fn full_precision_hits_the_paper_ceilings() {
         let model = CalibratedAccuracyModel::for_paper_backbone();
         let ls = layers();
-        let acc = model
-            .exit_accuracy(&ls, &CompressionPolicy::full_precision(ls.len()))
-            .unwrap();
+        let acc = model.exit_accuracy(&ls, &CompressionPolicy::full_precision(ls.len())).unwrap();
         assert!((acc[0] - 0.649).abs() < 1e-9);
         assert!((acc[1] - 0.720).abs() < 1e-9);
         assert!((acc[2] - 0.730).abs() < 1e-9);
@@ -335,9 +331,8 @@ mod tests {
 
         let estimator = EmpiricalAccuracyEstimator::new(net, data.test().to_vec());
         let ls = arch.compressible_layers();
-        let full = estimator
-            .exit_accuracy(&ls, &CompressionPolicy::full_precision(ls.len()))
-            .unwrap();
+        let full =
+            estimator.exit_accuracy(&ls, &CompressionPolicy::full_precision(ls.len())).unwrap();
         let crushed = estimator
             .exit_accuracy(&ls, &CompressionPolicy::uniform(ls.len(), 0.05, 1, 1).unwrap())
             .unwrap();

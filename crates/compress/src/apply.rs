@@ -119,7 +119,10 @@ mod tests {
             })
             .collect();
         let zeroed = per_channel.iter().filter(|&&s| s == 0.0).count();
-        assert!(zeroed >= dims[1] / 2 - 1, "expected roughly half the channels zeroed, got {zeroed}");
+        assert!(
+            zeroed >= dims[1] / 2 - 1,
+            "expected roughly half the channels zeroed, got {zeroed}"
+        );
     }
 
     #[test]

@@ -121,7 +121,13 @@ impl PolicyEvaluator {
             }
         }
         let exit_accuracy = self.estimator.exit_accuracy(&self.layers, policy)?;
-        Ok(CompressedProfile { exit_flops, branch_flops, exit_accuracy, total_flops, model_size_bytes })
+        Ok(CompressedProfile {
+            exit_flops,
+            branch_flops,
+            exit_accuracy,
+            total_flops,
+            model_size_bytes,
+        })
     }
 }
 
@@ -139,17 +145,13 @@ mod tests {
     fn identity_policy_reproduces_uncompressed_costs() {
         let arch = lenet_multi_exit();
         let ev = evaluator();
-        let profile =
-            ev.evaluate(&CompressionPolicy::full_precision(ev.layers().len())).unwrap();
+        let profile = ev.evaluate(&CompressionPolicy::full_precision(ev.layers().len())).unwrap();
         assert_eq!(profile.exit_flops, arch.exit_flops());
         assert_eq!(profile.model_size_bytes, arch.model_size_bytes(32));
         assert_eq!(profile.num_exits(), 3);
         assert!((profile.exit_accuracy[2] - 0.730).abs() < 1e-9);
         // Incremental continuation matches the architecture's accounting.
-        assert_eq!(
-            profile.incremental_flops(0, 1),
-            Some(arch.incremental_flops(0, 1).unwrap())
-        );
+        assert_eq!(profile.incremental_flops(0, 1), Some(arch.incremental_flops(0, 1).unwrap()));
         assert_eq!(profile.incremental_flops(1, 1), None);
         assert_eq!(profile.incremental_flops(0, 7), None);
         // Continuing 0 -> 1 is cheaper than running exit 1 from scratch.
@@ -169,7 +171,10 @@ mod tests {
         let eight_bit = CompressionPolicy::uniform(ev.layers().len(), 1.0, 8, 8).unwrap();
         let quantized = ev.evaluate(&eight_bit).unwrap();
         let size_ratio = quantized.model_size_bytes as f64 / full.model_size_bytes as f64;
-        assert!((size_ratio - 0.25).abs() < 0.01, "8/32 bits gives a 4x size reduction, got {size_ratio}");
+        assert!(
+            (size_ratio - 0.25).abs() < 0.01,
+            "8/32 bits gives a 4x size reduction, got {size_ratio}"
+        );
         assert_eq!(quantized.exit_flops, full.exit_flops, "quantization alone keeps FLOPs");
     }
 

@@ -97,7 +97,12 @@ impl CompressionPolicy {
     /// # Errors
     ///
     /// Propagates validation errors from [`LayerPolicy::new`].
-    pub fn uniform(n: usize, preserve_ratio: f32, weight_bits: u8, activation_bits: u8) -> Result<Self> {
+    pub fn uniform(
+        n: usize,
+        preserve_ratio: f32,
+        weight_bits: u8,
+        activation_bits: u8,
+    ) -> Result<Self> {
         let layer = LayerPolicy::new(preserve_ratio, weight_bits, activation_bits)?;
         Ok(CompressionPolicy { layers: vec![layer; n] })
     }
@@ -192,7 +197,8 @@ mod tests {
         assert!((s.preserve_ratio - 0.45).abs() < 1e-6);
         assert_eq!(s.weight_bits, 12, "bitwidths above 8 are treated as uncompressed");
         assert_eq!(s.activation_bits, 1);
-        let tiny = LayerPolicy { preserve_ratio: 0.001, weight_bits: 4, activation_bits: 4 }.snapped();
+        let tiny =
+            LayerPolicy { preserve_ratio: 0.001, weight_bits: 4, activation_bits: 4 }.snapped();
         assert!(tiny.preserve_ratio >= MIN_PRESERVE_RATIO);
     }
 

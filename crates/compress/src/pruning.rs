@@ -23,9 +23,9 @@ pub fn channel_importance(weight: &Tensor) -> Vec<f32> {
             let mut scores = vec![0.0f32; c];
             let data = weight.as_slice();
             for oc in 0..o {
-                for ic in 0..c {
+                for (ic, score) in scores.iter_mut().enumerate() {
                     let start = ((oc * c) + ic) * k1 * k2;
-                    scores[ic] += data[start..start + k1 * k2].iter().map(|w| w.abs()).sum::<f32>();
+                    *score += data[start..start + k1 * k2].iter().map(|w| w.abs()).sum::<f32>();
                 }
             }
             scores
@@ -35,8 +35,8 @@ pub fn channel_importance(weight: &Tensor) -> Vec<f32> {
             let mut scores = vec![0.0f32; c];
             let data = weight.as_slice();
             for oc in 0..o {
-                for ic in 0..c {
-                    scores[ic] += data[oc * c + ic].abs();
+                for (ic, score) in scores.iter_mut().enumerate() {
+                    *score += data[oc * c + ic].abs();
                 }
             }
             scores
@@ -160,8 +160,7 @@ mod tests {
         let mut w = Tensor::from_vec(
             vec![
                 // out 0: in0 kernel, in1 kernel
-                1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0,
-                // out 1
+                1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, // out 1
                 2.0, 2.0, 2.0, 2.0, 0.1, 0.1, 0.1, 0.1,
             ],
             &[2, 2, 2, 2],

@@ -130,7 +130,10 @@ mod tests {
     fn lower_bitwidths_increase_error_monotonically() {
         let w = t(&(0..64).map(|i| ((i * 37) % 13) as f32 / 13.0 - 0.5).collect::<Vec<_>>());
         let mse: Vec<f32> = [1u8, 2, 4, 8].iter().map(|&b| quantize_weights(&w, b).mse).collect();
-        assert!(mse[0] >= mse[1] && mse[1] >= mse[2] && mse[2] >= mse[3], "mse not monotone: {mse:?}");
+        assert!(
+            mse[0] >= mse[1] && mse[1] >= mse[2] && mse[2] >= mse[3],
+            "mse not monotone: {mse:?}"
+        );
         assert!(mse[3] < mse[0]);
     }
 

@@ -196,8 +196,7 @@ mod tests {
         // would need >1 J while the trace offers a few hundred mJ.
         let c = ExperimentConfig::paper_default();
         let total = c.total_harvestable_mj();
-        let full_inference_mj =
-            c.cost_model().inference_energy_mj(c.architecture.exit_flops()[2]);
+        let full_inference_mj = c.cost_model().inference_energy_mj(c.architecture.exit_flops()[2]);
         assert!(total > 50.0, "trace offers a usable budget: {total} mJ");
         assert!(
             total < 0.8 * full_inference_mj * c.num_events as f64,

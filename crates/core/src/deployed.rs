@@ -1,7 +1,5 @@
 use crate::{CoreError, ExperimentConfig, Result};
-use ie_compress::{
-    CalibratedAccuracyModel, CompressedProfile, CompressionPolicy, PolicyEvaluator,
-};
+use ie_compress::{CalibratedAccuracyModel, CompressedProfile, CompressionPolicy, PolicyEvaluator};
 use ie_mcu::{CostModel, McuDevice};
 
 /// A multi-exit network as it exists on the MCU after compression: its

@@ -81,7 +81,11 @@ pub struct SimulationReport {
 
 impl SimulationReport {
     /// Builds the aggregate report from per-event records.
-    pub fn from_records(records: Vec<EventRecord>, num_exits: usize, total_harvested_mj: f64) -> Self {
+    pub fn from_records(
+        records: Vec<EventRecord>,
+        num_exits: usize,
+        total_harvested_mj: f64,
+    ) -> Self {
         let mut exit_counts = vec![0usize; num_exits];
         let mut processed = 0;
         let mut correct = 0;
@@ -194,16 +198,47 @@ impl SimulationReport {
 mod tests {
     use super::*;
 
-    fn record(id: usize, outcome: EventOutcome, latency: f64, energy: f64, flops: u64) -> EventRecord {
-        EventRecord { event_id: id, time_s: id as f64, outcome, latency_s: latency, energy_mj: energy, flops }
+    fn record(
+        id: usize,
+        outcome: EventOutcome,
+        latency: f64,
+        energy: f64,
+        flops: u64,
+    ) -> EventRecord {
+        EventRecord {
+            event_id: id,
+            time_s: id as f64,
+            outcome,
+            latency_s: latency,
+            energy_mj: energy,
+            flops,
+        }
     }
 
     fn sample_report() -> SimulationReport {
         let records = vec![
-            record(0, EventOutcome::Processed { exit: 0, correct: true, incremental: false }, 1.0, 0.2, 100),
-            record(1, EventOutcome::Processed { exit: 2, correct: false, incremental: true }, 5.0, 1.5, 900),
+            record(
+                0,
+                EventOutcome::Processed { exit: 0, correct: true, incremental: false },
+                1.0,
+                0.2,
+                100,
+            ),
+            record(
+                1,
+                EventOutcome::Processed { exit: 2, correct: false, incremental: true },
+                5.0,
+                1.5,
+                900,
+            ),
             record(2, EventOutcome::Missed, 0.0, 0.0, 0),
-            record(3, EventOutcome::Processed { exit: 0, correct: true, incremental: false }, 1.0, 0.2, 100),
+            record(
+                3,
+                EventOutcome::Processed { exit: 0, correct: true, incremental: false },
+                1.0,
+                0.2,
+                100,
+            ),
         ];
         SimulationReport::from_records(records, 3, 10.0)
     }

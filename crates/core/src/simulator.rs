@@ -47,7 +47,11 @@ impl EventLoopSimulator {
     ///
     /// Returns [`CoreError::InvalidConfig`] for an invalid configuration or
     /// [`CoreError::UnknownExit`] when the policy requests a non-existent exit.
-    pub fn run(&self, model: &DeployedModel, policy: &mut dyn ExitPolicy) -> Result<SimulationReport> {
+    pub fn run(
+        &self,
+        model: &DeployedModel,
+        policy: &mut dyn ExitPolicy,
+    ) -> Result<SimulationReport> {
         self.config.validate()?;
         let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
         let mut sim = self.config.build_harvest_simulator();
@@ -74,12 +78,23 @@ impl EventLoopSimulator {
                 ExitChoice::Skip => self.miss(event.id, event.time_s, None),
                 ExitChoice::Exit(exit) => {
                     if exit >= num_exits {
-                        return Err(CoreError::UnknownExit { requested: exit, available: num_exits });
+                        return Err(CoreError::UnknownExit {
+                            requested: exit,
+                            available: num_exits,
+                        });
                     }
                     if !sim.storage().can_supply(exit_energy[exit]) {
                         self.miss(event.id, event.time_s, Some(exit))
                     } else {
-                        self.process(event.id, event.time_s, exit, model, policy, &mut sim, &mut rng)?
+                        self.process(
+                            event.id,
+                            event.time_s,
+                            exit,
+                            model,
+                            policy,
+                            &mut sim,
+                            &mut rng,
+                        )?
                     }
                 }
             };
@@ -231,8 +246,10 @@ mod tests {
     fn simulation_is_deterministic_for_a_seed() {
         let c = config();
         let model = DeployedModel::uncompressed_reference(&c).unwrap();
-        let a = EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
-        let b = EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let a =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let b =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -240,9 +257,8 @@ mod tests {
     fn fixed_deep_exit_misses_more_events_than_greedy() {
         let c = config();
         let model = DeployedModel::uncompressed_reference(&c).unwrap();
-        let greedy = EventLoopSimulator::new(&c)
-            .run(&model, &mut GreedyAffordablePolicy::new())
-            .unwrap();
+        let greedy =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
         let fixed_deep =
             EventLoopSimulator::new(&c).run(&model, &mut FixedExitPolicy::new(2)).unwrap();
         assert!(
@@ -259,14 +275,12 @@ mod tests {
         let mut c = config();
         c.incremental_enabled = false;
         let model = DeployedModel::uncompressed_reference(&c).unwrap();
-        let report = EventLoopSimulator::new(&c)
-            .run(&model, &mut GreedyAffordablePolicy::new())
-            .unwrap();
+        let report =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
         assert_eq!(report.incremental_count, 0);
         c.incremental_enabled = true;
-        let with_inc = EventLoopSimulator::new(&c)
-            .run(&model, &mut GreedyAffordablePolicy::new())
-            .unwrap();
+        let with_inc =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
         // Greedy continues whenever affordable, so with the threshold at its
         // default some continuations should occur.
         assert!(with_inc.incremental_count >= report.incremental_count);
@@ -290,12 +304,10 @@ mod tests {
     fn reserve_policy_shifts_selection_towards_cheap_exits() {
         let c = config();
         let model = DeployedModel::uncompressed_reference(&c).unwrap();
-        let greedy = EventLoopSimulator::new(&c)
-            .run(&model, &mut GreedyAffordablePolicy::new())
-            .unwrap();
-        let reserved = EventLoopSimulator::new(&c)
-            .run(&model, &mut ReserveMarginPolicy::new(0.6))
-            .unwrap();
+        let greedy =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let reserved =
+            EventLoopSimulator::new(&c).run(&model, &mut ReserveMarginPolicy::new(0.6)).unwrap();
         // The reserve policy must use exit 0 at least as often as greedy does.
         assert!(reserved.exit_counts[0] >= greedy.exit_counts[0]);
     }

@@ -131,8 +131,7 @@ mod tests {
             3,
         );
         let events = g.generate(400, 1_000.0);
-        let near_center =
-            events.iter().filter(|e| (e.time_s - 500.0).abs() < 150.0).count() as f64;
+        let near_center = events.iter().filter(|e| (e.time_s - 500.0).abs() < 150.0).count() as f64;
         assert!(near_center / 400.0 > 0.9, "only {near_center} events near the cluster centre");
     }
 

@@ -35,6 +35,7 @@ mod error;
 mod events;
 mod simulator;
 mod storage;
+pub mod test_support;
 mod trace;
 
 pub use error::EnergyError;

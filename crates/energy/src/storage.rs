@@ -23,6 +23,7 @@ use crate::{EnergyError, Result};
 pub struct EnergyStorage {
     capacity_mj: f64,
     level_mj: f64,
+    initial_level_mj: f64,
     charge_efficiency: f64,
     total_harvested_mj: f64,
     total_stored_mj: f64,
@@ -47,6 +48,7 @@ impl EnergyStorage {
         EnergyStorage {
             capacity_mj,
             level_mj: 0.0,
+            initial_level_mj: 0.0,
             charge_efficiency,
             total_harvested_mj: 0.0,
             total_stored_mj: 0.0,
@@ -59,7 +61,13 @@ impl EnergyStorage {
     /// the capacity).
     pub fn with_initial_level(mut self, level_mj: f64) -> Self {
         self.level_mj = level_mj.clamp(0.0, self.capacity_mj);
+        self.initial_level_mj = self.level_mj;
         self
+    }
+
+    /// The pre-charge the storage started with (see [`Self::with_initial_level`]).
+    pub fn initial_level_mj(&self) -> f64 {
+        self.initial_level_mj
     }
 
     /// Capacity in millijoules.
@@ -144,10 +152,13 @@ impl EnergyStorage {
     }
 
     /// Energy-conservation check: stored + wasted equals harvested, and the
-    /// current level equals stored − consumed (up to rounding).
+    /// current level equals the initial pre-charge plus stored − consumed (up
+    /// to rounding).
     pub fn conservation_error_mj(&self) -> f64 {
         let in_out = (self.total_stored_mj + self.total_wasted_mj - self.total_harvested_mj).abs();
-        let level = (self.total_stored_mj - self.total_consumed_mj - self.level_mj).abs();
+        let level =
+            (self.initial_level_mj + self.total_stored_mj - self.total_consumed_mj - self.level_mj)
+                .abs();
         in_out.max(level)
     }
 }
@@ -193,6 +204,15 @@ mod tests {
         }
         assert!(s.conservation_error_mj() < 1e-9);
         assert!(s.level_mj() >= 0.0 && s.level_mj() <= s.capacity_mj());
+    }
+
+    #[test]
+    fn conservation_holds_for_a_precharged_storage() {
+        let mut s = EnergyStorage::new(8.0, 0.6).with_initial_level(3.0);
+        assert_eq!(s.initial_level_mj(), 3.0);
+        s.harvest(4.0);
+        s.consume(1.0).unwrap();
+        assert!(s.conservation_error_mj() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Shared helpers for deterministic stochastic tests.
+//!
+//! Stochastic harvesting traces and simulators must be reproducible across
+//! runs for the test suite to act as a gate (and for any two systems to be
+//! comparable at all — run-to-run energy-trace variation would drown the
+//! effects under test). Tests draw their randomness through [`seeded_rng`],
+//! which always logs the seed it chose so a failure can be replayed exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed used when neither an explicit seed nor `IE_TEST_SEED` is provided.
+pub const DEFAULT_TEST_SEED: u64 = 0x1E57_5EED;
+
+/// An RNG suitable for testing.
+///
+/// The seed is taken from, in order of preference: the `seed` argument, the
+/// `IE_TEST_SEED` environment variable, or [`DEFAULT_TEST_SEED`]. The chosen
+/// seed is logged to stderr (visible with `cargo test -- --nocapture`), so a
+/// failing stochastic test can be reproduced bit-for-bit by exporting
+/// `IE_TEST_SEED`.
+pub fn seeded_rng(seed: Option<u64>) -> StdRng {
+    let seed = seed
+        .or_else(|| std::env::var("IE_TEST_SEED").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(DEFAULT_TEST_SEED);
+    eprintln!("seeded_rng: RNG seed: {seed}");
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn explicit_seed_reproduces_the_stream() {
+        let mut a = seeded_rng(Some(77));
+        let mut b = seeded_rng(Some(77));
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn default_seed_is_stable_across_calls() {
+        // Without an explicit seed the helper must still be deterministic,
+        // otherwise the tier-1 gate would flake.
+        let x: u64 = seeded_rng(None).gen();
+        let y: u64 = seeded_rng(None).gen();
+        if std::env::var("IE_TEST_SEED").is_err() {
+            assert_eq!(seeded_rng(Some(DEFAULT_TEST_SEED)).gen::<u64>(), x);
+        }
+        assert_eq!(x, y);
+    }
+}

@@ -289,14 +289,12 @@ impl PiecewiseTrace {
                 continue;
             }
             let mut cols = line.split(',');
-            let t = cols
-                .next()
-                .and_then(|c| c.trim().parse::<f64>().ok())
-                .ok_or_else(|| EnergyError::InvalidTrace(format!("bad time on line {}", lineno + 1)))?;
-            let p = cols
-                .next()
-                .and_then(|c| c.trim().parse::<f64>().ok())
-                .ok_or_else(|| EnergyError::InvalidTrace(format!("bad power on line {}", lineno + 1)))?;
+            let t = cols.next().and_then(|c| c.trim().parse::<f64>().ok()).ok_or_else(|| {
+                EnergyError::InvalidTrace(format!("bad time on line {}", lineno + 1))
+            })?;
+            let p = cols.next().and_then(|c| c.trim().parse::<f64>().ok()).ok_or_else(|| {
+                EnergyError::InvalidTrace(format!("bad power on line {}", lineno + 1))
+            })?;
             points.push((t, p));
         }
         Self::from_points(points)
@@ -322,7 +320,8 @@ impl PowerTrace for PiecewiseTrace {
     }
 
     fn duration_s(&self) -> f64 {
-        self.points.last().map(|&(t, _)| t).unwrap_or(0.0) - self.points.first().map(|&(t, _)| t).unwrap_or(0.0)
+        self.points.last().map(|&(t, _)| t).unwrap_or(0.0)
+            - self.points.first().map(|&(t, _)| t).unwrap_or(0.0)
     }
 }
 
@@ -368,7 +367,8 @@ mod tests {
 
     #[test]
     fn clouds_reduce_harvested_energy() {
-        let clear = SolarTrace::builder().seed(3).cloud_probability(0.0).noise_fraction(0.0).build();
+        let clear =
+            SolarTrace::builder().seed(3).cloud_probability(0.0).noise_fraction(0.0).build();
         let cloudy = SolarTrace::builder()
             .seed(3)
             .cloud_probability(0.9)
@@ -382,10 +382,28 @@ mod tests {
 
     #[test]
     fn kinetic_trace_has_bursts() {
-        let t = KineticBurstTrace::new(1000.0, 0.3, 5.0, 9);
+        let seed = crate::test_support::seeded_rng(None).gen();
+        let t = KineticBurstTrace::new(1000.0, 0.3, 5.0, seed);
         let energies: Vec<f64> = (0..1000).map(|s| t.power_mw(s as f64)).collect();
         let bursts = energies.iter().filter(|&&p| p > 4.0).count();
         assert!(bursts > 100 && bursts < 600, "burst count {bursts}");
+    }
+
+    #[test]
+    fn randomised_traces_are_reproducible_across_runs() {
+        // Trace seeds are drawn through the shared seeded helper, so this test
+        // exercises the same construction path twice and must see identical
+        // stochastic traces — the reproducibility contract of the whole suite.
+        let mut rng = crate::test_support::seeded_rng(None);
+        for _ in 0..5 {
+            let seed = rng.gen();
+            let a = SolarTrace::builder().seed(seed).build();
+            let b = SolarTrace::builder().seed(seed).build();
+            assert_eq!(a.samples(), b.samples());
+            let k1 = KineticBurstTrace::new(500.0, 0.2, 4.0, seed);
+            let k2 = KineticBurstTrace::new(500.0, 0.2, 4.0, seed);
+            assert_eq!(k1, k2);
+        }
     }
 
     #[test]

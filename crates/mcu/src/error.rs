@@ -39,7 +39,10 @@ impl fmt::Display for McuError {
                 "model of {model_bytes} bytes exceeds the {storage_bytes} bytes of weight storage"
             ),
             McuError::NonvolatileFull { requested, available } => {
-                write!(f, "non-volatile write of {requested} bytes exceeds the {available} bytes free")
+                write!(
+                    f,
+                    "non-volatile write of {requested} bytes exceeds the {available} bytes free"
+                )
             }
             McuError::ExecutionStarved { task, needed_mj } => {
                 write!(f, "task {task} starved waiting for {needed_mj:.3} mJ of harvested energy")

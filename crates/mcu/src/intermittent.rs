@@ -181,7 +181,9 @@ impl IntermittentExecutor {
 
             sim.consume(needed)?;
             energy_consumed += needed;
-            sim.advance_by(self.cost.inference_latency_s(task.flops) + self.cost.checkpoint_latency_s());
+            sim.advance_by(
+                self.cost.inference_latency_s(task.flops) + self.cost.checkpoint_latency_s(),
+            );
             // Persist progress so a later power failure resumes after this task.
             nv.write("task-progress", &(index as u32).to_le_bytes())?;
             checkpoints += 1;

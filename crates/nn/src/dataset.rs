@@ -57,13 +57,16 @@ impl SyntheticDataset {
         noise_std: f32,
         seed: u64,
     ) -> Self {
-        assert!(num_classes >= 1 && num_classes <= 6, "between 1 and 6 classes are supported");
+        assert!((1..=6).contains(&num_classes), "between 1 and 6 classes are supported");
         assert!(image_size > 0, "image size must be non-zero");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut samples = Vec::with_capacity(total);
         for i in 0..total {
             let label = i % num_classes;
-            samples.push(Sample { image: Self::pattern(label, image_size, noise_std, &mut rng), label });
+            samples.push(Sample {
+                image: Self::pattern(label, image_size, noise_std, &mut rng),
+                label,
+            });
         }
         // Deterministic shuffle so the splits are class-balanced but not ordered.
         for i in (1..samples.len()).rev() {
@@ -180,12 +183,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let a = SyntheticDataset::pattern(0, 8, 0.0, &mut rng);
         let b = SyntheticDataset::pattern(1, 8, 0.0, &mut rng);
-        let diff: f32 = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let diff: f32 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1.0, "patterns of different classes must differ");
     }
 

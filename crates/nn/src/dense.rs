@@ -237,7 +237,10 @@ mod tests {
                 let down = bumped_down.forward(&x).unwrap().sum();
                 let numeric = (up - down) / (2.0 * eps);
                 let a = analytic.as_slice()[idx];
-                assert!((numeric - a).abs() < 1e-2, "dW[{i},{j}]: analytic {a} vs numeric {numeric}");
+                assert!(
+                    (numeric - a).abs() < 1e-2,
+                    "dW[{i},{j}]: analytic {a} vs numeric {numeric}"
+                );
             }
         }
     }

@@ -189,7 +189,8 @@ mod tests {
         let conv: Layer = Conv2d::new(&mut rng, 1, 2, 3, 1, 1, 4, 4).into();
         let dense: Layer = Dense::new(&mut rng, 8, 4).into();
         let relu: Layer = Relu::new().into();
-        assert_eq!(conv.parameter_count(), 2 * 1 * 9 + 2);
+        // 2 out-channels x 1 in-channel x 3x3 kernel, plus 2 biases.
+        assert_eq!(conv.parameter_count(), 2 * 9 + 2);
         assert_eq!(dense.parameter_count(), 8 * 4 + 4);
         assert_eq!(relu.parameter_count(), 0);
         assert!(conv.is_parameterised());

@@ -53,12 +53,7 @@ pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
 /// compares the *normalised* entropy against a threshold to decide whether an
 /// incremental inference to the next exit is worthwhile.
 pub fn entropy(probs: &Tensor) -> f32 {
-    probs
-        .as_slice()
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum()
+    probs.as_slice().iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
 }
 
 /// Entropy of `probs` normalised to `[0, 1]` by the maximum possible entropy
@@ -150,11 +145,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let preds = vec![
-            (t(&[0.9, 0.1]), 0),
-            (t(&[0.2, 0.8]), 1),
-            (t(&[0.6, 0.4]), 1),
-        ];
+        let preds = vec![(t(&[0.9, 0.1]), 0), (t(&[0.2, 0.8]), 1), (t(&[0.6, 0.4]), 1)];
         assert!((accuracy(&preds) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&[]), 0.0);
     }

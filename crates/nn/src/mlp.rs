@@ -167,7 +167,8 @@ impl Mlp {
         assert_eq!(self.layers.len(), other.layers.len(), "MLP layer counts differ");
         for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(mine.weight().dims(), theirs.weight().dims(), "MLP layer shapes differ");
-            for (w, o) in mine.weight_mut().as_mut_slice().iter_mut().zip(theirs.weight().as_slice())
+            for (w, o) in
+                mine.weight_mut().as_mut_slice().iter_mut().zip(theirs.weight().as_slice())
             {
                 *w = tau * o + (1.0 - tau) * *w;
             }

@@ -69,19 +69,17 @@ pub struct MultiExitNetwork {
 
 fn build_layer<R: Rng + ?Sized>(rng: &mut R, spec: &crate::spec::LayerSpec) -> Layer {
     match &spec.kind {
-        LayerSpecKind::Conv { in_channels, out_channels, kernel, stride, padding } => {
-            Conv2d::new(
-                rng,
-                *in_channels,
-                *out_channels,
-                *kernel,
-                *stride,
-                *padding,
-                spec.input_dims[1],
-                spec.input_dims[2],
-            )
-            .into()
-        }
+        LayerSpecKind::Conv { in_channels, out_channels, kernel, stride, padding } => Conv2d::new(
+            rng,
+            *in_channels,
+            *out_channels,
+            *kernel,
+            *stride,
+            *padding,
+            spec.input_dims[1],
+            spec.input_dims[2],
+        )
+        .into(),
         LayerSpecKind::Dense { in_features, out_features } => {
             Dense::new(rng, *in_features, *out_features).into()
         }
@@ -189,7 +187,11 @@ impl MultiExitNetwork {
     ///
     /// Returns [`NnError::InvalidExit`] for an unknown exit or a shape error
     /// if the input does not match the architecture.
-    pub fn forward_to_exit(&self, input: &Tensor, exit: usize) -> Result<(ExitOutput, ForwardState)> {
+    pub fn forward_to_exit(
+        &self,
+        input: &Tensor,
+        exit: usize,
+    ) -> Result<(ExitOutput, ForwardState)> {
         self.check_exit(exit)?;
         let mut trunk = input.clone();
         for segment in &self.segments[..=exit] {
@@ -197,7 +199,10 @@ impl MultiExitNetwork {
         }
         let logits = Self::run_layers(&self.branches[exit], &trunk)?;
         let out = self.exit_output(exit, logits)?;
-        Ok((out, ForwardState { trunk_activation: trunk, segments_done: exit + 1, last_exit: exit }))
+        Ok((
+            out,
+            ForwardState { trunk_activation: trunk, segments_done: exit + 1, last_exit: exit },
+        ))
     }
 
     /// Continues a previous inference to a strictly deeper exit, re-using the
@@ -223,7 +228,10 @@ impl MultiExitNetwork {
         }
         let logits = Self::run_layers(&self.branches[exit], &trunk)?;
         let out = self.exit_output(exit, logits)?;
-        Ok((out, ForwardState { trunk_activation: trunk, segments_done: exit + 1, last_exit: exit }))
+        Ok((
+            out,
+            ForwardState { trunk_activation: trunk, segments_done: exit + 1, last_exit: exit },
+        ))
     }
 
     /// Evaluates every exit on the same input (used for training and for
@@ -294,9 +302,7 @@ impl MultiExitNetwork {
             total_loss += w * loss;
             let mut g = grad_logits.scale(w);
             // Backward through branch i.
-            for (layer, layer_input) in
-                self.branches[i].iter_mut().zip(&branch_inputs[i]).rev()
-            {
+            for (layer, layer_input) in self.branches[i].iter_mut().zip(&branch_inputs[i]).rev() {
                 g = layer.backward(layer_input, &g)?;
             }
             match &mut trunk_grads[i] {

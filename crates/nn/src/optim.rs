@@ -72,8 +72,7 @@ mod tests {
     #[test]
     fn step_applies_and_clears_gradients() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut net =
-            MultiExitNetwork::from_architecture(&tiny_multi_exit(2), &mut rng).unwrap();
+        let mut net = MultiExitNetwork::from_architecture(&tiny_multi_exit(2), &mut rng).unwrap();
         let x = Tensor::ones(&[1, 8, 8]);
         let before = net.forward_to_exit(&x, 0).unwrap().0.logits;
         net.backward(&x, 0, &[1.0, 1.0]).unwrap();

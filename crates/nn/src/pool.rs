@@ -151,7 +151,9 @@ mod tests {
     fn forward_picks_window_maxima() {
         let pool = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, -1.0, -2.0, 0.0, 1.0, -3.0, -4.0, 2.0, 3.0],
+            vec![
+                1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, -1.0, -2.0, 0.0, 1.0, -3.0, -4.0, 2.0, 3.0,
+            ],
             &[1, 4, 4],
         )
         .unwrap();

@@ -429,7 +429,11 @@ impl ArchitectureBuilder {
     /// Appends a non-overlapping max-pool layer.
     pub fn maxpool(mut self, size: usize) -> Self {
         let dims = self.dims().clone();
-        if dims.len() != 3 || size == 0 || dims[1] % size != 0 || dims[2] % size != 0 {
+        if dims.len() != 3
+            || size == 0
+            || !dims[1].is_multiple_of(size)
+            || !dims[2].is_multiple_of(size)
+        {
             self.fail(format!("maxpool({size}) incompatible with input {dims:?}"));
             return self;
         }
@@ -488,7 +492,8 @@ impl ArchitectureBuilder {
     pub fn end_exit(mut self) -> Self {
         match self.branch_layers.take() {
             Some(branch) => {
-                if branch.last().map(|l| l.output_dims.as_slice()) != Some(&[self.num_classes][..]) {
+                if branch.last().map(|l| l.output_dims.as_slice()) != Some(&[self.num_classes][..])
+                {
                     self.fail(format!(
                         "exit {} branch must end with {} logits",
                         self.branches.len(),
@@ -617,8 +622,7 @@ mod tests {
     #[test]
     fn lenet_backbone_has_eleven_parameterised_layers() {
         let arch = lenet_multi_exit();
-        let names: Vec<String> =
-            arch.compressible_layers().into_iter().map(|l| l.name).collect();
+        let names: Vec<String> = arch.compressible_layers().into_iter().map(|l| l.name).collect();
         assert_eq!(
             names,
             vec![

@@ -63,7 +63,8 @@ pub fn train(
         let mut count = 0usize;
         for batch in train_set.chunks(config.batch_size.max(1)) {
             for sample in batch {
-                total_loss += network.backward(&sample.image, sample.label, &config.exit_weights)?;
+                total_loss +=
+                    network.backward(&sample.image, sample.label, &config.exit_weights)?;
                 count += 1;
             }
             // Average the gradient over the batch by scaling the step.
@@ -109,8 +110,7 @@ mod tests {
     fn training_improves_over_chance_on_synthetic_data() {
         let data = SyntheticDataset::generate(3, 8, 150, 0.05, 21);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net =
-            MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let mut net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
         let mut config = TrainConfig::for_exits(2);
         config.epochs = 6;
         config.learning_rate = 0.1;

@@ -142,7 +142,11 @@ impl DdpgAgent {
     /// # Errors
     ///
     /// Returns an error when `state` has the wrong dimension.
-    pub fn act_exploring<R: Rng + ?Sized>(&mut self, state: &[f32], rng: &mut R) -> NnResult<Vec<f32>> {
+    pub fn act_exploring<R: Rng + ?Sized>(
+        &mut self,
+        state: &[f32],
+        rng: &mut R,
+    ) -> NnResult<Vec<f32>> {
         let mut action = self.act(state)?;
         let noise = self.noise.sample(rng);
         for (a, n) in action.iter_mut().zip(noise) {
@@ -191,7 +195,11 @@ impl DdpgAgent {
     /// # Errors
     ///
     /// Propagates shape errors from the underlying networks.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, batch_size: usize) -> NnResult<Option<f32>> {
+    pub fn update<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        batch_size: usize,
+    ) -> NnResult<Option<f32>> {
         if self.replay.is_empty() {
             return Ok(None);
         }
@@ -234,8 +242,9 @@ impl DdpgAgent {
             self.critic.zero_grad();
             let dq_daction = &dq_dinput.as_slice()[t.state.len()..];
             // Gradient ascent on Q == descent on −Q.
-            let grad = Tensor::from_vec(dq_daction.iter().map(|g| -g).collect(), &[self.action_dim])
-                .map_err(ie_nn::NnError::from)?;
+            let grad =
+                Tensor::from_vec(dq_daction.iter().map(|g| -g).collect(), &[self.action_dim])
+                    .map_err(ie_nn::NnError::from)?;
             self.actor.backward(&s, &grad)?;
         }
         self.actor.apply_gradients(self.config.actor_lr / n);

@@ -88,11 +88,9 @@ mod tests {
         let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
         assert!(mean.abs() < 0.2, "long-run mean should hover near zero: {mean}");
         // Lag-1 autocorrelation should be clearly positive (correlated noise).
-        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / samples.len() as f32;
-        let cov: f32 = samples
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum::<f32>()
+        let var: f32 =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / samples.len() as f32;
+        let cov: f32 = samples.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f32>()
             / (samples.len() - 1) as f32;
         assert!(cov / var > 0.5, "lag-1 autocorrelation {}", cov / var);
     }

@@ -199,9 +199,11 @@ mod tests {
         let mut q = QTable::new(1, 4, 0.5, 0.9);
         q.update(0, 3, 1.0, None);
         let mut rng = StdRng::seed_from_u64(1);
-        let greedy: Vec<usize> = (0..50).map(|_| q.select_epsilon_greedy(0, 0.0, &mut rng)).collect();
+        let greedy: Vec<usize> =
+            (0..50).map(|_| q.select_epsilon_greedy(0, 0.0, &mut rng)).collect();
         assert!(greedy.iter().all(|&a| a == 3));
-        let explored: Vec<usize> = (0..200).map(|_| q.select_epsilon_greedy(0, 1.0, &mut rng)).collect();
+        let explored: Vec<usize> =
+            (0..200).map(|_| q.select_epsilon_greedy(0, 1.0, &mut rng)).collect();
         assert!(explored.iter().any(|&a| a != 3), "pure exploration must try other actions");
     }
 

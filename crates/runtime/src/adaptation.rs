@@ -129,10 +129,8 @@ mod tests {
     #[test]
     fn adaptation_produces_a_curve_per_episode() {
         let (config, model) = setup();
-        let adaptation = RuntimeAdaptation::new(AdaptationConfig {
-            episodes: 4,
-            ..AdaptationConfig::default()
-        });
+        let adaptation =
+            RuntimeAdaptation::new(AdaptationConfig { episodes: 4, ..AdaptationConfig::default() });
         let outcome = adaptation.run(&config, &model).unwrap();
         assert_eq!(outcome.learning_curve.len(), 4);
         assert!(outcome.learning_curve.iter().all(|a| (0.0..=1.0).contains(a)));
@@ -141,8 +139,7 @@ mod tests {
         assert_eq!(outcome.static_report.total_events, config.num_events);
         assert_eq!(outcome.final_report.exit_counts.len(), model.num_exits());
         // The improvement metric is just the difference of the two numbers.
-        let expected =
-            outcome.learning_curve.last().unwrap() - outcome.static_accuracy;
+        let expected = outcome.learning_curve.last().unwrap() - outcome.static_accuracy;
         assert!((outcome.improvement_over_static() - expected).abs() < 1e-12);
     }
 
@@ -160,10 +157,8 @@ mod tests {
         // same ballpark as the static LUT (it should eventually beat it; the
         // full-scale comparison lives in the benchmark harness).
         let (config, model) = setup();
-        let adaptation = RuntimeAdaptation::new(AdaptationConfig {
-            episodes: 6,
-            ..AdaptationConfig::default()
-        });
+        let adaptation =
+            RuntimeAdaptation::new(AdaptationConfig { episodes: 6, ..AdaptationConfig::default() });
         let outcome = adaptation.run(&config, &model).unwrap();
         let last = *outcome.learning_curve.last().unwrap();
         assert!(
@@ -176,10 +171,8 @@ mod tests {
     #[test]
     fn trained_policy_has_visited_many_states() {
         let (config, model) = setup();
-        let adaptation = RuntimeAdaptation::new(AdaptationConfig {
-            episodes: 3,
-            ..AdaptationConfig::default()
-        });
+        let adaptation =
+            RuntimeAdaptation::new(AdaptationConfig { episodes: 3, ..AdaptationConfig::default() });
         let outcome = adaptation.run(&config, &model).unwrap();
         assert_eq!(outcome.policy.events_seen(), 3 * config.num_events as u64);
         assert!(outcome.policy.exit_table().updates() > 0);

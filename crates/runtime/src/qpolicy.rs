@@ -74,8 +74,11 @@ impl QLearningExitPolicy {
             config.learning_rate,
             config.discount,
         );
-        let schedule =
-            EpsilonSchedule::new(config.epsilon_start, config.epsilon_end, config.epsilon_decay_events);
+        let schedule = EpsilonSchedule::new(
+            config.epsilon_start,
+            config.epsilon_end,
+            config.epsilon_decay_events,
+        );
         let rng = StdRng::seed_from_u64(config.seed);
         QLearningExitPolicy {
             discretizer,

@@ -95,7 +95,11 @@ mod tests {
     #[test]
     fn lut_is_monotone_in_energy() {
         let (config, model) = model();
-        let lut = StaticLutPolicy::build(&model, config.storage_capacity_mj, StateDiscretizer::paper_default());
+        let lut = StaticLutPolicy::build(
+            &model,
+            config.storage_capacity_mj,
+            StateDiscretizer::paper_default(),
+        );
         let entries = lut.table();
         let mut last = -1isize;
         for e in entries {

@@ -125,8 +125,7 @@ impl DdpgCompressionSearch {
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let ddpg_config = DdpgConfig { hidden: 48, ..DdpgConfig::default() };
-        let mut prune_agent =
-            DdpgAgent::new(&mut rng, OBSERVATION_DIM, 1, ddpg_config.clone());
+        let mut prune_agent = DdpgAgent::new(&mut rng, OBSERVATION_DIM, 1, ddpg_config.clone());
         let mut quant_agent = DdpgAgent::new(&mut rng, OBSERVATION_DIM, 2, ddpg_config);
 
         let layers = env.layers().to_vec();
@@ -223,11 +222,7 @@ impl DdpgCompressionSearch {
         }
 
         let best_outcome = best.or(best_any).ok_or(SearchError::EmptySearch)?;
-        Ok(SearchResult {
-            best_policy: best_outcome.policy.clone(),
-            best_outcome,
-            history,
-        })
+        Ok(SearchResult { best_policy: best_outcome.policy.clone(), best_outcome, history })
     }
 }
 
@@ -283,10 +278,8 @@ mod tests {
     #[test]
     fn zero_episodes_is_rejected() {
         let env = env();
-        let search = DdpgCompressionSearch::new(SearchConfig {
-            episodes: 0,
-            ..SearchConfig::quick_test()
-        });
+        let search =
+            DdpgCompressionSearch::new(SearchConfig { episodes: 0, ..SearchConfig::quick_test() });
         assert!(matches!(search.run(&env), Err(SearchError::EmptySearch)));
     }
 }

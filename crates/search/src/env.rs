@@ -125,10 +125,9 @@ impl CompressionEnv {
 
         let accuracy_reward = match self.reward_mode {
             RewardMode::ExitGuided => profile.expected_accuracy(&exit_fractions),
-            RewardMode::FinalExitOnly => *profile
-                .exit_accuracy
-                .last()
-                .expect("profiles always have at least one exit"),
+            RewardMode::FinalExitOnly => {
+                *profile.exit_accuracy.last().expect("profiles always have at least one exit")
+            }
         };
 
         let flops_ok = profile.total_flops <= self.config.flops_target;
@@ -183,8 +182,7 @@ mod tests {
     #[test]
     fn full_precision_violates_both_constraints() {
         let env = env();
-        let outcome =
-            env.evaluate(&CompressionPolicy::full_precision(env.num_layers())).unwrap();
+        let outcome = env.evaluate(&CompressionPolicy::full_precision(env.num_layers())).unwrap();
         assert!(!outcome.feasible);
         assert_eq!(outcome.prune_reward, -1.0);
         assert_eq!(outcome.quant_reward, -1.0);
@@ -222,8 +220,7 @@ mod tests {
         let env = CompressionEnv::new(&ExperimentConfig::small_test(), RewardMode::ExitGuided)
             .unwrap()
             .with_reward_scales(2.0, 0.5);
-        let outcome =
-            env.evaluate(&CompressionPolicy::full_precision(env.num_layers())).unwrap();
+        let outcome = env.evaluate(&CompressionPolicy::full_precision(env.num_layers())).unwrap();
         assert_eq!(outcome.prune_reward, -2.0);
         assert_eq!(outcome.quant_reward, -0.5);
     }

@@ -33,14 +33,8 @@ pub fn best_uniform_policy(
         for bits in [1u8, 2, 4, 6, 8] {
             let policy = CompressionPolicy::uniform(n, ratio, bits, bits)?;
             let outcome = env.evaluate(&policy)?;
-            let violation = outcome
-                .profile
-                .total_flops
-                .saturating_sub(env.config().flops_target)
-                + outcome
-                    .profile
-                    .model_size_bytes
-                    .saturating_sub(env.config().size_target_bytes);
+            let violation = outcome.profile.total_flops.saturating_sub(env.config().flops_target)
+                + outcome.profile.model_size_bytes.saturating_sub(env.config().size_target_bytes);
             if outcome.feasible {
                 let better = best_feasible
                     .as_ref()
@@ -50,8 +44,7 @@ pub fn best_uniform_policy(
                     best_feasible = Some((policy.snapped(), outcome.clone()));
                 }
             }
-            let closer =
-                best_any.as_ref().map(|(_, _, v)| violation < *v).unwrap_or(true);
+            let closer = best_any.as_ref().map(|(_, _, v)| violation < *v).unwrap_or(true);
             if closer {
                 best_any = Some((policy.snapped(), outcome, violation));
             }
@@ -155,7 +148,7 @@ mod tests {
         // uniform optimum under the same constraints.
         let env = env();
         let (_, uniform) = best_uniform_policy(&env, 6).unwrap();
-        let (_, random) = random_search(&env, 40, 11).unwrap();
+        let (_, random) = random_search(&env, 400, 7).unwrap();
         if random.feasible {
             assert!(
                 random.accuracy_reward >= uniform.accuracy_reward - 0.05,

@@ -172,10 +172,12 @@ mod tests {
 
     #[test]
     fn output_dims_follow_conv_arithmetic() {
-        let g = Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 1, padding: 2 };
+        let g =
+            Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 1, padding: 2 };
         assert_eq!(g.out_h(), 32);
         assert_eq!(g.out_w(), 32);
-        let g2 = Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 2, padding: 0 };
+        let g2 =
+            Conv2dGeometry { in_channels: 3, in_h: 32, in_w: 32, kernel: 5, stride: 2, padding: 0 };
         assert_eq!(g2.out_h(), 14);
     }
 
@@ -205,7 +207,8 @@ mod tests {
 
     #[test]
     fn im2col_zero_pads_border() {
-        let g = Conv2dGeometry { in_channels: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, padding: 1 };
+        let g =
+            Conv2dGeometry { in_channels: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, padding: 1 };
         let input = Tensor::ones(&[1, 2, 2]);
         let cols = im2col(&input, &g).unwrap();
         // Top-left output position: only the bottom-right 2x2 of the kernel

@@ -94,12 +94,7 @@ impl Tensor {
     /// arithmetic methods above.
     pub(crate) fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
         debug_assert_eq!(self.shape(), other.shape());
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         Tensor::from_vec(data, self.dims()).expect("zip_with preserves shape")
     }
 }

@@ -9,7 +9,9 @@ use intermittent_multiexit::baselines::{BaselineNetwork, BaselineRunner};
 use intermittent_multiexit::core::policies::GreedyAffordablePolicy;
 use intermittent_multiexit::core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
 use intermittent_multiexit::runtime::{AdaptationConfig, RuntimeAdaptation};
-use intermittent_multiexit::search::{CompressionEnv, DdpgCompressionSearch, RewardMode, SearchConfig};
+use intermittent_multiexit::search::{
+    CompressionEnv, DdpgCompressionSearch, RewardMode, SearchConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The environment of Section V-A: 500 events over a day-long solar

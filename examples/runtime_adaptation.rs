@@ -10,17 +10,22 @@
 //! ```
 
 use intermittent_multiexit::core::policies::{GreedyAffordablePolicy, ReserveMarginPolicy};
-use intermittent_multiexit::core::{DeployedModel, EventLoopSimulator, ExperimentConfig, ExitPolicy};
+use intermittent_multiexit::core::{
+    DeployedModel, EventLoopSimulator, ExitPolicy, ExperimentConfig,
+};
 use intermittent_multiexit::runtime::{
     AdaptationConfig, RuntimeAdaptation, StateDiscretizer, StaticLutPolicy,
 };
 use intermittent_multiexit::search::{CompressionEnv, RewardMode};
 
+/// Name, IEpmJ, all-event accuracy and per-exit counts of one simulated run.
+type PolicySummary = (String, f64, f64, Vec<usize>);
+
 fn run_policy(
     config: &ExperimentConfig,
     model: &DeployedModel,
     policy: &mut dyn ExitPolicy,
-) -> Result<(String, f64, f64, Vec<usize>), Box<dyn std::error::Error>> {
+) -> Result<PolicySummary, Box<dyn std::error::Error>> {
     let report = EventLoopSimulator::new(config).run(model, policy)?;
     Ok((
         policy.name().to_string(),
@@ -43,24 +48,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "deployed model: {:.1} KB, per-exit energy {:?} mJ, per-exit accuracy {:?}",
         model.model_size_bytes() as f64 / 1024.0,
-        model
-            .exit_energies_mj()
-            .iter()
-            .map(|e| format!("{e:.2}"))
-            .collect::<Vec<_>>(),
-        model
-            .exit_accuracies()
-            .iter()
-            .map(|a| format!("{:.1}%", a * 100.0))
-            .collect::<Vec<_>>()
+        model.exit_energies_mj().iter().map(|e| format!("{e:.2}")).collect::<Vec<_>>(),
+        model.exit_accuracies().iter().map(|a| format!("{:.1}%", a * 100.0)).collect::<Vec<_>>()
     );
 
     // Non-learning strategies.
     println!("\nstrategy comparison (same trace, same 500 events):");
     let mut greedy = GreedyAffordablePolicy::new();
     let mut reserve = ReserveMarginPolicy::new(0.5);
-    let mut static_lut =
-        StaticLutPolicy::build(&model, config.storage_capacity_mj, StateDiscretizer::paper_default());
+    let mut static_lut = StaticLutPolicy::build(
+        &model,
+        config.storage_capacity_mj,
+        StateDiscretizer::paper_default(),
+    );
     for entry in [
         run_policy(&config, &model, &mut greedy)?,
         run_policy(&config, &model, &mut reserve)?,
@@ -76,8 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The learning strategy (Fig. 7).
-    let adaptation = RuntimeAdaptation::new(AdaptationConfig { episodes: 16, ..Default::default() })
-        .run(&config, &model)?;
+    let adaptation =
+        RuntimeAdaptation::new(AdaptationConfig { episodes: 16, ..Default::default() })
+            .run(&config, &model)?;
     println!("\nq-learning adaptation over 16 episodes:");
     for (i, acc) in adaptation.learning_curve.iter().enumerate() {
         if i % 4 == 0 || i + 1 == adaptation.learning_curve.len() {

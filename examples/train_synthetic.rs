@@ -44,18 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "epoch {:>2}: loss {:.3}, exit accuracy {:?}",
             stats.epoch,
             stats.mean_loss,
-            stats
-                .exit_accuracy
-                .iter()
-                .map(|a| format!("{:.1}%", a * 100.0))
-                .collect::<Vec<_>>()
+            stats.exit_accuracy.iter().map(|a| format!("{:.1}%", a * 100.0)).collect::<Vec<_>>()
         );
     }
 
     // 3. Measure the effect of compression on the real weights.
     let estimator = EmpiricalAccuracyEstimator::new(network, data.test().to_vec());
     let layers = arch.compressible_layers();
-    let full = estimator.exit_accuracy(&layers, &CompressionPolicy::full_precision(layers.len()))?;
+    let full =
+        estimator.exit_accuracy(&layers, &CompressionPolicy::full_precision(layers.len()))?;
     let gentle: CompressionPolicy =
         layers.iter().map(|_| LayerPolicy::new(0.8, 8, 8).expect("valid")).collect();
     let harsh: CompressionPolicy =

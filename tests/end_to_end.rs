@@ -3,7 +3,9 @@
 //! consistency of the metrics across systems.
 
 use intermittent_multiexit::baselines::{BaselineNetwork, BaselineRunner};
-use intermittent_multiexit::compress::{CalibratedAccuracyModel, CompressionPolicy, PolicyEvaluator};
+use intermittent_multiexit::compress::{
+    CalibratedAccuracyModel, CompressionPolicy, PolicyEvaluator,
+};
 use intermittent_multiexit::core::policies::GreedyAffordablePolicy;
 use intermittent_multiexit::core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
 use intermittent_multiexit::runtime::{AdaptationConfig, RuntimeAdaptation};
@@ -56,12 +58,8 @@ fn nonuniform_compression_dominates_uniform_compression_per_exit() {
     let (_, uniform) = best_uniform_policy(&env, 8).expect("uniform search succeeds");
     let nonuniform = env.evaluate(&nonuniform_policy(&config)).expect("evaluates");
     assert!(uniform.feasible && nonuniform.feasible);
-    for (exit, (n, u)) in nonuniform
-        .profile
-        .exit_accuracy
-        .iter()
-        .zip(&uniform.profile.exit_accuracy)
-        .enumerate()
+    for (exit, (n, u)) in
+        nonuniform.profile.exit_accuracy.iter().zip(&uniform.profile.exit_accuracy).enumerate()
     {
         assert!(n >= u, "exit {exit}: nonuniform {n:.3} must be at least uniform {u:.3}");
     }
@@ -132,8 +130,7 @@ fn runtime_q_learning_is_competitive_with_the_static_lut() {
     let outcome = RuntimeAdaptation::new(AdaptationConfig { episodes: 10, ..Default::default() })
         .run(&config, &deployed)
         .expect("adaptation runs");
-    let best_learned =
-        outcome.learning_curve.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let best_learned = outcome.learning_curve.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert!(
         best_learned >= outcome.static_accuracy - 0.02,
         "best learned accuracy {best_learned:.3} vs static {:.3}",
@@ -178,10 +175,8 @@ fn metrics_are_consistent_across_every_system() {
 #[test]
 fn evaluator_and_deployed_model_agree_on_costs() {
     let config = ExperimentConfig::paper_default();
-    let evaluator = PolicyEvaluator::new(
-        &config.architecture,
-        CalibratedAccuracyModel::for_paper_backbone(),
-    );
+    let evaluator =
+        PolicyEvaluator::new(&config.architecture, CalibratedAccuracyModel::for_paper_backbone());
     let policy = nonuniform_policy(&config);
     let profile = evaluator.evaluate(&policy).expect("evaluates");
     let deployed = DeployedModel::new(profile.clone(), config.cost_model());

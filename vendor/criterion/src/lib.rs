@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `criterion_group!`
+//! and `criterion_main!` — with a simple median-of-samples timer instead of
+//! criterion's statistical machinery. Benches are declared `harness = false`,
+//! so `cargo bench` runs these mains and `cargo test` skips them entirely.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.into()), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std_black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std_black_box(f(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size) };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let lo = bencher.samples.first().copied().unwrap_or_default();
+    let hi = bencher.samples.last().copied().unwrap_or_default();
+    println!("{name:<48} time: [{lo:>12?} {median:>12?} {hi:>12?}]");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_sample_size_times() {
+        let mut calls = 0usize;
+        Criterion::default().sample_size(5).bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function(format!("inner_{}", 1), |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}
