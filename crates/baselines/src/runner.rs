@@ -18,16 +18,25 @@ use rand::{Rng, SeedableRng};
 ///   [`BaselineRunner::with_max_wait_s`]) the event is missed,
 /// * correctness of a completed inference is sampled from the baseline's
 ///   published per-inference accuracy.
+///
+/// The event loop is allocation-free in steady state: the task graph, cost
+/// model and executor are built once per run, and the per-task checkpoint
+/// writes reuse the non-volatile entry's buffer in place.
 #[derive(Debug)]
 pub struct BaselineRunner {
     config: ExperimentConfig,
+    cost: CostModel,
     max_wait_s: f64,
 }
 
 impl BaselineRunner {
     /// Creates a runner over the given experiment environment.
     pub fn new(config: &ExperimentConfig) -> Self {
-        BaselineRunner { config: config.clone(), max_wait_s: 1_800.0 }
+        BaselineRunner {
+            cost: CostModel::for_device(&config.device),
+            config: config.clone(),
+            max_wait_s: 1_800.0,
+        }
     }
 
     /// Overrides how long one inference may wait for energy before the event
@@ -50,8 +59,8 @@ impl BaselineRunner {
     /// events is not an error (they are reported as missed).
     pub fn run(&self, network: &BaselineNetwork) -> Result<SimulationReport> {
         self.config.validate()?;
-        let cost = CostModel::for_device(&self.config.device);
-        let executor = IntermittentExecutor::new(cost.clone()).with_max_wait_s(self.max_wait_s);
+        let executor =
+            IntermittentExecutor::new(self.cost.clone()).with_max_wait_s(self.max_wait_s);
         let graph = network.task_graph();
         let mut sim = self.config.build_harvest_simulator();
         let mut nv = NonvolatileMemory::new(self.config.device.nonvolatile_bytes() as usize);

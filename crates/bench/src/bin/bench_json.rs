@@ -1,0 +1,262 @@
+//! Machine-readable inference micro-benchmark seeding the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p ie_bench --bin bench_json            # full run
+//! cargo run --release -p ie_bench --bin bench_json -- --fast  # CI smoke
+//! ```
+//!
+//! Benchmarks three implementations of `multi_exit_forward` on the paper's
+//! LeNet backbone **in the same binary**:
+//!
+//! * `pre_pr_allocating` — a faithful replica of the pre-planning forward
+//!   path: per-layer output allocation, fresh `im2col` matrix, weight
+//!   reshape/copy, the branchy zero-skip GEMM, separate bias and ReLU passes;
+//! * `allocating` — the current `MultiExitNetwork::forward_to_exit` (thin
+//!   wrappers over the blocked `_into` kernels, still allocating per layer);
+//! * `planned` — `forward_to_exit_with` over a reusable `ExecutionPlan`
+//!   (zero allocations after warm-up, fused bias+ReLU epilogues).
+//!
+//! Writes `BENCH_inference.json` (median ns/op per exit) into the current
+//! directory and prints a summary table. All three paths are checked to
+//! produce the same prediction before anything is timed.
+
+use ie_nn::loss::{confidence, softmax};
+use ie_nn::spec::lenet_multi_exit;
+use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
+use ie_tensor::{Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Verbatim copy of the pre-planning `im2col` (fresh allocation plus the
+/// per-element padding branch), kept here so the baseline measures the real
+/// pre-PR code, not today's hoisted-bounds implementation.
+fn pre_pr_im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = out_h * out_w;
+    let rows = geom.in_channels * k * k;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    for c in 0..geom.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        let col = oy * out_w + ox;
+                        let value = if iy >= 0
+                            && iy < geom.in_h as isize
+                            && ix >= 0
+                            && ix < geom.in_w as isize
+                        {
+                            data[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + col] = value;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("bench shapes are valid")
+}
+
+/// Replica of the pre-planning convolution forward: `im2col` allocation,
+/// weight reshape (a full copy), the zero-skip GEMM, an output reshape
+/// (another copy) and a separate bias pass.
+fn pre_pr_conv_forward(conv: &Conv2d, input: &Tensor) -> Tensor {
+    let geom = conv.geometry();
+    let k = geom.kernel;
+    let cols = pre_pr_im2col(input, geom);
+    let wmat = conv
+        .weight()
+        .reshape(&[conv.out_channels(), geom.in_channels * k * k])
+        .expect("bench shapes are valid");
+    let out = wmat.matmul_sparse_aware(&cols).expect("bench shapes are valid");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = out.reshape(&[conv.out_channels(), oh, ow]).expect("bench shapes are valid");
+    let plane = oh * ow;
+    let data = out.as_mut_slice();
+    for c in 0..conv.out_channels() {
+        let b = conv.bias().as_slice()[c];
+        for v in &mut data[c * plane..(c + 1) * plane] {
+            *v += b;
+        }
+    }
+    out
+}
+
+/// Verbatim copy of the pre-planning `matvec` (allocating, strictly
+/// sequential per-row sum — the form LLVM cannot vectorise).
+fn pre_pr_matvec(weight: &Tensor, x: &Tensor) -> Tensor {
+    let (m, k) = (weight.dims()[0], weight.dims()[1]);
+    let a = weight.as_slice();
+    let xs = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &a[i * k..(i + 1) * k];
+        *o = row.iter().zip(xs).map(|(&w, &v)| w * v).sum();
+    }
+    Tensor::from_vec(out, &[m]).expect("bench shapes are valid")
+}
+
+/// Replica of the pre-planning dense forward: input reshape (copy), allocating
+/// sequential matvec, separate bias pass.
+fn pre_pr_dense_forward(dense: &Dense, input: &Tensor) -> Tensor {
+    let flat = input.reshape(&[dense.in_features()]).expect("bench shapes are valid");
+    let mut y = pre_pr_matvec(dense.weight(), &flat);
+    y.add_scaled_inplace(dense.bias(), 1.0).expect("bench shapes are valid");
+    y
+}
+
+fn pre_pr_run_layers(layers: &[Layer], input: &Tensor) -> Tensor {
+    let mut x = input.clone();
+    for layer in layers {
+        x = match layer {
+            Layer::Conv2d(conv) => pre_pr_conv_forward(conv, &x),
+            Layer::Dense(dense) => pre_pr_dense_forward(dense, &x),
+            other => other.forward(&x).expect("bench shapes are valid"),
+        };
+    }
+    x
+}
+
+/// Replica of the pre-planning `forward_to_exit`, including the softmax /
+/// confidence tensor chain of `ExitOutput`.
+fn pre_pr_forward_to_exit(net: &MultiExitNetwork, input: &Tensor, exit: usize) -> (usize, f32) {
+    let mut trunk = input.clone();
+    for segment in &net.segments()[..=exit] {
+        trunk = pre_pr_run_layers(segment, &trunk);
+    }
+    let logits = pre_pr_run_layers(&net.branches()[exit], &trunk);
+    let probs = softmax(&logits).expect("bench shapes are valid");
+    let prediction = probs.argmax().expect("non-empty logits");
+    (prediction, confidence(&probs))
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` timed invocations
+/// (after `warmup` untimed ones).
+fn median_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct CaseResult {
+    case: String,
+    pre_pr_ns: u64,
+    allocating_ns: u64,
+    planned_ns: u64,
+}
+
+impl CaseResult {
+    fn speedup_vs_pre_pr(&self) -> f64 {
+        self.pre_pr_ns as f64 / self.planned_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_inference.json".to_string());
+    let (warmup, samples) = if fast { (2, 9) } else { (5, 41) };
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let arch = lenet_multi_exit();
+    let net = MultiExitNetwork::from_architecture(&arch, &mut rng).unwrap();
+    let input = Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0);
+    let mut plan = net.execution_plan();
+
+    // The three paths must agree before any timing is trusted.
+    for exit in 0..3 {
+        let (pre_pred, _) = pre_pr_forward_to_exit(&net, &input, exit);
+        let (alloc_out, _) = net.forward_to_exit(&input, exit).unwrap();
+        let planned_out = net.forward_to_exit_with(&mut plan, &input, exit).unwrap();
+        assert_eq!(pre_pred, alloc_out.prediction, "pre-PR replica diverged at exit {exit}");
+        assert_eq!(planned_out.prediction, alloc_out.prediction, "planned diverged at {exit}");
+    }
+
+    let mut results = Vec::new();
+    for exit in 0..3 {
+        let pre_pr_ns = median_ns(warmup, samples, || {
+            black_box(pre_pr_forward_to_exit(&net, &input, exit).0);
+        });
+        let allocating_ns = median_ns(warmup, samples, || {
+            black_box(net.forward_to_exit(&input, exit).unwrap().0.prediction);
+        });
+        let planned_ns = median_ns(warmup, samples, || {
+            black_box(net.forward_to_exit_with(&mut plan, &input, exit).unwrap().prediction);
+        });
+        results.push(CaseResult {
+            case: format!("to_exit_{}", exit + 1),
+            pre_pr_ns,
+            allocating_ns,
+            planned_ns,
+        });
+    }
+
+    println!("# multi_exit_forward — median ns/op over {samples} samples\n");
+    println!(
+        "{:<12} {:>16} {:>14} {:>12} {:>22}",
+        "case", "pre_pr_allocating", "allocating", "planned", "planned vs pre-PR"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>16} {:>14} {:>12} {:>21.2}x",
+            r.case,
+            r.pre_pr_ns,
+            r.allocating_ns,
+            r.planned_ns,
+            r.speedup_vs_pre_pr()
+        );
+    }
+
+    let gate = results.last().expect("three cases benchmarked");
+    let json_cases: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"case\": \"multi_exit_forward/{}\",\n      \"pre_pr_allocating_ns\": {},\n      \"allocating_ns\": {},\n      \"planned_ns\": {},\n      \"speedup_planned_vs_pre_pr\": {:.3}\n    }}",
+                r.case, r.pre_pr_ns, r.allocating_ns, r.planned_ns, r.speedup_vs_pre_pr()
+            )
+        })
+        .collect();
+    // Record the invocation that actually produced this file, so the artifact
+    // is reproducible as-is (e.g. CI passes --fast).
+    let command = if args.is_empty() {
+        "cargo run --release -p ie_bench --bin bench_json".to_string()
+    } else {
+        format!("cargo run --release -p ie_bench --bin bench_json -- {}", args.join(" "))
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {}\n  }}\n}}\n",
+        samples,
+        command,
+        json_cases.join(",\n"),
+        gate.speedup_vs_pre_pr(),
+        gate.speedup_vs_pre_pr() >= 2.0
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!(
+        "\nwrote {out_path} (to_exit_3 planned speedup vs pre-PR: {:.2}x)",
+        gate.speedup_vs_pre_pr()
+    );
+}

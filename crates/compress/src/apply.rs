@@ -43,6 +43,11 @@ pub fn apply_policy(network: &mut MultiExitNetwork, policy: &CompressionPolicy) 
                         prune_weight(conv.weight_mut(), policy_entry.preserve_ratio);
                         let q = quantize_weights(conv.weight(), policy_entry.weight_bits);
                         *conv.weight_mut() = q.values;
+                        // Pruned filters have zeroed channel blocks: route this
+                        // layer's forward passes through the sparsity-aware
+                        // GEMM, which skips them. The dense (unpruned) path
+                        // keeps the branch-free blocked kernel.
+                        conv.set_sparse_hint(policy_entry.preserve_ratio < 1.0);
                         index += 1;
                     }
                     Layer::Dense(dense) => {

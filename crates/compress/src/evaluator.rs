@@ -95,39 +95,65 @@ impl PolicyEvaluator {
 
     /// Evaluates a policy.
     ///
+    /// Allocating wrapper over [`Self::evaluate_into`].
+    ///
     /// # Errors
     ///
     /// Returns a length-mismatch error when the policy does not cover every
     /// compressible layer, or whatever the accuracy estimator reports.
     pub fn evaluate(&self, policy: &CompressionPolicy) -> Result<CompressedProfile> {
+        let mut profile = CompressedProfile {
+            exit_flops: Vec::new(),
+            branch_flops: Vec::new(),
+            exit_accuracy: Vec::new(),
+            total_flops: 0,
+            model_size_bytes: 0,
+        };
+        self.evaluate_into(policy, &mut profile)?;
+        Ok(profile)
+    }
+
+    /// Evaluates a policy into an existing profile, reusing its buffers.
+    ///
+    /// The compression search evaluates thousands of candidate policies; with
+    /// a reused profile the cost accounting allocates nothing per candidate
+    /// (the accuracy estimator may still allocate internally, e.g. the
+    /// calibrated model returns one `Vec` of per-exit accuracies).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error when the policy does not cover every
+    /// compressible layer, or whatever the accuracy estimator reports. On
+    /// error the profile contents are unspecified.
+    pub fn evaluate_into(
+        &self,
+        policy: &CompressionPolicy,
+        profile: &mut CompressedProfile,
+    ) -> Result<()> {
         policy.check_length(self.layers.len())?;
-        let mut exit_flops = vec![0u64; self.num_exits];
-        let mut branch_flops = vec![0u64; self.num_exits];
-        let mut total_flops = 0u64;
-        let mut model_size_bytes = 0u64;
+        profile.exit_flops.clear();
+        profile.exit_flops.resize(self.num_exits, 0);
+        profile.branch_flops.clear();
+        profile.branch_flops.resize(self.num_exits, 0);
+        profile.total_flops = 0;
+        profile.model_size_bytes = 0;
         for (layer, lp) in self.layers.iter().zip(policy.layers()) {
             let ratio = f64::from(lp.preserve_ratio.clamp(0.0, 1.0));
             let eff_macs = (layer.macs as f64 * ratio).round() as u64;
             let eff_params = (layer.weight_params as f64 * ratio).round() as u64;
-            total_flops += eff_macs;
-            model_size_bytes += storage_bytes(eff_params, lp.weight_bits.min(32));
+            profile.total_flops += eff_macs;
+            profile.model_size_bytes += storage_bytes(eff_params, lp.weight_bits.min(32));
             if !layer.in_trunk {
-                branch_flops[layer.first_exit] += eff_macs;
+                profile.branch_flops[layer.first_exit] += eff_macs;
             }
-            for (exit, flops) in exit_flops.iter_mut().enumerate() {
+            for (exit, flops) in profile.exit_flops.iter_mut().enumerate() {
                 if layer.used_by_exit(exit) {
                     *flops += eff_macs;
                 }
             }
         }
-        let exit_accuracy = self.estimator.exit_accuracy(&self.layers, policy)?;
-        Ok(CompressedProfile {
-            exit_flops,
-            branch_flops,
-            exit_accuracy,
-            total_flops,
-            model_size_bytes,
-        })
+        profile.exit_accuracy = self.estimator.exit_accuracy(&self.layers, policy)?;
+        Ok(())
     }
 }
 
@@ -223,5 +249,19 @@ mod tests {
     fn policy_length_is_checked() {
         let ev = evaluator();
         assert!(ev.evaluate(&CompressionPolicy::full_precision(3)).is_err());
+    }
+
+    #[test]
+    fn evaluate_into_reuses_a_profile_without_stale_state() {
+        let ev = evaluator();
+        let full = CompressionPolicy::full_precision(ev.layers().len());
+        let half = CompressionPolicy::uniform(ev.layers().len(), 0.5, 4, 8).unwrap();
+        let mut reused = ev.evaluate(&half).unwrap();
+        // Re-evaluating a different policy into the same profile must equal a
+        // fresh evaluation (no accumulation from the previous contents).
+        ev.evaluate_into(&full, &mut reused).unwrap();
+        assert_eq!(reused, ev.evaluate(&full).unwrap());
+        ev.evaluate_into(&half, &mut reused).unwrap();
+        assert_eq!(reused, ev.evaluate(&half).unwrap());
     }
 }

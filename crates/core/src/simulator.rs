@@ -58,20 +58,28 @@ impl EventLoopSimulator {
         let events = self.config.build_events();
         let num_exits = model.num_exits();
         let exit_energy = model.exit_energies_mj();
-        let exit_accuracy = model.exit_accuracies();
         let mut records = Vec::with_capacity(events.len());
+
+        // The per-exit cost/accuracy tables are fixed for the whole run, so
+        // the context is built once and only its scalar fields change per
+        // event — the event loop itself performs no per-event allocations.
+        let mut ctx = EventContext {
+            event_id: 0,
+            time_s: 0.0,
+            available_energy_mj: 0.0,
+            capacity_mj: sim.storage().capacity_mj(),
+            charging_efficiency: 0.0,
+            exit_energy_mj: exit_energy.clone(),
+            exit_accuracy: model.exit_accuracies(),
+        };
 
         for event in &events {
             sim.advance_to(event.time_s);
-            let ctx = EventContext {
-                event_id: event.id,
-                time_s: event.time_s,
-                available_energy_mj: sim.storage().level_mj(),
-                capacity_mj: sim.storage().capacity_mj(),
-                charging_efficiency: sim.charging_efficiency(),
-                exit_energy_mj: exit_energy.clone(),
-                exit_accuracy: exit_accuracy.clone(),
-            };
+            ctx.event_id = event.id;
+            ctx.time_s = event.time_s;
+            ctx.available_energy_mj = sim.storage().level_mj();
+            ctx.capacity_mj = sim.storage().capacity_mj();
+            ctx.charging_efficiency = sim.charging_efficiency();
             let choice = policy.choose_exit(&ctx);
 
             let (record, feedback) = match choice {

@@ -55,6 +55,11 @@ impl NonvolatileMemory {
 
     /// Writes (or overwrites) `key` with `data`.
     ///
+    /// Overwriting an existing key reuses its buffer in place (unless the new
+    /// value is larger), so steady-state checkpointing — the intermittent
+    /// executor rewriting `task-progress` after every task — allocates
+    /// nothing per write.
+    ///
     /// # Errors
     ///
     /// Returns [`McuError::NonvolatileFull`] when the write would exceed the
@@ -69,7 +74,12 @@ impl NonvolatileMemory {
             });
         }
         self.bytes_written += data.len() as u64;
-        self.entries.insert(key.to_string(), data.to_vec());
+        if let Some(slot) = self.entries.get_mut(key) {
+            slot.clear();
+            slot.extend_from_slice(data);
+        } else {
+            self.entries.insert(key.to_string(), data.to_vec());
+        }
         Ok(())
     }
 

@@ -1,5 +1,5 @@
 use crate::{NnError, Result};
-use ie_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use ie_tensor::{col2im, gemm_into, gemm_sparse_into, im2col, im2col_into, Conv2dGeometry, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution layer over `[C, H, W]` inputs.
@@ -30,6 +30,7 @@ pub struct Conv2d {
     grad_bias: Tensor,
     geom: Conv2dGeometry,
     out_channels: usize,
+    sparse_hint: bool,
 }
 
 impl Conv2d {
@@ -60,7 +61,21 @@ impl Conv2d {
             grad_bias: Tensor::zeros(&[out_channels]),
             geom,
             out_channels,
+            sparse_hint: false,
         }
+    }
+
+    /// Marks the layer's weights as sparse (set by the compression crate after
+    /// channel pruning). With the hint set, forward passes use the
+    /// sparsity-aware GEMM that skips zeroed weights; without it they use the
+    /// dense blocked kernel. Both kernels agree on all finite inputs.
+    pub fn set_sparse_hint(&mut self, sparse: bool) {
+        self.sparse_hint = sparse;
+    }
+
+    /// Whether the pruned-weight (sparsity-aware) GEMM is selected.
+    pub fn sparse_hint(&self) -> bool {
+        self.sparse_hint
     }
 
     /// The convolution geometry (input size, kernel, stride, padding).
@@ -108,7 +123,84 @@ impl Conv2d {
         [self.out_channels, self.geom.out_h(), self.geom.out_w()]
     }
 
+    /// Number of elements of the flat input this layer expects.
+    pub fn input_len(&self) -> usize {
+        self.geom.in_channels * self.geom.in_h * self.geom.in_w
+    }
+
+    /// Number of elements of the flat output this layer produces.
+    pub fn output_len(&self) -> usize {
+        self.out_channels * self.geom.out_h() * self.geom.out_w()
+    }
+
+    /// Number of elements the `im2col` scratch buffer needs.
+    pub fn col_len(&self) -> usize {
+        self.geom.col_len()
+    }
+
+    /// Allocation-free forward pass: lowers `input` into `col`, multiplies by
+    /// the filter matrix with the bias add (and, when `fuse_relu` is set, the
+    /// ReLU of a following activation layer) fused into the GEMM epilogue, and
+    /// writes the `[out_channels, out_h, out_w]` activation into `out`.
+    ///
+    /// The filters are read in their native `[O, C·K·K]` row-major layout, so
+    /// no weight reshape/copy happens. Buffer sizes must be exactly
+    /// [`Self::input_len`], [`Self::output_len`] and [`Self::col_len`].
+    /// Bit-identical to [`Self::forward`] (+ separate ReLU when fused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when a buffer length does not
+    /// match the layer geometry.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        col: &mut [f32],
+        fuse_relu: bool,
+    ) -> Result<()> {
+        if input.len() != self.input_len() {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d".into(),
+                expected: vec![self.geom.in_channels, self.geom.in_h, self.geom.in_w],
+                actual: vec![input.len()],
+            });
+        }
+        if out.len() != self.output_len() {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d(out)".into(),
+                expected: vec![self.output_len()],
+                actual: vec![out.len()],
+            });
+        }
+        im2col_into(input, &self.geom, col)?;
+        let (m, k, n) = (self.out_channels, self.geom.col_rows(), self.geom.col_cols());
+        if self.sparse_hint {
+            gemm_sparse_into(self.weight.as_slice(), col, out, m, k, n);
+        } else {
+            gemm_into(self.weight.as_slice(), col, out, m, k, n);
+        }
+        let plane = self.geom.out_h() * self.geom.out_w();
+        let bias = self.bias.as_slice();
+        if fuse_relu {
+            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
+                for v in row {
+                    *v = (*v + b).max(0.0);
+                }
+            }
+        } else {
+            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
+                for v in row {
+                    *v += b;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass over a `[in_channels, in_h, in_w]` input.
+    ///
+    /// Allocating wrapper over [`Self::forward_into`].
     ///
     /// # Errors
     ///
@@ -123,23 +215,9 @@ impl Conv2d {
                 actual: input.dims().to_vec(),
             });
         }
-        let k = self.geom.kernel;
-        let cols = im2col(input, &self.geom)?;
-        let wmat = self.weight.reshape(&[self.out_channels, self.geom.in_channels * k * k])?;
-        let out = wmat.matmul(&cols)?;
-        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
-        let mut out = out.reshape(&[self.out_channels, oh, ow])?;
-        // Add per-channel bias.
-        let plane = oh * ow;
-        {
-            let data = out.as_mut_slice();
-            for c in 0..self.out_channels {
-                let b = self.bias.as_slice()[c];
-                for v in &mut data[c * plane..(c + 1) * plane] {
-                    *v += b;
-                }
-            }
-        }
+        let mut out = Tensor::zeros(&self.output_dims());
+        let mut col = vec![0.0f32; self.col_len()];
+        self.forward_into(input.as_slice(), out.as_mut_slice(), &mut col, false)?;
         Ok(out)
     }
 

@@ -115,7 +115,52 @@ impl Dense {
         self.weight.len() + self.bias.len()
     }
 
+    /// Allocation-free forward pass: computes `W·x + b` (and, when
+    /// `fuse_relu` is set, the ReLU of a following activation layer) into
+    /// `out`. Bit-identical to [`Self::forward`] (+ separate ReLU when fused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when `input` does not have
+    /// `in_features` elements or `out` does not have `out_features`.
+    pub fn forward_into(&self, input: &[f32], out: &mut [f32], fuse_relu: bool) -> Result<()> {
+        if input.len() != self.in_features {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense".into(),
+                expected: vec![self.in_features],
+                actual: vec![input.len()],
+            });
+        }
+        if out.len() != self.out_features {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense(out)".into(),
+                expected: vec![self.out_features],
+                actual: vec![out.len()],
+            });
+        }
+        ie_tensor::matvec_into(
+            self.weight.as_slice(),
+            input,
+            out,
+            self.out_features,
+            self.in_features,
+        );
+        let bias = self.bias.as_slice();
+        if fuse_relu {
+            for (o, &b) in out.iter_mut().zip(bias) {
+                *o = (*o + b).max(0.0);
+            }
+        } else {
+            for (o, &b) in out.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass for a flat input of `in_features` elements.
+    ///
+    /// Allocating wrapper over [`Self::forward_into`].
     ///
     /// # Errors
     ///
@@ -129,9 +174,8 @@ impl Dense {
                 actual: input.dims().to_vec(),
             });
         }
-        let flat = input.reshape(&[self.in_features])?;
-        let mut y = self.weight.matvec(&flat)?;
-        y.add_scaled_inplace(&self.bias, 1.0)?;
+        let mut y = Tensor::zeros(&[self.out_features]);
+        self.forward_into(input.as_slice(), y.as_mut_slice(), false)?;
         Ok(y)
     }
 

@@ -40,6 +40,9 @@ pub enum NnError {
     /// The architecture specification is inconsistent (e.g. an exit attached
     /// to a non-existent trunk layer).
     InvalidSpec(String),
+    /// A planned continuation was requested before any planned forward pass
+    /// populated the execution plan's cached trunk state.
+    MissingPlannedState,
 }
 
 impl fmt::Display for NnError {
@@ -61,6 +64,10 @@ impl fmt::Display for NnError {
                 write!(f, "label {label} out of range for {classes} classes")
             }
             NnError::InvalidSpec(msg) => write!(f, "invalid architecture spec: {msg}"),
+            NnError::MissingPlannedState => write!(
+                f,
+                "continue_to_exit_with called on an execution plan with no cached forward state"
+            ),
         }
     }
 }

@@ -8,6 +8,10 @@
 //! * a [`MultiExitNetwork`] that mirrors the paper's early-exit LeNet backbone
 //!   and supports **incremental inference** (run to exit *i*, later continue to
 //!   exit *i + 1* without recomputing the shared trunk),
+//! * an [`ExecutionPlan`] for statically planned, **allocation-free**
+//!   inference: pre-sized buffers, fused bias+ReLU GEMM epilogues, and planned
+//!   `*_with` variants of every forward entry point that are bit-identical to
+//!   the allocating ones,
 //! * softmax / cross-entropy losses and the **entropy-based confidence**
 //!   measure used to decide whether an exit's prediction is trustworthy,
 //! * an SGD optimiser and a tiny training loop,
@@ -41,6 +45,7 @@ pub mod loss;
 mod mlp;
 mod network;
 mod optim;
+mod plan;
 mod pool;
 pub mod spec;
 pub mod train;
@@ -53,6 +58,7 @@ pub use layer::{Flatten, Layer};
 pub use mlp::{Mlp, OutputActivation};
 pub use network::{ExitOutput, ForwardState, MultiExitNetwork};
 pub use optim::Sgd;
+pub use plan::{ExecutionPlan, PlannedOutput};
 pub use pool::MaxPool2d;
 
 /// Crate-wide result alias.

@@ -21,10 +21,42 @@ use ie_tensor::Tensor;
 /// # Ok::<(), ie_nn::NnError>(())
 /// ```
 pub fn softmax(logits: &Tensor) -> Result<Tensor> {
-    let max = logits.max()?;
-    let exp = logits.map(|x| (x - max).exp());
-    let sum = exp.sum();
-    Ok(exp.scale(1.0 / sum))
+    let mut out = Tensor::zeros(&[logits.len()]);
+    softmax_into(logits.as_slice(), out.as_mut_slice())?;
+    out.reshape(logits.dims()).map_err(NnError::from)
+}
+
+/// Numerically stable softmax written into a caller-provided buffer of the
+/// same length. Never allocates; bit-identical to [`softmax`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Tensor`] for an empty input or a length mismatch.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) -> Result<()> {
+    if logits.is_empty() {
+        return Err(NnError::Tensor(ie_tensor::TensorError::EmptyTensor));
+    }
+    if logits.len() != out.len() {
+        return Err(NnError::Tensor(ie_tensor::TensorError::DataShapeMismatch {
+            data_len: out.len(),
+            shape_len: logits.len(),
+        }));
+    }
+    // Same fold `Tensor::max` uses, so NaN handling and ties are identical.
+    let max = logits
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .expect("non-empty checked above");
+    for (o, &x) in out.iter_mut().zip(logits) {
+        *o = (x - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+    Ok(())
 }
 
 /// Cross-entropy loss between a logits vector and an integer class label.
@@ -53,17 +85,27 @@ pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
 /// compares the *normalised* entropy against a threshold to decide whether an
 /// incremental inference to the next exit is worthwhile.
 pub fn entropy(probs: &Tensor) -> f32 {
-    probs.as_slice().iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+    entropy_slice(probs.as_slice())
+}
+
+/// Slice form of [`entropy`]; never allocates.
+pub fn entropy_slice(probs: &[f32]) -> f32 {
+    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
 }
 
 /// Entropy of `probs` normalised to `[0, 1]` by the maximum possible entropy
 /// (`ln(num_classes)`), so thresholds are independent of the class count.
 pub fn normalized_entropy(probs: &Tensor) -> f32 {
+    normalized_entropy_slice(probs.as_slice())
+}
+
+/// Slice form of [`normalized_entropy`]; never allocates.
+pub fn normalized_entropy_slice(probs: &[f32]) -> f32 {
     let n = probs.len();
     if n <= 1 {
         return 0.0;
     }
-    entropy(probs) / (n as f32).ln()
+    entropy_slice(probs) / (n as f32).ln()
 }
 
 /// Confidence of a probability vector, defined as `1 − normalized_entropy`.
@@ -71,7 +113,27 @@ pub fn normalized_entropy(probs: &Tensor) -> f32 {
 /// A uniform distribution has confidence 0; a one-hot distribution has
 /// confidence 1.
 pub fn confidence(probs: &Tensor) -> f32 {
-    1.0 - normalized_entropy(probs)
+    confidence_slice(probs.as_slice())
+}
+
+/// Slice form of [`confidence`]; never allocates.
+pub fn confidence_slice(probs: &[f32]) -> f32 {
+    1.0 - normalized_entropy_slice(probs)
+}
+
+/// Index of the maximum element (first one on ties), or `None` for an empty
+/// slice. Matches `Tensor::argmax` exactly; never allocates.
+pub fn argmax_slice(values: &[f32]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
 }
 
 /// Classification accuracy of a batch of (probability, label) pairs.

@@ -1,0 +1,634 @@
+//! Statically planned, allocation-free inference.
+//!
+//! An [`ExecutionPlan`] is built once from a [`MultiExitArchitecture`]: it
+//! pre-sizes every buffer the forward pass will ever touch — the `im2col`
+//! column scratch, two ping-pong activation buffers for the trunk, two for the
+//! branch being evaluated, and per-exit logits/probability buffers. The
+//! planned entry points ([`MultiExitNetwork::forward_to_exit_with`],
+//! [`MultiExitNetwork::continue_to_exit_with`],
+//! [`MultiExitNetwork::forward_all_with`]) then run entirely inside those
+//! buffers: after the plan is constructed, a forward pass performs **zero
+//! heap allocations** (asserted by a counting-allocator regression test).
+//!
+//! Conv→ReLU and Dense→ReLU pairs are fused — the bias add and activation run
+//! in the GEMM epilogue — and convolution filters are read in their native
+//! row-major layout, so the weight reshape/copy of the allocating path
+//! disappears. Results are bit-identical to the allocating
+//! [`MultiExitNetwork::forward_to_exit`] path, which shares the same kernels.
+//!
+//! ```
+//! use ie_nn::{spec::tiny_multi_exit, MultiExitNetwork};
+//! use ie_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng)?;
+//! let mut plan = net.execution_plan();
+//! let x = Tensor::zeros(&[1, 8, 8]);
+//! let out = net.forward_to_exit_with(&mut plan, &x, 0)?;
+//! assert_eq!(out.exit, 0);
+//! let deeper = net.continue_to_exit_with(&mut plan, 1)?;
+//! assert_eq!(deeper.exit, 1);
+//! assert_eq!(plan.probs(1).len(), 3);
+//! # Ok::<(), ie_nn::NnError>(())
+//! ```
+
+use crate::loss::{argmax_slice, confidence_slice, softmax_into};
+use crate::spec::{LayerSpecKind, MultiExitArchitecture};
+use crate::{Layer, MultiExitNetwork, NnError, Result};
+use ie_tensor::{Tensor, Workspace};
+
+/// Slot indices of the two-slot ping-pong workspaces.
+const SLOT_A: usize = 0;
+const SLOT_B: usize = 1;
+
+/// Shape of the activation currently held in a ping-pong slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActDims {
+    /// A `[C, H, W]` feature map.
+    Spatial([usize; 3]),
+    /// A flat feature vector.
+    Flat(usize),
+}
+
+impl ActDims {
+    fn len(&self) -> usize {
+        match self {
+            ActDims::Spatial([c, h, w]) => c * h * w,
+            ActDims::Flat(n) => *n,
+        }
+    }
+}
+
+/// The lightweight, non-allocating result of a planned forward pass.
+///
+/// The full logits and probabilities live in the plan's per-exit buffers;
+/// read them through [`ExecutionPlan::logits`] / [`ExecutionPlan::probs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedOutput {
+    /// Which exit produced the result.
+    pub exit: usize,
+    /// Predicted class (argmax of the probabilities).
+    pub prediction: usize,
+    /// Entropy-based confidence in `[0, 1]` (see [`crate::loss::confidence`]).
+    pub confidence: f32,
+}
+
+/// Pre-sized buffers plus cached trunk state for allocation-free inference.
+///
+/// Build once per (architecture, thread) with
+/// [`ExecutionPlan::for_architecture`] or
+/// [`MultiExitNetwork::execution_plan`], then reuse across any number of
+/// forward passes. The plan also caches the deepest trunk activation it has
+/// computed, which is what makes zero-allocation *incremental* inference
+/// ([`MultiExitNetwork::continue_to_exit_with`]) possible.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    num_exits: usize,
+    /// Trunk activation ping-pong buffers (slots A/B).
+    trunk: Workspace,
+    /// Branch activation ping-pong buffers (slots A/B).
+    branch: Workspace,
+    /// Shared `im2col` column scratch, sized for the largest convolution.
+    col: Vec<f32>,
+    /// Raw logits of each exit, written by the most recent pass over it.
+    logits: Vec<Vec<f32>>,
+    /// Softmax probabilities of each exit.
+    probs: Vec<Vec<f32>>,
+    /// Slot of `trunk` holding the current trunk activation.
+    trunk_slot: usize,
+    /// Shape of the cached trunk activation.
+    trunk_dims: ActDims,
+    /// Trunk segments already executed (`0` when no state is cached).
+    segments_done: usize,
+    /// Exit most recently evaluated from the cached state.
+    last_exit: Option<usize>,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan for `arch`, pre-sizing every buffer so that planned
+    /// forward passes never allocate.
+    pub fn for_architecture(arch: &MultiExitArchitecture) -> Self {
+        let (max_act, max_col) = buffer_requirements(arch);
+        let mut trunk = Workspace::new();
+        trunk.ensure_slot(SLOT_A, max_act);
+        trunk.ensure_slot(SLOT_B, max_act);
+        let mut branch = Workspace::new();
+        branch.ensure_slot(SLOT_A, max_act);
+        branch.ensure_slot(SLOT_B, max_act);
+        let classes = arch.num_classes();
+        ExecutionPlan {
+            num_exits: arch.num_exits(),
+            trunk,
+            branch,
+            col: vec![0.0; max_col],
+            logits: vec![vec![0.0; classes]; arch.num_exits()],
+            probs: vec![vec![0.0; classes]; arch.num_exits()],
+            trunk_slot: SLOT_A,
+            trunk_dims: ActDims::Flat(0),
+            segments_done: 0,
+            last_exit: None,
+        }
+    }
+
+    /// Number of exits the plan covers.
+    pub fn num_exits(&self) -> usize {
+        self.num_exits
+    }
+
+    /// Raw logits of `exit` from the most recent planned pass over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `exit` is out of range.
+    pub fn logits(&self, exit: usize) -> &[f32] {
+        &self.logits[exit]
+    }
+
+    /// Softmax probabilities of `exit` from the most recent planned pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `exit` is out of range.
+    pub fn probs(&self, exit: usize) -> &[f32] {
+        &self.probs[exit]
+    }
+
+    /// The exit most recently evaluated from the cached trunk state, if any.
+    pub fn last_exit(&self) -> Option<usize> {
+        self.last_exit
+    }
+
+    /// Number of trunk segments whose output is currently cached.
+    pub fn segments_done(&self) -> usize {
+        self.segments_done
+    }
+
+    /// Drops the cached trunk state (buffers stay warm).
+    pub fn reset(&mut self) {
+        self.segments_done = 0;
+        self.last_exit = None;
+        self.trunk_dims = ActDims::Flat(0);
+        self.trunk_slot = SLOT_A;
+    }
+
+    /// Runs `layers` over the activation held in `ws` (ping-pong between its
+    /// two slots), fusing Conv→ReLU / Dense→ReLU pairs into the GEMM epilogue.
+    fn run_layers(
+        layers: &[Layer],
+        ws: &mut Workspace,
+        col: &mut [f32],
+        slot: &mut usize,
+        dims: &mut ActDims,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < layers.len() {
+            let fuse = matches!(layers.get(i + 1), Some(Layer::Relu(_)));
+            match &layers[i] {
+                Layer::Conv2d(conv) => {
+                    let geom = conv.geometry();
+                    let expected = [geom.in_channels, geom.in_h, geom.in_w];
+                    if *dims != ActDims::Spatial(expected) {
+                        return Err(shape_error("conv2d", &expected, dims));
+                    }
+                    let in_len = conv.input_len();
+                    let out_len = conv.output_len();
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    conv.forward_into(
+                        &src[..in_len],
+                        &mut dst[..out_len],
+                        &mut col[..conv.col_len()],
+                        fuse,
+                    )?;
+                    *slot = 1 - *slot;
+                    *dims = ActDims::Spatial(conv.output_dims());
+                    i += if fuse { 2 } else { 1 };
+                }
+                Layer::Dense(dense) => {
+                    if dims.len() != dense.in_features() {
+                        return Err(shape_error("dense", &[dense.in_features()], dims));
+                    }
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    dense.forward_into(
+                        &src[..dense.in_features()],
+                        &mut dst[..dense.out_features()],
+                        fuse,
+                    )?;
+                    *slot = 1 - *slot;
+                    *dims = ActDims::Flat(dense.out_features());
+                    i += if fuse { 2 } else { 1 };
+                }
+                Layer::Relu(_) => {
+                    let len = dims.len();
+                    for v in &mut ws.slot_mut(*slot)[..len] {
+                        *v = v.max(0.0);
+                    }
+                    i += 1;
+                }
+                Layer::MaxPool2d(pool) => {
+                    let ActDims::Spatial(d) = *dims else {
+                        return Err(shape_error("maxpool2d", &[0, 0, 0], dims));
+                    };
+                    let out_dims = pool.output_dims(&d);
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    pool.forward_slice_into(
+                        &src[..d.iter().product()],
+                        d,
+                        &mut dst[..out_dims.iter().product()],
+                    )?;
+                    *slot = 1 - *slot;
+                    *dims = ActDims::Spatial(out_dims);
+                    i += 1;
+                }
+                Layer::Flatten(_) => {
+                    *dims = ActDims::Flat(dims.len());
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates branch `exit` on the cached trunk activation, filling the
+    /// per-exit logits/probability buffers.
+    fn eval_branch(&mut self, net: &MultiExitNetwork, exit: usize) -> Result<PlannedOutput> {
+        // Copy the trunk activation into the branch ping-pong so the trunk
+        // stays intact for later incremental continuations.
+        let len = self.trunk_dims.len();
+        let src = &self.trunk.slot(self.trunk_slot)[..len];
+        self.branch.slot_mut(SLOT_A)[..len].copy_from_slice(src);
+        let mut slot = SLOT_A;
+        let mut dims = self.trunk_dims;
+        ExecutionPlan::run_layers(
+            &net.branches()[exit],
+            &mut self.branch,
+            &mut self.col,
+            &mut slot,
+            &mut dims,
+        )?;
+        let classes = self.logits[exit].len();
+        if dims.len() != classes {
+            return Err(shape_error("branch(logits)", &[classes], &dims));
+        }
+        let logits_src = &self.branch.slot(slot)[..classes];
+        self.logits[exit].copy_from_slice(logits_src);
+        softmax_into(&self.logits[exit], &mut self.probs[exit])?;
+        let probs = &self.probs[exit];
+        let prediction = argmax_slice(probs).expect("exit produces at least one class");
+        Ok(PlannedOutput { exit, prediction, confidence: confidence_slice(probs) })
+    }
+
+    /// Errors when `net` does not fit this plan's buffers: different exit or
+    /// class count, or activation / column scratch requirements exceeding the
+    /// plan's capacities. Allocation-free on the success path; the
+    /// requirements walk is integer math over the layer specs (≤ ~20 of
+    /// them), well under 0.1 % of one planned forward pass.
+    fn check_compatible(&self, net: &MultiExitNetwork) -> Result<()> {
+        let arch = net.architecture();
+        let (max_act, max_col) = buffer_requirements(arch);
+        let compatible = self.num_exits == arch.num_exits()
+            && self.logits.first().map(Vec::len) == Some(arch.num_classes())
+            && max_act <= self.trunk.slot_len(SLOT_A)
+            && max_col <= self.col.len();
+        if !compatible {
+            return Err(NnError::InvalidSpec(format!(
+                "execution plan ({} exits, {} classes, act {}, col {}) does not fit the \
+                 network ({} exits, {} classes, act {max_act}, col {max_col})",
+                self.num_exits,
+                self.logits.first().map(Vec::len).unwrap_or(0),
+                self.trunk.slot_len(SLOT_A),
+                self.col.len(),
+                arch.num_exits(),
+                arch.num_classes()
+            )));
+        }
+        Ok(())
+    }
+
+    fn forward_to_exit(
+        &mut self,
+        net: &MultiExitNetwork,
+        input: &Tensor,
+        exit: usize,
+    ) -> Result<PlannedOutput> {
+        self.check_compatible(net)?;
+        check_exit(net, exit)?;
+        let dims = input.dims();
+        let mut act_dims = match dims.len() {
+            3 => ActDims::Spatial([dims[0], dims[1], dims[2]]),
+            _ => ActDims::Flat(input.len()),
+        };
+        if input.len() > self.trunk.slot_len(SLOT_A) {
+            return Err(NnError::InputShapeMismatch {
+                layer: "plan(input)".into(),
+                expected: vec![self.trunk.slot_len(SLOT_A)],
+                actual: vec![input.len()],
+            });
+        }
+        // The trunk buffers are about to be clobbered: invalidate the cached
+        // state now and mark it valid again only when the whole pass succeeds,
+        // so a failed pass can never leave stale metadata pointing at a
+        // half-overwritten activation.
+        self.last_exit = None;
+        self.segments_done = 0;
+        self.trunk.slot_mut(SLOT_A)[..input.len()].copy_from_slice(input.as_slice());
+        let mut slot = SLOT_A;
+        for segment in &net.segments()[..=exit] {
+            ExecutionPlan::run_layers(
+                segment,
+                &mut self.trunk,
+                &mut self.col,
+                &mut slot,
+                &mut act_dims,
+            )?;
+        }
+        self.trunk_slot = slot;
+        self.trunk_dims = act_dims;
+        let out = self.eval_branch(net, exit)?;
+        self.segments_done = exit + 1;
+        self.last_exit = Some(exit);
+        Ok(out)
+    }
+
+    fn continue_to_exit(&mut self, net: &MultiExitNetwork, exit: usize) -> Result<PlannedOutput> {
+        self.check_compatible(net)?;
+        check_exit(net, exit)?;
+        let Some(last) = self.last_exit else {
+            return Err(NnError::MissingPlannedState);
+        };
+        if exit <= last {
+            return Err(NnError::NonMonotonicExit { current: last, requested: exit });
+        }
+        let segments_done = self.segments_done;
+        // As above: the trunk mutates below, so the cached state is invalid
+        // until the continuation completes.
+        self.last_exit = None;
+        self.segments_done = 0;
+        let mut slot = self.trunk_slot;
+        let mut dims = self.trunk_dims;
+        for segment in &net.segments()[segments_done..=exit] {
+            ExecutionPlan::run_layers(
+                segment,
+                &mut self.trunk,
+                &mut self.col,
+                &mut slot,
+                &mut dims,
+            )?;
+        }
+        self.trunk_slot = slot;
+        self.trunk_dims = dims;
+        let out = self.eval_branch(net, exit)?;
+        self.segments_done = exit + 1;
+        self.last_exit = Some(exit);
+        Ok(out)
+    }
+}
+
+/// Largest activation and `im2col` column buffer (element counts) any layer
+/// of `arch` needs. Shared by plan construction and the per-call
+/// compatibility check; iterates the specs without allocating.
+fn buffer_requirements(arch: &MultiExitArchitecture) -> (usize, usize) {
+    let mut max_act: usize = arch.input_dims().iter().product();
+    let mut max_col = 0usize;
+    for spec in arch.all_layers() {
+        max_act = max_act.max(spec.output_dims.iter().product());
+        if let LayerSpecKind::Conv { in_channels, kernel, .. } = &spec.kind {
+            let cols: usize = spec.output_dims[1] * spec.output_dims[2];
+            max_col = max_col.max(in_channels * kernel * kernel * cols);
+        }
+    }
+    (max_act, max_col)
+}
+
+fn check_exit(net: &MultiExitNetwork, exit: usize) -> Result<()> {
+    if exit >= net.num_exits() {
+        return Err(NnError::InvalidExit { requested: exit, available: net.num_exits() });
+    }
+    Ok(())
+}
+
+fn shape_error(layer: &str, expected: &[usize], dims: &ActDims) -> NnError {
+    let actual = match dims {
+        ActDims::Spatial(d) => d.to_vec(),
+        ActDims::Flat(n) => vec![*n],
+    };
+    NnError::InputShapeMismatch { layer: layer.into(), expected: expected.to_vec(), actual }
+}
+
+impl MultiExitNetwork {
+    /// Builds an [`ExecutionPlan`] sized for this network's architecture.
+    pub fn execution_plan(&self) -> ExecutionPlan {
+        ExecutionPlan::for_architecture(self.architecture())
+    }
+
+    /// Planned counterpart of [`MultiExitNetwork::forward_to_exit`]: runs
+    /// inference up to (and including) `exit` entirely inside `plan`'s
+    /// pre-sized buffers. After the plan's first (warm-up) use this performs
+    /// zero heap allocations. Results are bit-identical to the allocating
+    /// path; the full logits/probabilities are available from
+    /// [`ExecutionPlan::logits`] / [`ExecutionPlan::probs`].
+    ///
+    /// The plan caches the trunk activation, replacing any previously cached
+    /// state, so a later [`MultiExitNetwork::continue_to_exit_with`] resumes
+    /// from here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidExit`] for an unknown exit or a shape error
+    /// when the input does not match the architecture.
+    pub fn forward_to_exit_with(
+        &self,
+        plan: &mut ExecutionPlan,
+        input: &Tensor,
+        exit: usize,
+    ) -> Result<PlannedOutput> {
+        plan.forward_to_exit(self, input, exit)
+    }
+
+    /// Planned counterpart of [`MultiExitNetwork::continue_to_exit`]:
+    /// continues the inference cached in `plan` to a strictly deeper exit
+    /// without recomputing the shared trunk and without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingPlannedState`] when no planned forward pass
+    /// has populated the plan, [`NnError::NonMonotonicExit`] when `exit` is
+    /// not deeper than the cached one, or [`NnError::InvalidExit`] when it
+    /// does not exist.
+    pub fn continue_to_exit_with(
+        &self,
+        plan: &mut ExecutionPlan,
+        exit: usize,
+    ) -> Result<PlannedOutput> {
+        plan.continue_to_exit(self, exit)
+    }
+
+    /// Planned counterpart of [`MultiExitNetwork::forward_all`]: evaluates
+    /// every exit on `input`, invoking `visit` with each exit's
+    /// [`PlannedOutput`] in order. Allocation-free like the other planned
+    /// entry points; per-exit logits/probabilities remain readable from the
+    /// plan after the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_all_with<F: FnMut(PlannedOutput)>(
+        &self,
+        plan: &mut ExecutionPlan,
+        input: &Tensor,
+        mut visit: F,
+    ) -> Result<()> {
+        let first = plan.forward_to_exit(self, input, 0)?;
+        visit(first);
+        for exit in 1..self.num_exits() {
+            visit(plan.continue_to_exit(self, exit)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{lenet_multi_exit, tiny_multi_exit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> MultiExitNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_allocating_forward() {
+        let net = tiny_net(1);
+        let mut plan = net.execution_plan();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+            for exit in 0..net.num_exits() {
+                let (reference, _) = net.forward_to_exit(&x, exit).unwrap();
+                let planned = net.forward_to_exit_with(&mut plan, &x, exit).unwrap();
+                assert_eq!(planned.exit, reference.exit);
+                assert_eq!(planned.prediction, reference.prediction);
+                assert_eq!(planned.confidence.to_bits(), reference.confidence.to_bits());
+                assert_eq!(plan.logits(exit), reference.logits.as_slice());
+                assert_eq!(plan.probs(exit), reference.probs.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_forward_matches_on_the_paper_backbone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+        let mut plan = net.execution_plan();
+        let x = Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0);
+        for exit in 0..3 {
+            let (reference, _) = net.forward_to_exit(&x, exit).unwrap();
+            let planned = net.forward_to_exit_with(&mut plan, &x, exit).unwrap();
+            assert_eq!(planned.prediction, reference.prediction);
+            assert_eq!(plan.logits(exit), reference.logits.as_slice());
+        }
+    }
+
+    #[test]
+    fn planned_incremental_matches_allocating_incremental() {
+        let net = tiny_net(4);
+        let mut plan = net.execution_plan();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+        let (_, state) = net.forward_to_exit(&x, 0).unwrap();
+        let (reference, _) = net.continue_to_exit(&state, 1).unwrap();
+        net.forward_to_exit_with(&mut plan, &x, 0).unwrap();
+        let planned = net.continue_to_exit_with(&mut plan, 1).unwrap();
+        assert_eq!(planned.prediction, reference.prediction);
+        assert_eq!(plan.logits(1), reference.logits.as_slice());
+        assert_eq!(plan.probs(1), reference.probs.as_slice());
+    }
+
+    #[test]
+    fn planned_forward_all_visits_every_exit_in_order() {
+        let net = tiny_net(6);
+        let mut plan = net.execution_plan();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+        let reference = net.forward_all(&x).unwrap();
+        let mut seen = Vec::new();
+        net.forward_all_with(&mut plan, &x, |out| seen.push(out)).unwrap();
+        assert_eq!(seen.len(), reference.len());
+        for (planned, reference) in seen.iter().zip(&reference) {
+            assert_eq!(planned.exit, reference.exit);
+            assert_eq!(planned.prediction, reference.prediction);
+            assert_eq!(plan.probs(planned.exit), reference.probs.as_slice());
+        }
+    }
+
+    #[test]
+    fn planned_errors_mirror_the_allocating_path() {
+        let net = tiny_net(8);
+        let mut plan = net.execution_plan();
+        let x = Tensor::zeros(&[1, 8, 8]);
+        assert!(matches!(
+            net.forward_to_exit_with(&mut plan, &x, 9),
+            Err(NnError::InvalidExit { .. })
+        ));
+        assert!(matches!(
+            net.continue_to_exit_with(&mut plan, 1),
+            Err(NnError::MissingPlannedState)
+        ));
+        net.forward_to_exit_with(&mut plan, &x, 1).unwrap();
+        assert!(matches!(
+            net.continue_to_exit_with(&mut plan, 0),
+            Err(NnError::NonMonotonicExit { .. })
+        ));
+        // Wrong input shape is rejected by the first conv layer.
+        assert!(net.forward_to_exit_with(&mut plan, &Tensor::zeros(&[1, 9, 8]), 0).is_err());
+        // The plan remains usable after errors.
+        plan.reset();
+        assert!(net.forward_to_exit_with(&mut plan, &x, 0).is_ok());
+        assert_eq!(plan.last_exit(), Some(0));
+        assert_eq!(plan.segments_done(), 1);
+    }
+
+    #[test]
+    fn failed_forward_invalidates_the_cached_trunk_state() {
+        // A failed pass clobbers the trunk buffers before the error surfaces;
+        // the cached state must be invalidated so a continuation cannot
+        // silently compute from the half-overwritten activation.
+        let net = tiny_net(9);
+        let mut plan = net.execution_plan();
+        let good = Tensor::ones(&[1, 8, 8]);
+        net.forward_to_exit_with(&mut plan, &good, 0).unwrap();
+        assert_eq!(plan.last_exit(), Some(0));
+        let bad = Tensor::zeros(&[1, 9, 8]); // fits the buffer, fails the conv check
+        assert!(net.forward_to_exit_with(&mut plan, &bad, 0).is_err());
+        assert_eq!(plan.last_exit(), None);
+        assert!(matches!(
+            net.continue_to_exit_with(&mut plan, 1),
+            Err(NnError::MissingPlannedState)
+        ));
+    }
+
+    #[test]
+    fn plan_for_a_smaller_architecture_is_rejected_not_a_panic() {
+        // tiny(3 classes, 2 exits) vs lenet (10 classes, 3 exits): exit count
+        // differs. Also check the same-exit-count case via class/buffer sizes:
+        // a 3-exit plan from lenet against a tiny 2-exit net and vice versa.
+        let mut rng = StdRng::seed_from_u64(10);
+        let lenet = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+        let tiny = tiny_net(10);
+        let mut tiny_plan = tiny.execution_plan();
+        let err = lenet
+            .forward_to_exit_with(&mut tiny_plan, &Tensor::zeros(&[3, 32, 32]), 0)
+            .unwrap_err();
+        assert!(matches!(err, NnError::InvalidSpec(_)), "got {err:?}");
+        // A plan from a bigger architecture with matching exit/class counts
+        // would be accepted (capacity check, not equality); the lenet plan
+        // still rejects the tiny net because the class counts differ.
+        let mut lenet_plan = lenet.execution_plan();
+        let err =
+            tiny.forward_to_exit_with(&mut lenet_plan, &Tensor::zeros(&[1, 8, 8]), 0).unwrap_err();
+        assert!(matches!(err, NnError::InvalidSpec(_)), "got {err:?}");
+    }
+}

@@ -59,7 +59,58 @@ impl MaxPool2d {
         Ok((c, h, w))
     }
 
+    /// Allocation-free forward pass over a flat `[c, h, w]` input slice,
+    /// writing the pooled `[c, h/size, w/size]` activation into `out`.
+    /// Bit-identical to [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when the spatial size is not
+    /// divisible by the pool size or a buffer length does not match the
+    /// dimensions.
+    pub fn forward_slice_into(
+        &self,
+        input: &[f32],
+        dims: [usize; 3],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        if input.len() != c * h * w || h % self.size != 0 || w % self.size != 0 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d".into(),
+                expected: vec![c, h / self.size * self.size, w / self.size * self.size],
+                actual: vec![input.len()],
+            });
+        }
+        let (oh, ow) = (h / self.size, w / self.size);
+        if out.len() != c * oh * ow {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(out)".into(),
+                expected: vec![c, oh, ow],
+                actual: vec![out.len()],
+            });
+        }
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..self.size {
+                        for dx in 0..self.size {
+                            let iy = oy * self.size + dy;
+                            let ix = ox * self.size + dx;
+                            best = best.max(input[(ch * h + iy) * w + ix]);
+                        }
+                    }
+                    out[(ch * oh + oy) * ow + ox] = best;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass.
+    ///
+    /// Allocating wrapper over [`Self::forward_slice_into`].
     ///
     /// # Errors
     ///
@@ -69,25 +120,7 @@ impl MaxPool2d {
         let (c, h, w) = self.check_input(input)?;
         let (oh, ow) = (h / self.size, w / self.size);
         let mut out = Tensor::zeros(&[c, oh, ow]);
-        let src = input.as_slice();
-        {
-            let dst = out.as_mut_slice();
-            for ch in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        for dy in 0..self.size {
-                            for dx in 0..self.size {
-                                let iy = oy * self.size + dy;
-                                let ix = ox * self.size + dx;
-                                best = best.max(src[(ch * h + iy) * w + ix]);
-                            }
-                        }
-                        dst[(ch * oh + oy) * ow + ox] = best;
-                    }
-                }
-            }
-        }
+        self.forward_slice_into(input.as_slice(), [c, h, w], out.as_mut_slice())?;
         Ok(out)
     }
 

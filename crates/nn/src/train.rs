@@ -1,7 +1,6 @@
 //! A small training loop for multi-exit networks on in-memory datasets.
 
 use crate::dataset::Sample;
-use crate::loss::accuracy;
 use crate::{MultiExitNetwork, Result, Sgd};
 
 /// Configuration of a multi-exit training run.
@@ -83,19 +82,29 @@ pub fn train(
 
 /// Evaluates the accuracy of every exit on the given samples.
 ///
+/// Runs the planned (allocation-free) forward path — one
+/// [`crate::ExecutionPlan`] is built up front and reused across every sample,
+/// so the evaluation loop itself performs no per-sample tensor allocations.
+/// Accuracies are identical to running the allocating
+/// [`MultiExitNetwork::forward_all`] per sample, because the planned path is
+/// bit-identical to it.
+///
 /// # Errors
 ///
 /// Propagates layer shape errors.
 pub fn evaluate(network: &MultiExitNetwork, samples: &[Sample]) -> Result<Vec<f32>> {
     let num_exits = network.num_exits();
-    let mut per_exit: Vec<Vec<(ie_tensor::Tensor, usize)>> = vec![Vec::new(); num_exits];
+    let mut plan = network.execution_plan();
+    let mut correct = vec![0usize; num_exits];
     for sample in samples {
-        let outputs = network.forward_all(&sample.image)?;
-        for out in outputs {
-            per_exit[out.exit].push((out.probs, sample.label));
-        }
+        network.forward_all_with(&mut plan, &sample.image, |out| {
+            correct[out.exit] += usize::from(out.prediction == sample.label);
+        })?;
     }
-    Ok(per_exit.iter().map(|preds| accuracy(preds)).collect())
+    if samples.is_empty() {
+        return Ok(vec![0.0; num_exits]);
+    }
+    Ok(correct.iter().map(|&c| c as f32 / samples.len() as f32).collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,98 @@
+//! Counting-allocator regression test: a warmed-up planned forward pass
+//! performs **zero** heap allocations.
+//!
+//! The counting is per-thread (a `const`-initialised thread-local `Cell`, so
+//! the bookkeeping itself never allocates and never races with the other test
+//! threads of the harness), and the whole file contains a single test so no
+//! sibling test can interleave allocations on this thread.
+
+use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
+use ie_nn::MultiExitNetwork;
+use ie_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// only addition is a thread-local counter bump, which cannot allocate or
+// unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn warmed_planned_forward_performs_zero_heap_allocations() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let tiny = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+    let lenet = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+    let tiny_input = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+    let lenet_input = Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0);
+    let mut tiny_plan = tiny.execution_plan();
+    let mut lenet_plan = lenet.execution_plan();
+
+    // Warm-up: touch every code path the measured section will run.
+    for _ in 0..2 {
+        tiny.forward_to_exit_with(&mut tiny_plan, &tiny_input, 0).unwrap();
+        tiny.continue_to_exit_with(&mut tiny_plan, 1).unwrap();
+        tiny.forward_all_with(&mut tiny_plan, &tiny_input, |_| {}).unwrap();
+        for exit in 0..3 {
+            lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, exit).unwrap();
+        }
+        lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, 0).unwrap();
+        lenet.continue_to_exit_with(&mut lenet_plan, 2).unwrap();
+    }
+
+    let before = allocations_on_this_thread();
+    let mut checksum = 0usize;
+    for _ in 0..10 {
+        checksum += tiny.forward_to_exit_with(&mut tiny_plan, &tiny_input, 0).unwrap().prediction;
+        checksum += tiny.continue_to_exit_with(&mut tiny_plan, 1).unwrap().prediction;
+        tiny.forward_all_with(&mut tiny_plan, &tiny_input, |out| checksum += out.prediction)
+            .unwrap();
+        for exit in 0..3 {
+            checksum +=
+                lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, exit).unwrap().prediction;
+        }
+        checksum +=
+            lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, 0).unwrap().prediction;
+        checksum += lenet.continue_to_exit_with(&mut lenet_plan, 2).unwrap().prediction;
+    }
+    let after = allocations_on_this_thread();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed planned inference must not allocate (checksum {checksum})"
+    );
+}

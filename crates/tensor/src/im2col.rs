@@ -62,7 +62,103 @@ impl Conv2dGeometry {
     }
 }
 
+impl Conv2dGeometry {
+    /// Number of rows of the column matrix [`im2col`] produces
+    /// (`in_channels · kernel²`).
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of columns of the column matrix (`out_h · out_w`).
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Element count of the column matrix (`col_rows · col_cols`).
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+}
+
+/// Lowers a `[C, H, W]` image (given as a flat slice) into a caller-provided
+/// `[C·K·K, out_h·out_w]` column buffer. Never allocates; every output cell —
+/// including zero padding — is written, so the buffer needs no prior clearing.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid or either buffer length does
+/// not match it.
+pub fn im2col_into(input: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) -> Result<()> {
+    geom.validate()?;
+    let in_len = geom.in_channels * geom.in_h * geom.in_w;
+    if input.len() != in_len {
+        return Err(TensorError::DataShapeMismatch { data_len: input.len(), shape_len: in_len });
+    }
+    if out.len() != geom.col_len() {
+        return Err(TensorError::DataShapeMismatch {
+            data_len: out.len(),
+            shape_len: geom.col_len(),
+        });
+    }
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let (k, stride, in_h, in_w) = (geom.kernel, geom.stride, geom.in_h, geom.in_w);
+    let cols = out_h * out_w;
+    for c in 0..geom.in_channels {
+        let chan = &input[c * in_h * in_w..(c + 1) * in_h * in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                // The padding tests are hoisted out of the inner loop: for a
+                // fixed (ky, kx) the valid output range is computable in
+                // closed form, so the hot middle region is a branch-free copy
+                // (a straight memcpy for stride 1).
+                let shift = kx as isize - geom.padding as isize; // ix = ox·s + shift
+                let ox_lo =
+                    if shift < 0 { ((-shift) as usize).div_ceil(stride).min(out_w) } else { 0 };
+                let last = in_w as isize - 1 - shift;
+                let ox_hi = if last < 0 { 0 } else { (last as usize / stride + 1).min(out_w) };
+                let ox_hi = ox_hi.max(ox_lo);
+                // Same bounds in y: rows fully inside the padding are zeroed
+                // with single contiguous fills above and below the valid band.
+                let vshift = ky as isize - geom.padding as isize; // iy = oy·s + vshift
+                let oy_lo =
+                    if vshift < 0 { ((-vshift) as usize).div_ceil(stride).min(out_h) } else { 0 };
+                let vlast = in_h as isize - 1 - vshift;
+                let oy_hi = if vlast < 0 { 0 } else { (vlast as usize / stride + 1).min(out_h) };
+                let oy_hi = oy_hi.max(oy_lo);
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                out_row[..oy_lo * out_w].fill(0.0);
+                out_row[oy_hi * out_w..].fill(0.0);
+                for oy in oy_lo..oy_hi {
+                    let iy = (oy * stride) as isize + vshift;
+                    let orow = &mut out_row[oy * out_w..(oy + 1) * out_w];
+                    let src = &chan[iy as usize * in_w..(iy as usize + 1) * in_w];
+                    orow[..ox_lo].fill(0.0);
+                    orow[ox_hi..].fill(0.0);
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    let start = ((ox_lo * stride) as isize + shift) as usize;
+                    if stride == 1 {
+                        orow[ox_lo..ox_hi].copy_from_slice(&src[start..start + (ox_hi - ox_lo)]);
+                    } else {
+                        let mut ix = start;
+                        for o in &mut orow[ox_lo..ox_hi] {
+                            *o = src[ix];
+                            ix += stride;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Lowers a `[C, H, W]` image into a `[C·K·K, out_h·out_w]` column matrix.
+///
+/// Allocating wrapper over [`im2col_into`]; both produce bit-identical
+/// columns.
 ///
 /// # Errors
 ///
@@ -80,41 +176,64 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             right: vec![geom.in_channels, geom.in_h, geom.in_w],
         });
     }
+    let mut out = vec![0.0f32; geom.col_len()];
+    im2col_into(input.as_slice(), geom, &mut out)?;
+    Tensor::from_vec(out, &[geom.col_rows(), geom.col_cols()])
+}
+
+/// Scatters a `[C·K·K, out_h·out_w]` column-gradient slice back into a
+/// caller-provided `[C, H, W]` image buffer (the adjoint of [`im2col_into`]).
+/// The image buffer is zeroed first, then accumulated into; never allocates.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid or either buffer length does
+/// not match it.
+pub fn col2im_into(cols: &[f32], geom: &Conv2dGeometry, image: &mut [f32]) -> Result<()> {
+    geom.validate()?;
+    if cols.len() != geom.col_len() {
+        return Err(TensorError::DataShapeMismatch {
+            data_len: cols.len(),
+            shape_len: geom.col_len(),
+        });
+    }
+    let image_len = geom.in_channels * geom.in_h * geom.in_w;
+    if image.len() != image_len {
+        return Err(TensorError::DataShapeMismatch { data_len: image.len(), shape_len: image_len });
+    }
+    image.fill(0.0);
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let k = geom.kernel;
-    let cols = out_h * out_w;
-    let rows = geom.in_channels * k * k;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = input.as_slice();
+    let ncols = out_h * out_w;
     for c in 0..geom.in_channels {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (c * k + ky) * k + kx;
                 for oy in 0..out_h {
                     let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
                     for ox in 0..out_w {
                         let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
                         let col = oy * out_w + ox;
-                        let value = if iy >= 0
-                            && iy < geom.in_h as isize
-                            && ix >= 0
-                            && ix < geom.in_w as isize
-                        {
-                            data[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        out[row * cols + col] = value;
+                        image[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize] +=
+                            cols[row * ncols + col];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+    Ok(())
 }
 
 /// Scatters a `[C·K·K, out_h·out_w]` column-gradient matrix back into a
 /// `[C, H, W]` image-gradient tensor (the adjoint of [`im2col`]).
+///
+/// Allocating wrapper over [`col2im_into`]; both produce bit-identical images.
 ///
 /// # Errors
 ///
@@ -122,9 +241,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
 /// geometry is invalid.
 pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     geom.validate()?;
-    let (out_h, out_w) = (geom.out_h(), geom.out_w());
-    let k = geom.kernel;
-    let expected = [geom.in_channels * k * k, out_h * out_w];
+    let expected = [geom.col_rows(), geom.col_cols()];
     if cols.dims() != expected {
         return Err(TensorError::ShapeMismatch {
             left: cols.dims().to_vec(),
@@ -132,33 +249,7 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
         });
     }
     let mut image = Tensor::zeros(&[geom.in_channels, geom.in_h, geom.in_w]);
-    let src = cols.as_slice();
-    let ncols = out_h * out_w;
-    {
-        let dst = image.as_mut_slice();
-        for c in 0..geom.in_channels {
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = (c * k + ky) * k + kx;
-                    for oy in 0..out_h {
-                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                        if iy < 0 || iy >= geom.in_h as isize {
-                            continue;
-                        }
-                        for ox in 0..out_w {
-                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                            if ix < 0 || ix >= geom.in_w as isize {
-                                continue;
-                            }
-                            let col = oy * out_w + ox;
-                            dst[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize] +=
-                                src[row * ncols + col];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    col2im_into(cols.as_slice(), geom, image.as_mut_slice())?;
     Ok(image)
 }
 

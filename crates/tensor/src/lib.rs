@@ -29,11 +29,14 @@ mod linalg;
 mod ops;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use error::TensorError;
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
+pub use linalg::{gemm_into, gemm_sparse_into, matvec_into};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

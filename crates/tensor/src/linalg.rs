@@ -1,16 +1,248 @@
 //! Matrix multiplication and vector products.
+//!
+//! The heavy kernels are exposed in two layers:
+//!
+//! * slice-level out-parameter kernels ([`gemm_into`], [`gemm_sparse_into`],
+//!   [`matvec_into`]) that never allocate — these are what the execution-plan
+//!   hot path in `ie_nn` drives against reusable [`crate::Workspace`] buffers;
+//! * the allocating [`Tensor`] methods ([`Tensor::matmul`],
+//!   [`Tensor::matvec`], …), which are thin wrappers that allocate the output
+//!   once and delegate to the same kernels, so both paths produce bit-identical
+//!   results.
+//!
+//! The dense GEMM is cache-blocked (column panels of `B`, depth blocks of the
+//! shared dimension) and register-tiled (4 rows of `A` per pass so each loaded
+//! `B` element feeds 4 independent multiply–accumulate streams). Per output
+//! element the contributions are still accumulated in ascending order of the
+//! shared dimension, exactly like the naive triple loop, so the blocking does
+//! not change a single bit of the result for finite inputs.
 
 use crate::{Result, Tensor, TensorError};
 
+/// Rows of `A` processed together by the register-tiled micro-kernel.
+const GEMM_MR: usize = 4;
+/// Columns of `B` covered by one register tile (two 8-lane vectors).
+const GEMM_NR: usize = 16;
+/// Depth (shared dimension) block size; bounds the `B` working set of one
+/// column tile to `GEMM_KC · GEMM_NR` floats (16 KB), which fits L1.
+const GEMM_KC: usize = 256;
+
+fn check_gemm_lens(a: &[f32], b: &[f32], out: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm: lhs buffer length {} != {m}x{k}", a.len());
+    assert_eq!(b.len(), k * n, "gemm: rhs buffer length {} != {k}x{n}", b.len());
+    assert_eq!(out.len(), m * n, "gemm: out buffer length {} != {m}x{n}", out.len());
+}
+
+/// 4×16 register micro-kernel: accumulates rows `i..i+4`, columns
+/// `jb..jb+16` of the product over the depth range `kb..kend`.
+///
+/// The accumulators are *loaded from* and *stored back to* `out`, so across
+/// depth blocks every output element still receives its contributions in
+/// ascending depth order — bit-identical to the naive triple loop.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_4x16(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    jb: usize,
+    kb: usize,
+    kend: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+    if kb > 0 {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let row = (i + r) * n + jb;
+            acc_row.copy_from_slice(&out[row..row + GEMM_NR]);
+        }
+    }
+    let a0 = &a[i * k..(i + 1) * k];
+    let a1 = &a[(i + 1) * k..(i + 2) * k];
+    let a2 = &a[(i + 2) * k..(i + 3) * k];
+    let a3 = &a[(i + 3) * k..(i + 4) * k];
+    for p in kb..kend {
+        let brow: &[f32; GEMM_NR] =
+            b[p * n + jb..p * n + jb + GEMM_NR].try_into().expect("tile width");
+        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+        for t in 0..GEMM_NR {
+            acc[0][t] += v0 * brow[t];
+            acc[1][t] += v1 * brow[t];
+            acc[2][t] += v2 * brow[t];
+            acc[3][t] += v3 * brow[t];
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let row = (i + r) * n + jb;
+        out[row..row + GEMM_NR].copy_from_slice(acc_row);
+    }
+}
+
+/// 1×16 register micro-kernel for the row remainder (`m % 4` rows).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_1x16(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    jb: usize,
+    kb: usize,
+    kend: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [0.0f32; GEMM_NR];
+    if kb > 0 {
+        acc.copy_from_slice(&out[i * n + jb..i * n + jb + GEMM_NR]);
+    }
+    let arow = &a[i * k..(i + 1) * k];
+    for p in kb..kend {
+        let brow: &[f32; GEMM_NR] =
+            b[p * n + jb..p * n + jb + GEMM_NR].try_into().expect("tile width");
+        let v = arow[p];
+        for t in 0..GEMM_NR {
+            acc[t] += v * brow[t];
+        }
+    }
+    out[i * n + jb..i * n + jb + GEMM_NR].copy_from_slice(&acc);
+}
+
+/// Accumulates `A·B` into `out`, which the caller must have zeroed.
+fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let n_main = n - n % GEMM_NR;
+    for kb in (0..k).step_by(GEMM_KC) {
+        let kend = (kb + GEMM_KC).min(k);
+        for jb in (0..n_main).step_by(GEMM_NR) {
+            let mut i = 0;
+            while i + GEMM_MR <= m {
+                gemm_tile_4x16(a, b, out, i, jb, kb, kend, k, n);
+                i += GEMM_MR;
+            }
+            while i < m {
+                gemm_tile_1x16(a, b, out, i, jb, kb, kend, k, n);
+                i += 1;
+            }
+        }
+        // Column remainder (n % 16): plain row-major accumulation in the same
+        // ascending-depth order.
+        if n_main < n {
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n + n_main..(i + 1) * n];
+                for p in kb..kend {
+                    let v = arow[p];
+                    let brow = &b[p * n + n_main..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += v * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dense blocked GEMM: writes `A·B` into `out` without allocating.
+///
+/// `a` is `[m, k]`, `b` is `[k, n]` and `out` is `[m, n]`, all row-major.
+/// The inner loop is an unconditional multiply–accumulate — no per-element
+/// zero test — which is what dense (unpruned) weights want.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check_gemm_lens(a, b, out, m, k, n);
+    out.fill(0.0);
+    gemm_accumulate(a, b, out, m, k, n);
+}
+
+/// Sparsity-aware GEMM: like [`gemm_into`] but skips the whole `B`-row
+/// contribution whenever the corresponding `A` element is exactly zero.
+///
+/// Channel pruning zeroes large contiguous runs of the filter matrix, so on
+/// pruned weights the skip pays for its branch many times over; on dense
+/// weights it is a pure branch-misprediction tax, which is why the dense path
+/// uses [`gemm_into`] instead. For finite inputs both kernels produce
+/// identical sums (a skipped term contributes exactly `±0.0`).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_sparse_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check_gemm_lens(a, b, out, m, k, n);
+    out.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Lanes of the vectorised dot product.
+const DOT_LANES: usize = 8;
+
+/// Dot product with eight parallel accumulator lanes and a fixed reduction
+/// tree. The lane split lets LLVM vectorise the reduction (a strictly
+/// sequential float sum cannot be vectorised without reassociation); the
+/// reduction order is a deterministic function of the length only, so results
+/// are reproducible across runs and identical for every caller.
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / DOT_LANES;
+    let mut acc = [0.0f32; DOT_LANES];
+    for c in 0..chunks {
+        let av: &[f32; DOT_LANES] =
+            a[c * DOT_LANES..(c + 1) * DOT_LANES].try_into().expect("lane width");
+        let bv: &[f32; DOT_LANES] =
+            b[c * DOT_LANES..(c + 1) * DOT_LANES].try_into().expect("lane width");
+        for t in 0..DOT_LANES {
+            acc[t] += av[t] * bv[t];
+        }
+    }
+    let mut sum = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    for i in chunks * DOT_LANES..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Matrix–vector product into a caller-provided buffer: `a` is `[m, k]`, `x`
+/// has `k` elements, `out` has `m` elements. Never allocates.
+///
+/// Uses the lane-parallel dot product ([`dot_lanes`]): deterministic, but the
+/// summation order differs from a strictly sequential fold.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "matvec: matrix buffer length {} != {m}x{k}", a.len());
+    assert_eq!(x.len(), k, "matvec: vector length {} != {k}", x.len());
+    assert_eq!(out.len(), m, "matvec: out length {} != {m}", out.len());
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
+        *o = dot_lanes(row, x);
+    }
+}
+
 impl Tensor {
-    /// Matrix product of two rank-2 tensors.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] when either operand is not a
-    /// matrix and [`TensorError::MatmulDimMismatch`] when the inner
-    /// dimensions disagree.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+    fn check_matmul(&self, other: &Tensor) -> Result<(usize, usize, usize)> {
         if self.shape().rank() != 2 {
             return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
         }
@@ -22,23 +254,71 @@ impl Tensor {
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
+        Ok((m, k, n))
+    }
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// Allocates the result once and delegates to the dense blocked kernel
+    /// ([`gemm_into`]); use [`Tensor::matmul_into`] to reuse an output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when either operand is not a
+    /// matrix and [`TensorError::MatmulDimMismatch`] when the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.check_matmul(other)?;
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm_accumulate(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product written into `out`, which must already be `[m, n]`.
+    ///
+    /// Bit-identical to [`Tensor::matmul`]; allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors as [`Tensor::matmul`] does, plus
+    /// [`TensorError::ShapeMismatch`] when `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k, n) = self.check_matmul(other)?;
+        if out.dims() != [m, n] {
+            return Err(TensorError::ShapeMismatch {
+                left: out.dims().to_vec(),
+                right: vec![m, n],
+            });
+        }
+        gemm_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n);
+        Ok(())
+    }
+
+    /// Matrix product that skips zero elements of `self` (see
+    /// [`gemm_sparse_into`]). Intended for the pruned-weight path, where
+    /// channel pruning has zeroed large runs of the left operand; on dense
+    /// operands prefer [`Tensor::matmul`]. Agrees with [`Tensor::matmul`] on
+    /// all finite inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors as [`Tensor::matmul`].
+    pub fn matmul_sparse_aware(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.check_matmul(other)?;
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm_sparse_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n);
+        Ok(out)
+    }
+
+    fn check_matvec(&self, vec: &Tensor) -> Result<(usize, usize)> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if vec.len() != k {
+            return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: vec.len() });
+        }
+        Ok((m, k))
     }
 
     /// Matrix–vector product: `self` must be `[m, k]`, `vec` must have `k`
@@ -49,21 +329,27 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`] on incompatible shapes.
     pub fn matvec(&self, vec: &Tensor) -> Result<Tensor> {
-        if self.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        let (m, k) = self.check_matvec(vec)?;
+        let mut out = Tensor::zeros(&[m]);
+        matvec_into(self.as_slice(), vec.as_slice(), out.as_mut_slice(), m, k);
+        Ok(out)
+    }
+
+    /// Matrix–vector product written into `out`, which must have `m` elements.
+    ///
+    /// Bit-identical to [`Tensor::matvec`]; allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors as [`Tensor::matvec`], plus
+    /// [`TensorError::ShapeMismatch`] when `out` has the wrong length.
+    pub fn matvec_into(&self, vec: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k) = self.check_matvec(vec)?;
+        if out.len() != m {
+            return Err(TensorError::ShapeMismatch { left: out.dims().to_vec(), right: vec![m] });
         }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        if vec.len() != k {
-            return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: vec.len() });
-        }
-        let a = self.as_slice();
-        let x = vec.as_slice();
-        let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
-        }
-        Tensor::from_vec(out, &[m])
+        matvec_into(self.as_slice(), vec.as_slice(), out.as_mut_slice(), m, k);
+        Ok(())
     }
 
     /// Dot product of two equally sized tensors (flattened).
@@ -99,6 +385,8 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn matmul_small_known_result() {
@@ -126,11 +414,70 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_matches_matmul_and_validates_out() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&mut rng, &[7, 9], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, &[9, 11], 0.0, 1.0);
+        let reference = a.matmul(&b).unwrap();
+        let mut out = Tensor::zeros(&[7, 11]);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, reference);
+        let mut wrong = Tensor::zeros(&[7, 10]);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn sparse_aware_matmul_agrees_with_dense_on_pruned_weights() {
+        // A pruned-looking matrix: whole input-channel blocks zeroed, exactly
+        // what channel pruning produces. Dense and sparse-aware kernels must
+        // agree bit for bit.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = Tensor::randn(&mut rng, &[6, 20], 0.0, 1.0);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if (i / 5) % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&mut rng, &[20, 13], 0.0, 1.0);
+        let dense = a.matmul(&b).unwrap();
+        let sparse = a.matmul_sparse_aware(&b).unwrap();
+        assert_eq!(dense.dims(), sparse.dims());
+        assert_eq!(dense.as_slice(), sparse.as_slice());
+    }
+
+    #[test]
+    fn blocked_gemm_handles_sizes_around_the_block_boundaries() {
+        // Exercise the register-tile remainder (m % 4 != 0) and panel edges.
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 128, 256), (5, 129, 257), (8, 260, 300)] {
+            let a = Tensor::randn(&mut rng, &[m, k], 0.0, 1.0);
+            let b = Tensor::randn(&mut rng, &[k, n], 0.0, 1.0);
+            let blocked = a.matmul(&b).unwrap();
+            // Naive reference computed with the same accumulation order.
+            let (av, bv) = (a.as_slice(), b.as_slice());
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    for j in 0..n {
+                        naive[i * n + j] += av[i * k + p] * bv[p * n + j];
+                    }
+                }
+            }
+            assert_eq!(blocked.as_slice(), &naive[..], "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
         let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap();
         let y = a.matvec(&x).unwrap();
         assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+        let mut out = Tensor::zeros(&[2]);
+        a.matvec_into(&x, &mut out).unwrap();
+        assert_eq!(out.as_slice(), y.as_slice());
+        let mut wrong = Tensor::zeros(&[3]);
+        assert!(a.matvec_into(&x, &mut wrong).is_err());
     }
 
     #[test]

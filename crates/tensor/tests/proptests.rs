@@ -1,6 +1,6 @@
 //! Property-based tests of the tensor substrate.
 
-use ie_tensor::{im2col, Conv2dGeometry, Tensor};
+use ie_tensor::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry, Tensor, Workspace};
 use proptest::prelude::*;
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
@@ -68,6 +68,88 @@ proptest! {
         for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
             prop_assert!(*x >= 0.0);
             prop_assert!(*x >= *y || *x == 0.0);
+        }
+    }
+
+    /// `matmul_into` is bit-identical to the allocating `matmul` across random
+    /// shapes, and a reused `Workspace` slot carries no stale state between
+    /// back-to-back calls.
+    #[test]
+    fn matmul_into_is_bit_identical_and_workspace_reuse_is_clean(
+        a1 in arb_matrix(6),
+        a2 in arb_matrix(6),
+        n in 1usize..6,
+    ) {
+        let mut ws = Workspace::new();
+        for a in [&a1, &a2] {
+            let (m, k) = (a.dims()[0], a.dims()[1]);
+            // A rhs whose contents depend on the lhs, so the two rounds differ.
+            let b = Tensor::from_vec(
+                (0..k * n).map(|i| (i as f32 * 0.25) - a.as_slice()[i % a.len()]).collect(),
+                &[k, n],
+            ).expect("constructed shape is consistent");
+            let reference = a.matmul(&b).expect("compatible shapes");
+            // Fresh output tensor.
+            let mut out = Tensor::zeros(&[m, n]);
+            a.matmul_into(&b, &mut out).expect("compatible shapes");
+            prop_assert_eq!(out.as_slice(), reference.as_slice());
+            // Reused (possibly dirty, possibly oversized) workspace slot.
+            ws.ensure_slot(0, m * n);
+            ie_tensor::gemm_into(a.as_slice(), b.as_slice(), &mut ws.slot_mut(0)[..m * n], m, k, n);
+            for (w, r) in ws.slot(0)[..m * n].iter().zip(reference.as_slice()) {
+                prop_assert_eq!(w.to_bits(), r.to_bits());
+            }
+            // Sparse-aware kernel agrees with the dense kernel.
+            let sparse = a.matmul_sparse_aware(&b).expect("compatible shapes");
+            prop_assert_eq!(sparse.as_slice(), reference.as_slice());
+        }
+    }
+
+    /// `matvec_into` is bit-identical to the allocating `matvec`.
+    #[test]
+    fn matvec_into_is_bit_identical(a in arb_matrix(6)) {
+        let k = a.dims()[1];
+        let x = Tensor::from_vec((0..k).map(|i| i as f32 - 2.5).collect(), &[k])
+            .expect("length matches shape");
+        let reference = a.matvec(&x).expect("compatible shapes");
+        let mut out = Tensor::zeros(&[a.dims()[0]]);
+        a.matvec_into(&x, &mut out).expect("compatible shapes");
+        for (o, r) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(o.to_bits(), r.to_bits());
+        }
+    }
+
+    /// `im2col_into` / `col2im_into` are bit-identical to the allocating
+    /// versions across random geometries, including when the target buffers
+    /// start out dirty (reuse must fully overwrite them).
+    #[test]
+    fn im2col_and_col2im_into_are_bit_identical(
+        c in 1usize..3, hw in 3usize..7, k in 1usize..4, pad in 0usize..2, stride in 1usize..3,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let geom = Conv2dGeometry {
+            in_channels: c, in_h: hw, in_w: hw, kernel: k, stride, padding: pad,
+        };
+        let image = Tensor::from_vec(
+            (0..c * hw * hw).map(|i| (i as f32).sin()).collect(),
+            &[c, hw, hw],
+        ).expect("length matches shape");
+        let cols_ref = im2col(&image, &geom).expect("valid geometry");
+        let mut ws = Workspace::new();
+        ws.ensure_slot(0, geom.col_len());
+        ws.slot_mut(0).fill(f32::NAN); // poison: stale state must not leak
+        im2col_into(image.as_slice(), &geom, &mut ws.slot_mut(0)[..geom.col_len()])
+            .expect("valid geometry");
+        for (w, r) in ws.slot(0)[..geom.col_len()].iter().zip(cols_ref.as_slice()) {
+            prop_assert_eq!(w.to_bits(), r.to_bits());
+        }
+        let back_ref = col2im(&cols_ref, &geom).expect("valid geometry");
+        ws.ensure_slot(1, image.len());
+        ws.slot_mut(1).fill(f32::NAN);
+        col2im_into(cols_ref.as_slice(), &geom, &mut ws.slot_mut(1)[..image.len()])
+            .expect("valid geometry");
+        for (w, r) in ws.slot(1)[..image.len()].iter().zip(back_ref.as_slice()) {
+            prop_assert_eq!(w.to_bits(), r.to_bits());
         }
     }
 
