@@ -49,6 +49,33 @@ fn bench_multi_exit_forward(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Batched path: 8 samples per widened pass through a reusable BatchPlan,
+    // directly comparable to 8 iterations of the planned group above.
+    let batch_inputs: Vec<Tensor> =
+        (0..8).map(|_| Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0)).collect();
+    let batch_refs: Vec<&Tensor> = batch_inputs.iter().collect();
+    let mut batch_plan = net.batch_plan(8);
+    let mut group = c.benchmark_group("multi_exit_forward_batched");
+    group.sample_size(10);
+    for exit in 0..3 {
+        group.bench_function(format!("to_exit_{}_batch8", exit + 1), |b| {
+            b.iter(|| {
+                black_box(
+                    net.forward_to_exit_batch_with(&mut batch_plan, &batch_refs, exit)
+                        .unwrap()
+                        .prediction(0),
+                )
+            })
+        });
+    }
+    group.bench_function("incremental_exit1_to_exit3_batch8", |b| {
+        b.iter(|| {
+            net.forward_to_exit_batch_with(&mut batch_plan, &batch_refs, 0).unwrap();
+            black_box(net.continue_to_exit_batch_with(&mut batch_plan, 2).unwrap().prediction(7))
+        })
+    });
+    group.finish();
 }
 
 fn bench_training_step(c: &mut Criterion) {

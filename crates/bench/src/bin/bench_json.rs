@@ -1,12 +1,14 @@
 //! Machine-readable inference micro-benchmark seeding the perf trajectory.
 //!
 //! ```text
-//! cargo run --release -p ie_bench --bin bench_json            # full run
-//! cargo run --release -p ie_bench --bin bench_json -- --fast  # CI smoke
+//! cargo run --release -p ie_bench --bin bench_json                 # full run
+//! cargo run --release -p ie_bench --bin bench_json -- --fast       # CI smoke
+//! cargo run --release -p ie_bench --bin bench_json -- \
+//!     --fast --out /tmp/smoke.json --check BENCH_inference.json    # CI gate
 //! ```
 //!
-//! Benchmarks three implementations of `multi_exit_forward` on the paper's
-//! LeNet backbone **in the same binary**:
+//! Benchmarks the forward-path implementations on the paper's LeNet backbone
+//! **in the same binary**:
 //!
 //! * `pre_pr_allocating` — a faithful replica of the pre-planning forward
 //!   path: per-layer output allocation, fresh `im2col` matrix, weight
@@ -14,14 +16,25 @@
 //! * `allocating` — the current `MultiExitNetwork::forward_to_exit` (thin
 //!   wrappers over the blocked `_into` kernels, still allocating per layer);
 //! * `planned` — `forward_to_exit_with` over a reusable `ExecutionPlan`
-//!   (zero allocations after warm-up, fused bias+ReLU epilogues).
+//!   (zero allocations after warm-up, fused bias+ReLU epilogues);
+//! * `batch_forward/*` — `forward_to_exit_batch_with` over a `BatchPlan`
+//!   (N samples through one widened GEMM per layer), reported as ns/sample;
+//! * `policy_eval_loop` — whole-policy scoring through `PolicyEvaluator`
+//!   (an empirical estimator over a calibration set), single-input vs the
+//!   batched sharded evaluator.
 //!
-//! Writes `BENCH_inference.json` (median ns/op per exit) into the current
-//! directory and prints a summary table. All three paths are checked to
-//! produce the same prediction before anything is timed.
+//! Writes `BENCH_inference.json` (median ns/op per case, with the run `mode`
+//! and actual timed sample count recorded) into the current directory and
+//! prints a summary table. With `--check <baseline.json>` the freshly
+//! measured numbers are compared against the committed baseline and the
+//! process exits nonzero when any gated metric regresses by more than 15 % —
+//! the CI perf-regression gate. All forward paths are checked to produce the
+//! same prediction before anything is timed.
 
+use ie_compress::{CompressionPolicy, EmpiricalAccuracyEstimator, PolicyEvaluator};
+use ie_nn::dataset::SyntheticDataset;
 use ie_nn::loss::{confidence, softmax};
-use ie_nn::spec::lenet_multi_exit;
+use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
 use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
 use ie_tensor::{Conv2dGeometry, Tensor};
 use rand::rngs::StdRng;
@@ -156,6 +169,24 @@ fn median_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u64 {
     times[times.len() / 2]
 }
 
+/// Minimum wall-clock nanoseconds of `f` over `samples` timed invocations —
+/// the noise-robust statistic for micro-scale cases, where scheduler
+/// interference is strictly one-sided and the minimum is the closest
+/// observation to the true cost.
+fn min_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .min()
+        .expect("at least one timed sample")
+}
+
 struct CaseResult {
     case: String,
     pre_pr_ns: u64,
@@ -169,6 +200,115 @@ impl CaseResult {
     }
 }
 
+struct BatchCaseResult {
+    case: String,
+    batch: usize,
+    /// Timing statistic of this case ("median", or "min" for micro-scale
+    /// cases where one-sided scheduler noise would swamp a median).
+    statistic: &'static str,
+    planned_single_ns: u64,
+    batched_ns_per_sample: u64,
+}
+
+impl BatchCaseResult {
+    fn speedup_vs_planned(&self) -> f64 {
+        self.planned_single_ns as f64 / self.batched_ns_per_sample.max(1) as f64
+    }
+}
+
+struct PolicyEvalResult {
+    case: String,
+    single_eval_ns: u64,
+    batched_eval_ns: u64,
+}
+
+impl PolicyEvalResult {
+    fn speedup(&self) -> f64 {
+        self.single_eval_ns as f64 / self.batched_eval_ns.max(1) as f64
+    }
+}
+
+/// Extracts the numeric value of `key` inside the JSON object whose
+/// `"case"` equals `case`. A deliberately narrow parser for the flat JSON
+/// this binary itself emits — enough for the regression gate without a JSON
+/// dependency.
+fn case_metric(json: &str, case: &str, key: &str) -> Option<f64> {
+    let case_pos = json.find(&format!("\"case\": \"{case}\""))?;
+    let object = &json[case_pos..case_pos + json[case_pos..].find('}')?];
+    let key_pos = object.find(&format!("\"{key}\":"))?;
+    let value = object[key_pos..].split(':').nth(1)?;
+    value
+        .trim()
+        .trim_end_matches(',')
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// One gated metric of the regression check: an absolute ns value plus the
+/// same-run reference measurement that normalizes machine speed.
+struct GatedMetric {
+    case: String,
+    /// Field in the baseline JSON holding the gated absolute ns.
+    key: &'static str,
+    current: u64,
+    /// Field in the baseline JSON holding the same-run reference ns (a path
+    /// measured by the same binary in the same process, e.g. the pre-PR
+    /// replica), so baseline and current runs each carry their own
+    /// machine-speed canary.
+    ref_key: &'static str,
+    current_ref: u64,
+}
+
+/// Compares the gated metrics of the fresh run against a committed baseline
+/// JSON, printing one verdict line per metric. The verdict is the **ratio to
+/// the same-run reference**: the baseline may have been recorded on faster
+/// or slower hardware, where every absolute number shifts together but the
+/// in-binary ratios stay put, so gating the ratio neither fakes a regression
+/// on a slow runner nor masks one on a fast runner — a real code regression
+/// moves the gated path but not its (unchanged) reference. The absolute ns
+/// are printed for context and decide alone only when a reference
+/// measurement is missing on either side. The blind spot — a change slowing
+/// the gated path and its reference by the same factor — is accepted; for
+/// the planned cases the reference is the frozen pre-PR replica, which new
+/// code does not touch. Returns the stable ids (`case/key`) of the regressed
+/// metrics, so callers can intersect the sets across confirmation re-runs.
+fn check_against_baseline(baseline: &str, metrics: &[GatedMetric], tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for m in metrics {
+        let (case, key, current) = (&m.case, m.key, m.current);
+        let Some(base) = case_metric(baseline, case, key) else {
+            // Newly added cases are not gated until the baseline records them.
+            println!("check: {case}/{key} not in baseline, skipping");
+            continue;
+        };
+        let abs_limit = base * tolerance;
+        let abs_regressed = (current as f64) > abs_limit;
+        let (regressed, ratio_note) = match case_metric(baseline, case, m.ref_key) {
+            Some(base_ref) if base_ref > 0.0 && m.current_ref > 0 => {
+                let base_ratio = base / base_ref;
+                let current_ratio = current as f64 / m.current_ref as f64;
+                (
+                    current_ratio > base_ratio * tolerance,
+                    format!("ratio {current_ratio:.3} vs baseline {base_ratio:.3}"),
+                )
+            }
+            _ => (abs_regressed, "no reference, absolute decides".to_string()),
+        };
+        println!(
+            "check: {case}/{key}: current {current} vs baseline {base:.0} (abs limit \
+             {abs_limit:.0}), {ratio_note} {}",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            regressions.push(format!("{case}/{key}"));
+        }
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -177,7 +317,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_inference.json".to_string());
+    let check_path =
+        args.iter().position(|a| a == "--check").and_then(|i| args.get(i + 1).cloned());
+    let mode = if fast { "fast" } else { "full" };
     let (warmup, samples) = if fast { (2, 9) } else { (5, 41) };
+    // Whole-policy scoring is orders of magnitude slower per op than one
+    // forward pass, so it gets its own (smaller) repetition budget.
+    let (eval_warmup, eval_samples) = if fast { (1, 5) } else { (2, 15) };
 
     let mut rng = StdRng::seed_from_u64(0);
     let arch = lenet_multi_exit();
@@ -185,35 +331,150 @@ fn main() {
     let input = Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0);
     let mut plan = net.execution_plan();
 
-    // The three paths must agree before any timing is trusted.
+    const BATCH: usize = 8;
+    let batch_inputs: Vec<Tensor> =
+        (0..BATCH).map(|_| Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0)).collect();
+    let batch_refs: Vec<&Tensor> = batch_inputs.iter().collect();
+    let mut batch_plan = net.batch_plan(BATCH);
+
+    // Every path must agree before any timing is trusted.
     for exit in 0..3 {
         let (pre_pred, _) = pre_pr_forward_to_exit(&net, &input, exit);
         let (alloc_out, _) = net.forward_to_exit(&input, exit).unwrap();
         let planned_out = net.forward_to_exit_with(&mut plan, &input, exit).unwrap();
         assert_eq!(pre_pred, alloc_out.prediction, "pre-PR replica diverged at exit {exit}");
         assert_eq!(planned_out.prediction, alloc_out.prediction, "planned diverged at {exit}");
+        let batched = net.forward_to_exit_batch_with(&mut batch_plan, &batch_refs, exit).unwrap();
+        for (i, batch_input) in batch_inputs.iter().enumerate() {
+            let single = net.forward_to_exit_with(&mut plan, batch_input, exit).unwrap();
+            assert_eq!(batched.prediction(i), single.prediction, "batched diverged at {exit}/{i}");
+        }
     }
 
-    let mut results = Vec::new();
-    for exit in 0..3 {
-        let pre_pr_ns = median_ns(warmup, samples, || {
-            black_box(pre_pr_forward_to_exit(&net, &input, exit).0);
-        });
-        let allocating_ns = median_ns(warmup, samples, || {
-            black_box(net.forward_to_exit(&input, exit).unwrap().0.prediction);
-        });
-        let planned_ns = median_ns(warmup, samples, || {
-            black_box(net.forward_to_exit_with(&mut plan, &input, exit).unwrap().prediction);
-        });
-        results.push(CaseResult {
-            case: format!("to_exit_{}", exit + 1),
-            pre_pr_ns,
-            allocating_ns,
-            planned_ns,
-        });
-    }
+    // Remaining fixtures: the small backbone the search's calibration loop
+    // actually runs (fixed per-pass costs dominate there, which is where
+    // batching pays most) and the whole-policy evaluator over a synthetic
+    // calibration set.
+    let tiny_arch = tiny_multi_exit(3);
+    let tiny_net = MultiExitNetwork::from_architecture(&tiny_arch, &mut rng).unwrap();
+    let tiny_inputs: Vec<Tensor> =
+        (0..BATCH).map(|_| Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0)).collect();
+    let tiny_refs: Vec<&Tensor> = tiny_inputs.iter().collect();
+    let mut tiny_plan = tiny_net.execution_plan();
+    let mut tiny_batch_plan = tiny_net.batch_plan(BATCH);
+    let tiny_exit = tiny_arch.num_exits() - 1;
+    let data = SyntheticDataset::generate(3, 8, 400, 0.05, 17);
+    let evaluator = PolicyEvaluator::new(
+        &tiny_arch,
+        EmpiricalAccuracyEstimator::new(tiny_net.clone(), data.train().to_vec()),
+    );
+    let policy = CompressionPolicy::uniform(evaluator.layers().len(), 0.6, 8, 8).unwrap();
+    assert_eq!(
+        evaluator.evaluate(&policy).unwrap(),
+        evaluator.evaluate_batched(&policy).unwrap(),
+        "batched policy evaluation diverged from the single-input one"
+    );
 
-    println!("# multi_exit_forward — median ns/op over {samples} samples\n");
+    // The whole measurement pass lives in a closure so the --check gate can
+    // re-run it to confirm a suspected regression (see below).
+    let mut measure_all = || {
+        let mut results = Vec::new();
+        for exit in 0..3 {
+            let pre_pr_ns = median_ns(warmup, samples, || {
+                black_box(pre_pr_forward_to_exit(&net, &input, exit).0);
+            });
+            let allocating_ns = median_ns(warmup, samples, || {
+                black_box(net.forward_to_exit(&input, exit).unwrap().0.prediction);
+            });
+            let planned_ns = median_ns(warmup, samples, || {
+                black_box(net.forward_to_exit_with(&mut plan, &input, exit).unwrap().prediction);
+            });
+            results.push(CaseResult {
+                case: format!("to_exit_{}", exit + 1),
+                pre_pr_ns,
+                allocating_ns,
+                planned_ns,
+            });
+        }
+
+        // Batched throughput at the deepest exit: ns per *sample*, against
+        // the single-input planned pass as the reference. The planned
+        // reference is re-measured on a per-sample loop over the same inputs
+        // so both sides cover identical work.
+        let planned_loop_ns = median_ns(warmup, samples, || {
+            for batch_input in &batch_inputs {
+                black_box(net.forward_to_exit_with(&mut plan, batch_input, 2).unwrap().prediction);
+            }
+        }) / BATCH as u64;
+        let mut batch_results = Vec::new();
+        for batch in [1usize, BATCH] {
+            let refs = &batch_refs[..batch];
+            let total_ns = median_ns(warmup, samples, || {
+                black_box(
+                    net.forward_to_exit_batch_with(&mut batch_plan, refs, 2).unwrap().prediction(0),
+                );
+            });
+            batch_results.push(BatchCaseResult {
+                case: format!("to_exit_3_batch{batch}"),
+                batch,
+                statistic: "median",
+                planned_single_ns: planned_loop_ns,
+                batched_ns_per_sample: total_ns / batch as u64,
+            });
+        }
+
+        // One tiny pass is only ~10-20 µs, where timer and scheduler noise
+        // dominate a single invocation; each timed sample therefore covers
+        // TINY_REPS passes, and the case is reported as the minimum (see
+        // `min_ns`) so one-sided interference cannot fake a regression.
+        const TINY_REPS: usize = 16;
+        let tiny_planned_ns = min_ns(warmup, samples * 4, || {
+            for _ in 0..TINY_REPS {
+                for tiny_input in &tiny_inputs {
+                    black_box(
+                        tiny_net
+                            .forward_to_exit_with(&mut tiny_plan, tiny_input, tiny_exit)
+                            .unwrap()
+                            .prediction,
+                    );
+                }
+            }
+        }) / (BATCH * TINY_REPS) as u64;
+        let tiny_batched_ns = min_ns(warmup, samples * 4, || {
+            for _ in 0..TINY_REPS {
+                black_box(
+                    tiny_net
+                        .forward_to_exit_batch_with(&mut tiny_batch_plan, &tiny_refs, tiny_exit)
+                        .unwrap()
+                        .prediction(0),
+                );
+            }
+        }) / (BATCH * TINY_REPS) as u64;
+        batch_results.push(BatchCaseResult {
+            case: format!("tiny_to_exit_{}_batch{BATCH}", tiny_exit + 1),
+            batch: BATCH,
+            statistic: "min",
+            planned_single_ns: tiny_planned_ns,
+            batched_ns_per_sample: tiny_batched_ns,
+        });
+
+        let single_eval_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(evaluator.evaluate(&policy).unwrap().exit_accuracy.len());
+        });
+        let batched_eval_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(evaluator.evaluate_batched(&policy).unwrap().exit_accuracy.len());
+        });
+        let policy_eval = PolicyEvalResult {
+            case: "empirical_tiny".to_string(),
+            single_eval_ns,
+            batched_eval_ns,
+        };
+        (results, batch_results, policy_eval)
+    };
+
+    let (results, batch_results, policy_eval) = measure_all();
+
+    println!("# multi_exit_forward — median ns/op over {samples} samples ({mode} mode)\n");
     println!(
         "{:<12} {:>16} {:>14} {:>12} {:>22}",
         "case", "pre_pr_allocating", "allocating", "planned", "planned vs pre-PR"
@@ -228,9 +489,29 @@ fn main() {
             r.speedup_vs_pre_pr()
         );
     }
+    println!("\n# batch_forward — median ns/sample\n");
+    println!("{:<20} {:>14} {:>18} {:>20}", "case", "planned", "batched", "batched vs planned");
+    for r in &batch_results {
+        println!(
+            "{:<20} {:>14} {:>18} {:>19.2}x",
+            r.case,
+            r.planned_single_ns,
+            r.batched_ns_per_sample,
+            r.speedup_vs_planned()
+        );
+    }
+    println!("\n# policy_eval_loop — median ns/policy\n");
+    println!(
+        "{:<20} {:>14} {:>18} {:>19.2}x",
+        policy_eval.case,
+        policy_eval.single_eval_ns,
+        policy_eval.batched_eval_ns,
+        policy_eval.speedup()
+    );
 
     let gate = results.last().expect("three cases benchmarked");
-    let json_cases: Vec<String> = results
+    let batch_gate = batch_results.last().expect("batch cases benchmarked");
+    let mut json_cases: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
@@ -239,24 +520,130 @@ fn main() {
             )
         })
         .collect();
+    json_cases.extend(batch_results.iter().map(|r| {
+        format!(
+            "    {{\n      \"case\": \"batch_forward/{}\",\n      \"batch\": {},\n      \"statistic\": \"{}\",\n      \"planned_single_ns\": {},\n      \"batched_ns_per_sample\": {},\n      \"speedup_batched_vs_planned\": {:.3}\n    }}",
+            r.case,
+            r.batch,
+            r.statistic,
+            r.planned_single_ns,
+            r.batched_ns_per_sample,
+            r.speedup_vs_planned()
+        )
+    }));
+    json_cases.push(format!(
+        "    {{\n      \"case\": \"policy_eval_loop/{}\",\n      \"single_eval_ns\": {},\n      \"batched_eval_ns\": {},\n      \"speedup_batched_vs_single\": {:.3}\n    }}",
+        policy_eval.case, policy_eval.single_eval_ns, policy_eval.batched_eval_ns, policy_eval.speedup()
+    ));
     // Record the invocation that actually produced this file, so the artifact
-    // is reproducible as-is (e.g. CI passes --fast).
+    // is reproducible as-is (e.g. CI passes --fast), and the mode + timed
+    // sample count so a fast smoke output can never masquerade as the
+    // committed full-mode baseline.
     let command = if args.is_empty() {
         "cargo run --release -p ie_bench --bin bench_json".to_string()
     } else {
         format!("cargo run --release -p ie_bench --bin bench_json -- {}", args.join(" "))
     };
+    // The batch aspiration is recorded honestly: the ISSUE's 1.5x target is
+    // not met by the widened GEMM alone on this hardware (the conv
+    // activation matrices are already wide per sample — see DESIGN.md), so
+    // `batch_pass` reports the truth next to the measured value instead of
+    // folding it into the headline gate.
+    const REQUIRED_BATCH_SPEEDUP: f64 = 1.5;
     let json = format!(
-        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {}\n  }}\n}}\n",
+        mode,
         samples,
         command,
         json_cases.join(",\n"),
         gate.speedup_vs_pre_pr(),
-        gate.speedup_vs_pre_pr() >= 2.0
+        gate.speedup_vs_pre_pr() >= 2.0,
+        batch_gate.case,
+        REQUIRED_BATCH_SPEEDUP,
+        batch_gate.speedup_vs_planned(),
+        batch_gate.speedup_vs_planned() >= REQUIRED_BATCH_SPEEDUP
     );
+    // The baseline must be read BEFORE the fresh results are written: with
+    // the default out path, `--check BENCH_inference.json` would otherwise
+    // compare the fresh run against itself (and silently pass).
+    let check_baseline = check_path.as_ref().map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check: cannot read baseline {path}: {e}"))
+    });
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!(
-        "\nwrote {out_path} (to_exit_3 planned speedup vs pre-PR: {:.2}x)",
-        gate.speedup_vs_pre_pr()
+        "\nwrote {out_path} (to_exit_3 planned speedup vs pre-PR: {:.2}x, batch8 vs planned: \
+         {:.2}x)",
+        gate.speedup_vs_pre_pr(),
+        batch_gate.speedup_vs_planned()
     );
+
+    // Perf-regression gate: compare the fresh measurements against the
+    // committed baseline and fail the process on a >15 % regression of the
+    // machine-normalized reference ratio (see `check_against_baseline`). A
+    // suspected regression is confirmed by re-measuring up to two more times
+    // — only a metric that regresses in *every* attempt fails the gate, so a
+    // transient load burst on the runner cannot fake one.
+    if let Some(path) = check_path {
+        let baseline = check_baseline.expect("baseline read above when --check is present");
+        let gated = |results: &[CaseResult],
+                     batch_results: &[BatchCaseResult],
+                     policy_eval: &PolicyEvalResult| {
+            // The pre-PR replica (unchanged historical code) is the
+            // machine-speed canary of the planned cases; the batched cases
+            // normalize against the planned path measured in the same run,
+            // and the batched policy eval against the single-input eval.
+            let mut metrics: Vec<GatedMetric> = results
+                .iter()
+                .map(|r| GatedMetric {
+                    case: format!("multi_exit_forward/{}", r.case),
+                    key: "planned_ns",
+                    current: r.planned_ns,
+                    ref_key: "pre_pr_allocating_ns",
+                    current_ref: r.pre_pr_ns,
+                })
+                .collect();
+            metrics.extend(batch_results.iter().map(|r| GatedMetric {
+                case: format!("batch_forward/{}", r.case),
+                key: "batched_ns_per_sample",
+                current: r.batched_ns_per_sample,
+                ref_key: "planned_single_ns",
+                current_ref: r.planned_single_ns,
+            }));
+            metrics.push(GatedMetric {
+                case: format!("policy_eval_loop/{}", policy_eval.case),
+                key: "batched_eval_ns",
+                current: policy_eval.batched_eval_ns,
+                ref_key: "single_eval_ns",
+                current_ref: policy_eval.single_eval_ns,
+            });
+            metrics
+        };
+        let metrics = gated(&results, &batch_results, &policy_eval);
+        println!("\n# --check against {path} (15 % tolerance)\n");
+        let mut regressions = check_against_baseline(&baseline, &metrics, 1.15);
+        const CONFIRM_ATTEMPTS: usize = 2;
+        for attempt in 0..CONFIRM_ATTEMPTS {
+            if regressions.is_empty() {
+                break;
+            }
+            println!(
+                "\nconfirming {} suspected regression(s), re-measurement {} of \
+                 {CONFIRM_ATTEMPTS}\n",
+                regressions.len(),
+                attempt + 1
+            );
+            let (r2, b2, p2) = measure_all();
+            let confirmed = check_against_baseline(&baseline, &gated(&r2, &b2, &p2), 1.15);
+            regressions.retain(|m| confirmed.contains(m));
+        }
+        if !regressions.is_empty() {
+            eprintln!("perf regression gate FAILED (confirmed on every re-measurement):");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("\nperf regression gate passed ({} metrics checked)", metrics.len());
+    }
 }

@@ -38,6 +38,29 @@ pub trait ExitAccuracyEstimator {
         layers: &[CompressibleLayer],
         policy: &CompressionPolicy,
     ) -> Result<Vec<f64>>;
+
+    /// Batched, sharded variant of [`Self::exit_accuracy`]: estimators that
+    /// measure accuracy by actually running a network (the empirical
+    /// estimator) stream their calibration set through per-worker
+    /// [`ie_nn::BatchPlan`]s across `threads` threads. Results are identical
+    /// to [`Self::exit_accuracy`] for every `(batch, threads)` combination —
+    /// the batched forward path is bit-identical per sample and the shard
+    /// reduction is order-fixed — so this is purely a throughput knob.
+    /// Analytical estimators fall back to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::exit_accuracy`].
+    fn exit_accuracy_batched(
+        &self,
+        layers: &[CompressibleLayer],
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        let _ = (batch, threads);
+        self.exit_accuracy(layers, policy)
+    }
 }
 
 /// Analytical accuracy model calibrated to the paper's reported numbers.
@@ -201,6 +224,20 @@ impl ExitAccuracyEstimator for EmpiricalAccuracyEstimator {
         let mut compressed = self.network.clone();
         apply_policy(&mut compressed, policy)?;
         let accs = ie_nn::train::evaluate(&compressed, &self.samples)?;
+        Ok(accs.into_iter().map(f64::from).collect())
+    }
+
+    fn exit_accuracy_batched(
+        &self,
+        layers: &[CompressibleLayer],
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        policy.check_length(layers.len())?;
+        let mut compressed = self.network.clone();
+        apply_policy(&mut compressed, policy)?;
+        let accs = ie_nn::train::evaluate_batched(&compressed, &self.samples, batch, threads)?;
         Ok(accs.into_iter().map(f64::from).collect())
     }
 }

@@ -130,6 +130,82 @@ impl PolicyEvaluator {
         policy: &CompressionPolicy,
         profile: &mut CompressedProfile,
     ) -> Result<()> {
+        self.account_costs(policy, profile)?;
+        profile.exit_accuracy = self.estimator.exit_accuracy(&self.layers, policy)?;
+        Ok(())
+    }
+
+    /// Evaluates a policy with the batched, sharded accuracy path: the
+    /// estimator streams its calibration set through one
+    /// [`ie_nn::BatchPlan`] per worker thread (see
+    /// [`crate::ExitAccuracyEstimator::exit_accuracy_batched`]). Results are
+    /// identical to [`Self::evaluate`] for every batch size and thread count;
+    /// whole-policy scoring just gets cheaper, which is what the compression
+    /// search loop cares about.
+    ///
+    /// Uses the default evaluation batch
+    /// ([`ie_nn::train::DEFAULT_EVAL_BATCH`]) and the environment-driven
+    /// worker count ([`ie_nn::train::eval_threads`], `IE_EVAL_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate`].
+    pub fn evaluate_batched(&self, policy: &CompressionPolicy) -> Result<CompressedProfile> {
+        self.evaluate_batched_with(
+            policy,
+            ie_nn::train::DEFAULT_EVAL_BATCH,
+            ie_nn::train::eval_threads(),
+        )
+    }
+
+    /// [`Self::evaluate_batched`] with explicit batch size and worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate`].
+    pub fn evaluate_batched_with(
+        &self,
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<CompressedProfile> {
+        let mut profile = CompressedProfile {
+            exit_flops: Vec::new(),
+            branch_flops: Vec::new(),
+            exit_accuracy: Vec::new(),
+            total_flops: 0,
+            model_size_bytes: 0,
+        };
+        self.evaluate_batched_into(policy, batch, threads, &mut profile)?;
+        Ok(profile)
+    }
+
+    /// Batched counterpart of [`Self::evaluate_into`], reusing the profile's
+    /// buffers across candidates.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate_into`].
+    pub fn evaluate_batched_into(
+        &self,
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+        profile: &mut CompressedProfile,
+    ) -> Result<()> {
+        self.account_costs(policy, profile)?;
+        profile.exit_accuracy =
+            self.estimator.exit_accuracy_batched(&self.layers, policy, batch, threads)?;
+        Ok(())
+    }
+
+    /// The allocation-free FLOPs/size accounting shared by the plain and
+    /// batched evaluation paths (everything except the accuracy estimate).
+    fn account_costs(
+        &self,
+        policy: &CompressionPolicy,
+        profile: &mut CompressedProfile,
+    ) -> Result<()> {
         policy.check_length(self.layers.len())?;
         profile.exit_flops.clear();
         profile.exit_flops.resize(self.num_exits, 0);
@@ -152,7 +228,6 @@ impl PolicyEvaluator {
                 }
             }
         }
-        profile.exit_accuracy = self.estimator.exit_accuracy(&self.layers, policy)?;
         Ok(())
     }
 }
@@ -249,6 +324,45 @@ mod tests {
     fn policy_length_is_checked() {
         let ev = evaluator();
         assert!(ev.evaluate(&CompressionPolicy::full_precision(3)).is_err());
+    }
+
+    fn empirical_tiny_evaluator() -> PolicyEvaluator {
+        use ie_nn::dataset::SyntheticDataset;
+        use ie_nn::spec::tiny_multi_exit;
+        use ie_nn::MultiExitNetwork;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let data = SyntheticDataset::generate(3, 8, 100, 0.05, 12);
+        let arch = tiny_multi_exit(3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = MultiExitNetwork::from_architecture(&arch, &mut rng).unwrap();
+        PolicyEvaluator::new(
+            &arch,
+            crate::EmpiricalAccuracyEstimator::new(net, data.test().to_vec()),
+        )
+    }
+
+    #[test]
+    fn batched_evaluation_is_identical_for_one_and_four_workers() {
+        let ev = empirical_tiny_evaluator();
+        let policy = CompressionPolicy::uniform(ev.layers().len(), 0.6, 8, 8).unwrap();
+        let plain = ev.evaluate(&policy).unwrap();
+        let one = ev.evaluate_batched_with(&policy, 8, 1).unwrap();
+        let four = ev.evaluate_batched_with(&policy, 8, 4).unwrap();
+        assert_eq!(one, plain, "1 worker must reproduce the single-input evaluation");
+        assert_eq!(four, plain, "4 workers must reproduce the single-input evaluation");
+        // The env-driven default path (IE_EVAL_THREADS or machine default)
+        // lands on the same result as well — the thread count is purely a
+        // throughput knob.
+        assert_eq!(ev.evaluate_batched(&policy).unwrap(), plain);
+    }
+
+    #[test]
+    fn analytic_estimators_fall_back_to_the_plain_accuracy_path() {
+        let ev = evaluator();
+        let policy = CompressionPolicy::uniform(ev.layers().len(), 0.7, 6, 8).unwrap();
+        assert_eq!(ev.evaluate_batched(&policy).unwrap(), ev.evaluate(&policy).unwrap());
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl EventLoopSimulator {
         }
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation, handling every event at its arrival instant.
+    ///
+    /// Equivalent to [`Self::run_batched`] with a wake window of one event
+    /// (and implemented as exactly that, so the two paths cannot drift).
     ///
     /// # Errors
     ///
@@ -52,6 +55,36 @@ impl EventLoopSimulator {
         model: &DeployedModel,
         policy: &mut dyn ExitPolicy,
     ) -> Result<SimulationReport> {
+        self.run_batched(model, policy, 1)
+    }
+
+    /// Runs the simulation with events batched per wake window: the device
+    /// sleeps while up to `window` events accumulate (harvesting energy the
+    /// whole time), then wakes once and drains the pending batch in arrival
+    /// order. This is the intermittent-serving analogue of batched inference
+    /// — a wake-up is amortized over a whole window, and energy that arrives
+    /// while events queue is available to the entire batch, so energy-bound
+    /// traces typically miss fewer events at the cost of queueing latency
+    /// (each record's `latency_s` includes the time the event waited for its
+    /// window to close).
+    ///
+    /// A window of 1 reproduces [`Self::run`] exactly: every event is drained
+    /// at its own arrival time with zero wait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration or a
+    /// zero window, and [`CoreError::UnknownExit`] when the policy requests a
+    /// non-existent exit.
+    pub fn run_batched(
+        &self,
+        model: &DeployedModel,
+        policy: &mut dyn ExitPolicy,
+        window: usize,
+    ) -> Result<SimulationReport> {
+        if window == 0 {
+            return Err(CoreError::InvalidConfig("wake window must be at least one event".into()));
+        }
         self.config.validate()?;
         let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
         let mut sim = self.config.build_harvest_simulator();
@@ -73,41 +106,47 @@ impl EventLoopSimulator {
             exit_accuracy: model.exit_accuracies(),
         };
 
-        for event in &events {
-            sim.advance_to(event.time_s);
-            ctx.event_id = event.id;
-            ctx.time_s = event.time_s;
-            ctx.available_energy_mj = sim.storage().level_mj();
-            ctx.capacity_mj = sim.storage().capacity_mj();
-            ctx.charging_efficiency = sim.charging_efficiency();
-            let choice = policy.choose_exit(&ctx);
+        for batch in events.chunks(window) {
+            // One wake-up per window: harvest up to the latest arrival before
+            // any queued event is considered.
+            let wake_time = batch.last().expect("chunks are non-empty").time_s;
+            sim.advance_to(wake_time);
+            for event in batch {
+                ctx.event_id = event.id;
+                ctx.time_s = event.time_s;
+                ctx.available_energy_mj = sim.storage().level_mj();
+                ctx.capacity_mj = sim.storage().capacity_mj();
+                ctx.charging_efficiency = sim.charging_efficiency();
+                let choice = policy.choose_exit(&ctx);
 
-            let (record, feedback) = match choice {
-                ExitChoice::Skip => self.miss(event.id, event.time_s, None),
-                ExitChoice::Exit(exit) => {
-                    if exit >= num_exits {
-                        return Err(CoreError::UnknownExit {
-                            requested: exit,
-                            available: num_exits,
-                        });
+                let (record, feedback) = match choice {
+                    ExitChoice::Skip => self.miss(event.id, event.time_s, None),
+                    ExitChoice::Exit(exit) => {
+                        if exit >= num_exits {
+                            return Err(CoreError::UnknownExit {
+                                requested: exit,
+                                available: num_exits,
+                            });
+                        }
+                        if !sim.storage().can_supply(exit_energy[exit]) {
+                            self.miss(event.id, event.time_s, Some(exit))
+                        } else {
+                            self.process(
+                                event.id,
+                                event.time_s,
+                                wake_time - event.time_s,
+                                exit,
+                                model,
+                                policy,
+                                &mut sim,
+                                &mut rng,
+                            )?
+                        }
                     }
-                    if !sim.storage().can_supply(exit_energy[exit]) {
-                        self.miss(event.id, event.time_s, Some(exit))
-                    } else {
-                        self.process(
-                            event.id,
-                            event.time_s,
-                            exit,
-                            model,
-                            policy,
-                            &mut sim,
-                            &mut rng,
-                        )?
-                    }
-                }
-            };
-            policy.observe_outcome(&feedback);
-            records.push(record);
+                };
+                policy.observe_outcome(&feedback);
+                records.push(record);
+            }
         }
 
         // Harvest the remainder of the trace so E_total covers the full fixed
@@ -149,6 +188,7 @@ impl EventLoopSimulator {
         &self,
         event_id: usize,
         time_s: f64,
+        wait_s: f64,
         exit: usize,
         model: &DeployedModel,
         policy: &mut dyn ExitPolicy,
@@ -157,10 +197,15 @@ impl EventLoopSimulator {
     ) -> Result<(EventRecord, EventFeedback)> {
         let mut final_exit = exit;
         let mut energy = model.exit_energy_mj(exit);
-        let mut latency = model.exit_latency_s(exit);
+        // Queueing delay (zero outside batched runs) counts towards the
+        // event's end-to-end latency but does not occupy the device — the
+        // harvester already advanced to the wake time, so only the inference
+        // itself advances the trace further.
+        let inference_latency = model.exit_latency_s(exit);
+        let mut latency = wait_s + inference_latency;
         let mut flops = model.exit_flops(exit);
         sim.consume(energy)?;
-        sim.advance_by(latency);
+        sim.advance_by(inference_latency);
         let mut correct = rng.gen::<f64>() < model.exit_accuracy(exit);
         let mut incremental = false;
         let confidence = Self::sample_confidence(rng, correct);
@@ -292,6 +337,70 @@ mod tests {
         // Greedy continues whenever affordable, so with the threshold at its
         // default some continuations should occur.
         assert!(with_inc.incremental_count >= report.incremental_count);
+    }
+
+    #[test]
+    fn a_wake_window_of_one_reproduces_the_unbatched_run() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let plain =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let windowed = EventLoopSimulator::new(&c)
+            .run_batched(&model, &mut GreedyAffordablePolicy::new(), 1)
+            .unwrap();
+        assert_eq!(plain, windowed);
+    }
+
+    #[test]
+    fn batched_windows_account_for_every_event_and_stay_deterministic() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        for window in [2usize, 5, c.num_events] {
+            let a = EventLoopSimulator::new(&c)
+                .run_batched(&model, &mut GreedyAffordablePolicy::new(), window)
+                .unwrap();
+            let b = EventLoopSimulator::new(&c)
+                .run_batched(&model, &mut GreedyAffordablePolicy::new(), window)
+                .unwrap();
+            assert_eq!(a, b, "window {window} must be deterministic");
+            assert_eq!(a.total_events, c.num_events);
+            assert_eq!(a.processed_events + a.missed_events, a.total_events);
+            assert_eq!(a.exit_counts.iter().sum::<usize>(), a.processed_events);
+            assert!(
+                a.total_consumed_mj <= a.total_harvested_mj + c.initial_energy_mj + 1e-6,
+                "window {window} cannot consume more than the budget"
+            );
+        }
+    }
+
+    #[test]
+    fn queued_events_pay_their_wait_in_latency() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        // One wake for the whole trace: every processed event except the last
+        // waited for the window to close.
+        let report = EventLoopSimulator::new(&c)
+            .run_batched(&model, &mut FixedExitPolicy::new(0), c.num_events)
+            .unwrap();
+        assert!(report.processed_events > 0, "the drained batch must process something");
+        let inference_latency = model.exit_latency_s(0);
+        let waited = report
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, EventOutcome::Processed { .. }))
+            .filter(|r| r.latency_s > inference_latency + 1e-12)
+            .count();
+        assert!(waited > 0, "queued events must include their wait in latency_s");
+    }
+
+    #[test]
+    fn a_zero_wake_window_is_rejected() {
+        let c = config();
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let err = EventLoopSimulator::new(&c)
+            .run_batched(&model, &mut GreedyAffordablePolicy::new(), 0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
     }
 
     #[test]

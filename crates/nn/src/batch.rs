@@ -1,0 +1,887 @@
+//! Batched, allocation-free inference: N inputs per forward pass.
+//!
+//! A [`BatchPlan`] is the batched counterpart of [`crate::ExecutionPlan`]: it
+//! pre-sizes every buffer for up to `max_batch` samples and then runs whole
+//! batches through **one widened GEMM per layer** instead of one GEMM per
+//! sample. Spatial activations live in the *channel-major wide* layout
+//! `[C, batch, H, W]`, so the batched `im2col`
+//! ([`ie_tensor::im2col_batch_into`]) lowers all samples into a single
+//! `[C·K·K, batch·out_h·out_w]` column block and the bias+ReLU epilogue
+//! sweeps each output-channel row once. Flat activations (after a `Flatten`)
+//! are sample-major `[batch, features]`, which is what the batched dense
+//! kernel ([`ie_tensor::matvec_batch_into`]) and the per-sample softmax want.
+//!
+//! Every sample's logits are **bit-identical** to running that sample alone
+//! through the planned single-input path ([`crate::ExecutionPlan`]): the
+//! widened GEMM still accumulates each output element in ascending depth
+//! order, the batched dense kernel reuses the same lane-parallel dot product,
+//! and pooling/ReLU/bias apply the same per-element operations. Property
+//! tests assert this across random batch sizes and sparse-hint (pruned)
+//! networks.
+//!
+//! One `BatchPlan` per worker thread is the sharding unit of
+//! [`crate::train::evaluate_batched`]; after construction a batched pass
+//! performs zero heap allocations (asserted by the counting-allocator test).
+//!
+//! ```
+//! use ie_nn::{spec::tiny_multi_exit, MultiExitNetwork};
+//! use ie_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng)?;
+//! let mut plan = net.batch_plan(4);
+//! let (a, b) = (Tensor::zeros(&[1, 8, 8]), Tensor::ones(&[1, 8, 8]));
+//! let out = net.forward_to_exit_batch_with(&mut plan, &[&a, &b], 0)?;
+//! assert_eq!(out.len(), 2);
+//! assert_eq!(out.logits(1).len(), 3);
+//! let deeper = net.continue_to_exit_batch_with(&mut plan, 1)?;
+//! assert_eq!(deeper.exit(), 1);
+//! # Ok::<(), ie_nn::NnError>(())
+//! ```
+
+use crate::loss::{argmax_slice, confidence_slice, softmax_into};
+use crate::plan::{buffer_requirements, check_exit};
+use crate::spec::MultiExitArchitecture;
+use crate::{Layer, MultiExitNetwork, NnError, PlannedOutput, Result};
+use ie_tensor::{Tensor, Workspace};
+
+/// Slot indices of the two-slot ping-pong workspaces.
+const SLOT_A: usize = 0;
+const SLOT_B: usize = 1;
+
+/// Shape and layout of the batched activation currently held in a slot.
+///
+/// The layout is implied by the variant: spatial activations are
+/// channel-major wide (`[C, batch, H, W]`), flat activations are sample-major
+/// (`[batch, features]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchDims {
+    /// A `[C, H, W]` feature map per sample, stored wide.
+    Spatial([usize; 3]),
+    /// A flat feature vector per sample, stored sample-major.
+    Flat(usize),
+}
+
+impl BatchDims {
+    /// Elements per sample.
+    fn per_sample(&self) -> usize {
+        match self {
+            BatchDims::Spatial([c, h, w]) => c * h * w,
+            BatchDims::Flat(n) => *n,
+        }
+    }
+}
+
+/// The per-exit results of a batched planned pass, borrowed from the plan's
+/// pre-sized buffers (nothing is copied or allocated to produce it).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOutput<'a> {
+    exit: usize,
+    batch: usize,
+    classes: usize,
+    logits: &'a [f32],
+    probs: &'a [f32],
+    predictions: &'a [usize],
+    confidences: &'a [f32],
+}
+
+impl<'a> BatchOutput<'a> {
+    /// Which exit produced these results.
+    pub fn exit(&self) -> usize {
+        self.exit
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.batch
+    }
+
+    /// Returns `true` when the batch is empty (never the case for outputs
+    /// produced by the planned entry points, which reject empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.batch == 0
+    }
+
+    /// Raw logits of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn logits(&self, i: usize) -> &'a [f32] {
+        assert!(i < self.batch, "sample {i} out of range for batch {}", self.batch);
+        &self.logits[i * self.classes..(i + 1) * self.classes]
+    }
+
+    /// Softmax probabilities of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn probs(&self, i: usize) -> &'a [f32] {
+        assert!(i < self.batch, "sample {i} out of range for batch {}", self.batch);
+        &self.probs[i * self.classes..(i + 1) * self.classes]
+    }
+
+    /// Predicted class of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn prediction(&self, i: usize) -> usize {
+        self.predictions[..self.batch][i]
+    }
+
+    /// Entropy-based confidence of sample `i` (see [`crate::loss::confidence`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn confidence(&self, i: usize) -> f32 {
+        self.confidences[..self.batch][i]
+    }
+
+    /// Sample `i` as a [`PlannedOutput`], interchangeable with the
+    /// single-input planned API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn sample(&self, i: usize) -> PlannedOutput {
+        PlannedOutput {
+            exit: self.exit,
+            prediction: self.prediction(i),
+            confidence: self.confidence(i),
+        }
+    }
+}
+
+/// Pre-sized buffers plus cached trunk state for allocation-free batched
+/// inference over up to `max_batch` samples.
+///
+/// Build once per (architecture, worker thread) with
+/// [`BatchPlan::for_architecture`] or [`MultiExitNetwork::batch_plan`], then
+/// reuse across any number of batched passes. Like the single-input plan, the
+/// batch plan caches the deepest trunk activation it has computed, so a batch
+/// can be continued to a deeper exit without recomputing the shared trunk.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    max_batch: usize,
+    num_exits: usize,
+    classes: usize,
+    /// Per-sample activation capacity (the single-input plan's slot size).
+    act_capacity: usize,
+    /// Per-sample `im2col` column capacity.
+    col_capacity: usize,
+    /// Trunk activation ping-pong buffers, `max_batch` samples wide.
+    trunk: Workspace,
+    /// Branch activation ping-pong buffers, `max_batch` samples wide.
+    branch: Workspace,
+    /// Shared `im2col` column scratch for the widened activation matrix.
+    col: Vec<f32>,
+    /// Per-exit logits, sample-major `[batch, classes]`.
+    logits: Vec<Vec<f32>>,
+    /// Per-exit softmax probabilities, sample-major.
+    probs: Vec<Vec<f32>>,
+    /// Per-exit argmax predictions.
+    predictions: Vec<Vec<usize>>,
+    /// Per-exit entropy confidences.
+    confidences: Vec<Vec<f32>>,
+    /// Slot of `trunk` holding the current trunk activation.
+    trunk_slot: usize,
+    /// Shape of the cached trunk activation.
+    trunk_dims: BatchDims,
+    /// Number of samples currently cached in the trunk buffers.
+    batch: usize,
+    /// Trunk segments already executed (`0` when no state is cached).
+    segments_done: usize,
+    /// Exit most recently evaluated from the cached state.
+    last_exit: Option<usize>,
+    /// Pass generation: bumped by every fresh batched forward. Together with
+    /// the per-exit stamps below it lets [`BatchPlan::output`] reject reads
+    /// of an exit that was last evaluated for an *earlier* batch, instead of
+    /// silently relabeling stale results with the current batch size.
+    generation: u64,
+    /// Generation in which each exit's buffers were last filled (0 = never).
+    evaluated_gen: Vec<u64>,
+}
+
+impl BatchPlan {
+    /// Builds a plan for `arch` holding up to `max_batch` samples per pass
+    /// (clamped to at least 1), pre-sizing every buffer so that batched
+    /// forward passes never allocate.
+    pub fn for_architecture(arch: &MultiExitArchitecture, max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
+        let (act, col) = buffer_requirements(arch);
+        let mut trunk = Workspace::new();
+        trunk.ensure_slot(SLOT_A, act * max_batch);
+        trunk.ensure_slot(SLOT_B, act * max_batch);
+        let mut branch = Workspace::new();
+        branch.ensure_slot(SLOT_A, act * max_batch);
+        branch.ensure_slot(SLOT_B, act * max_batch);
+        let classes = arch.num_classes();
+        let exits = arch.num_exits();
+        BatchPlan {
+            max_batch,
+            num_exits: exits,
+            classes,
+            act_capacity: act,
+            col_capacity: col,
+            trunk,
+            branch,
+            col: vec![0.0; col * max_batch],
+            logits: vec![vec![0.0; classes * max_batch]; exits],
+            probs: vec![vec![0.0; classes * max_batch]; exits],
+            predictions: vec![vec![0; max_batch]; exits],
+            confidences: vec![vec![0.0; max_batch]; exits],
+            trunk_slot: SLOT_A,
+            trunk_dims: BatchDims::Flat(0),
+            batch: 0,
+            segments_done: 0,
+            last_exit: None,
+            generation: 0,
+            evaluated_gen: vec![0; exits],
+        }
+    }
+
+    /// Largest batch one pass can hold.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Number of exits the plan covers.
+    pub fn num_exits(&self) -> usize {
+        self.num_exits
+    }
+
+    /// Number of samples currently cached in the trunk buffers (0 before the
+    /// first pass).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The exit most recently evaluated from the cached trunk state, if any.
+    pub fn last_exit(&self) -> Option<usize> {
+        self.last_exit
+    }
+
+    /// Number of trunk segments whose output is currently cached.
+    pub fn segments_done(&self) -> usize {
+        self.segments_done
+    }
+
+    /// The results of the most recent batched pass over `exit`, sized to the
+    /// current batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `exit` is out of range, or when `exit` was not evaluated
+    /// as part of the current batch (its buffers would otherwise be stale
+    /// results of an earlier pass relabeled with the current batch size).
+    pub fn output(&self, exit: usize) -> BatchOutput<'_> {
+        assert!(
+            self.generation > 0 && self.evaluated_gen[exit] == self.generation,
+            "exit {exit} was not evaluated for the current batch"
+        );
+        BatchOutput {
+            exit,
+            batch: self.batch,
+            classes: self.classes,
+            logits: &self.logits[exit][..self.batch * self.classes],
+            probs: &self.probs[exit][..self.batch * self.classes],
+            predictions: &self.predictions[exit][..self.batch],
+            confidences: &self.confidences[exit][..self.batch],
+        }
+    }
+
+    /// Drops the cached trunk state (buffers stay warm).
+    pub fn reset(&mut self) {
+        self.segments_done = 0;
+        self.last_exit = None;
+        self.trunk_dims = BatchDims::Flat(0);
+        self.trunk_slot = SLOT_A;
+        self.batch = 0;
+        self.generation += 1;
+    }
+
+    /// Errors when `net` does not fit this plan's buffers (exit/class count or
+    /// per-sample capacity mismatch). Allocation-free on the success path.
+    fn check_compatible(&self, net: &MultiExitNetwork) -> Result<()> {
+        let arch = net.architecture();
+        let (act, col) = buffer_requirements(arch);
+        let compatible = self.num_exits == arch.num_exits()
+            && self.classes == arch.num_classes()
+            && act <= self.act_capacity
+            && col <= self.col_capacity;
+        if !compatible {
+            return Err(NnError::InvalidSpec(format!(
+                "batch plan ({} exits, {} classes, act {}, col {}) does not fit the network \
+                 ({} exits, {} classes, act {act}, col {col})",
+                self.num_exits,
+                self.classes,
+                self.act_capacity,
+                self.col_capacity,
+                arch.num_exits(),
+                arch.num_classes()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Transposes a wide spatial activation (`[C, batch, H·W]`) in the current
+    /// slot into the sample-major flat layout (`[batch, C·H·W]`) in the other
+    /// slot — the explicit work the batched `Flatten` performs. Values are
+    /// only moved, never changed, so logits stay bit-identical to the
+    /// single-input path (whose `Flatten` is a pure no-op).
+    fn flatten_to_sample_major(
+        ws: &mut Workspace,
+        slot: &mut usize,
+        dims: &mut BatchDims,
+        batch: usize,
+    ) {
+        let BatchDims::Spatial([c, h, w]) = *dims else {
+            return;
+        };
+        let plane = h * w;
+        let features = c * plane;
+        let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+        for ch in 0..c {
+            for s in 0..batch {
+                let src_off = (ch * batch + s) * plane;
+                let dst_off = s * features + ch * plane;
+                dst[dst_off..dst_off + plane].copy_from_slice(&src[src_off..src_off + plane]);
+            }
+        }
+        *slot = 1 - *slot;
+        *dims = BatchDims::Flat(features);
+    }
+
+    /// Runs `layers` over the batched activation held in `ws`, fusing
+    /// Conv→ReLU / Dense→ReLU pairs into the kernel epilogues exactly like
+    /// the single-input plan.
+    fn run_layers(
+        layers: &[Layer],
+        ws: &mut Workspace,
+        col: &mut [f32],
+        slot: &mut usize,
+        dims: &mut BatchDims,
+        batch: usize,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < layers.len() {
+            let fuse = matches!(layers.get(i + 1), Some(Layer::Relu(_)));
+            match &layers[i] {
+                Layer::Conv2d(conv) => {
+                    let geom = conv.geometry();
+                    let expected = [geom.in_channels, geom.in_h, geom.in_w];
+                    if *dims != BatchDims::Spatial(expected) {
+                        return Err(shape_error("conv2d(batch)", &expected, dims));
+                    }
+                    let in_len = conv.input_len() * batch;
+                    let out_len = conv.output_len() * batch;
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    conv.forward_batch_into(
+                        &src[..in_len],
+                        &mut dst[..out_len],
+                        &mut col[..conv.col_len() * batch],
+                        batch,
+                        fuse,
+                    )?;
+                    *slot = 1 - *slot;
+                    *dims = BatchDims::Spatial(conv.output_dims());
+                    i += if fuse { 2 } else { 1 };
+                }
+                Layer::Dense(dense) => {
+                    // Dense layers want the sample-major flat layout; a wide
+                    // spatial activation is flattened implicitly, mirroring
+                    // the single-input path's tolerance of a missing Flatten.
+                    Self::flatten_to_sample_major(ws, slot, dims, batch);
+                    if dims.per_sample() != dense.in_features() {
+                        return Err(shape_error("dense(batch)", &[dense.in_features()], dims));
+                    }
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    dense.forward_batch_into(
+                        &src[..dense.in_features() * batch],
+                        &mut dst[..dense.out_features() * batch],
+                        batch,
+                        fuse,
+                    )?;
+                    *slot = 1 - *slot;
+                    *dims = BatchDims::Flat(dense.out_features());
+                    i += if fuse { 2 } else { 1 };
+                }
+                Layer::Relu(_) => {
+                    let len = dims.per_sample() * batch;
+                    for v in &mut ws.slot_mut(*slot)[..len] {
+                        *v = v.max(0.0);
+                    }
+                    i += 1;
+                }
+                Layer::MaxPool2d(pool) => {
+                    let BatchDims::Spatial(d) = *dims else {
+                        return Err(shape_error("maxpool2d(batch)", &[0, 0, 0], dims));
+                    };
+                    let out_dims = pool.output_dims(&d);
+                    let in_len: usize = d.iter().product::<usize>() * batch;
+                    let out_len: usize = out_dims.iter().product::<usize>() * batch;
+                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                    pool.forward_batch_slice_into(&src[..in_len], d, batch, &mut dst[..out_len])?;
+                    *slot = 1 - *slot;
+                    *dims = BatchDims::Spatial(out_dims);
+                    i += 1;
+                }
+                Layer::Flatten(_) => {
+                    Self::flatten_to_sample_major(ws, slot, dims, batch);
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates branch `exit` on the cached batched trunk activation,
+    /// filling the per-exit logits/probability/prediction buffers.
+    fn eval_branch(&mut self, net: &MultiExitNetwork, exit: usize) -> Result<()> {
+        let batch = self.batch;
+        let len = self.trunk_dims.per_sample() * batch;
+        let src = &self.trunk.slot(self.trunk_slot)[..len];
+        self.branch.slot_mut(SLOT_A)[..len].copy_from_slice(src);
+        let mut slot = SLOT_A;
+        let mut dims = self.trunk_dims;
+        BatchPlan::run_layers(
+            &net.branches()[exit],
+            &mut self.branch,
+            &mut self.col,
+            &mut slot,
+            &mut dims,
+            batch,
+        )?;
+        // A branch that ends spatially (no trailing Flatten/Dense) still needs
+        // the sample-major layout before per-sample logits can be read.
+        BatchPlan::flatten_to_sample_major(&mut self.branch, &mut slot, &mut dims, batch);
+        let classes = self.classes;
+        if dims.per_sample() != classes {
+            return Err(shape_error("branch(batch logits)", &[classes], &dims));
+        }
+        let logits_src = &self.branch.slot(slot)[..batch * classes];
+        self.logits[exit][..batch * classes].copy_from_slice(logits_src);
+        for s in 0..batch {
+            let logits = &self.logits[exit][s * classes..(s + 1) * classes];
+            let probs = &mut self.probs[exit][s * classes..(s + 1) * classes];
+            softmax_into(logits, probs)?;
+            self.predictions[exit][s] =
+                argmax_slice(probs).expect("exit produces at least one class");
+            self.confidences[exit][s] = confidence_slice(probs);
+        }
+        self.evaluated_gen[exit] = self.generation;
+        Ok(())
+    }
+
+    /// Copies `inputs` into the trunk slot `SLOT_A` in the batched layout and
+    /// returns the activation dims. All inputs must share one shape.
+    fn load_inputs(&mut self, inputs: &[&Tensor]) -> Result<BatchDims> {
+        let batch = inputs.len();
+        if batch == 0 || batch > self.max_batch {
+            return Err(NnError::InvalidSpec(format!(
+                "batch of {batch} inputs does not fit the plan (1..={} samples)",
+                self.max_batch
+            )));
+        }
+        let first = inputs[0].dims();
+        for input in inputs {
+            if input.dims() != first {
+                return Err(NnError::InputShapeMismatch {
+                    layer: "batch(input)".into(),
+                    expected: first.to_vec(),
+                    actual: input.dims().to_vec(),
+                });
+            }
+        }
+        let per_sample = inputs[0].len();
+        if per_sample > self.act_capacity {
+            return Err(NnError::InputShapeMismatch {
+                layer: "batch(input)".into(),
+                expected: vec![self.act_capacity],
+                actual: vec![per_sample],
+            });
+        }
+        let slot = self.trunk.slot_mut(SLOT_A);
+        match first.len() {
+            3 => {
+                let (c, h, w) = (first[0], first[1], first[2]);
+                let plane = h * w;
+                for (s, input) in inputs.iter().enumerate() {
+                    let data = input.as_slice();
+                    for ch in 0..c {
+                        let dst = (ch * batch + s) * plane;
+                        slot[dst..dst + plane].copy_from_slice(&data[ch * plane..][..plane]);
+                    }
+                }
+                Ok(BatchDims::Spatial([c, h, w]))
+            }
+            _ => {
+                for (s, input) in inputs.iter().enumerate() {
+                    slot[s * per_sample..(s + 1) * per_sample].copy_from_slice(input.as_slice());
+                }
+                Ok(BatchDims::Flat(per_sample))
+            }
+        }
+    }
+
+    fn forward_to_exit(
+        &mut self,
+        net: &MultiExitNetwork,
+        inputs: &[&Tensor],
+        exit: usize,
+    ) -> Result<()> {
+        self.check_compatible(net)?;
+        check_exit(net, exit)?;
+        // The trunk buffers are about to be clobbered: invalidate the cached
+        // state now and mark it valid again only when the whole pass succeeds.
+        // A fresh pass also starts a new generation, so per-exit results of
+        // earlier batches stop being readable through `output`.
+        self.last_exit = None;
+        self.segments_done = 0;
+        self.generation += 1;
+        let mut dims = self.load_inputs(inputs)?;
+        self.batch = inputs.len();
+        let mut slot = SLOT_A;
+        for segment in &net.segments()[..=exit] {
+            BatchPlan::run_layers(
+                segment,
+                &mut self.trunk,
+                &mut self.col,
+                &mut slot,
+                &mut dims,
+                self.batch,
+            )?;
+        }
+        self.trunk_slot = slot;
+        self.trunk_dims = dims;
+        self.eval_branch(net, exit)?;
+        self.segments_done = exit + 1;
+        self.last_exit = Some(exit);
+        Ok(())
+    }
+
+    fn continue_to_exit(&mut self, net: &MultiExitNetwork, exit: usize) -> Result<()> {
+        self.check_compatible(net)?;
+        check_exit(net, exit)?;
+        let Some(last) = self.last_exit else {
+            return Err(NnError::MissingPlannedState);
+        };
+        if exit <= last {
+            return Err(NnError::NonMonotonicExit { current: last, requested: exit });
+        }
+        let segments_done = self.segments_done;
+        self.last_exit = None;
+        self.segments_done = 0;
+        let mut slot = self.trunk_slot;
+        let mut dims = self.trunk_dims;
+        for segment in &net.segments()[segments_done..=exit] {
+            BatchPlan::run_layers(
+                segment,
+                &mut self.trunk,
+                &mut self.col,
+                &mut slot,
+                &mut dims,
+                self.batch,
+            )?;
+        }
+        self.trunk_slot = slot;
+        self.trunk_dims = dims;
+        self.eval_branch(net, exit)?;
+        self.segments_done = exit + 1;
+        self.last_exit = Some(exit);
+        Ok(())
+    }
+}
+
+fn shape_error(layer: &str, expected: &[usize], dims: &BatchDims) -> NnError {
+    let actual = match dims {
+        BatchDims::Spatial(d) => d.to_vec(),
+        BatchDims::Flat(n) => vec![*n],
+    };
+    NnError::InputShapeMismatch { layer: layer.into(), expected: expected.to_vec(), actual }
+}
+
+impl MultiExitNetwork {
+    /// Builds a [`BatchPlan`] sized for this network's architecture and up to
+    /// `max_batch` samples per pass.
+    pub fn batch_plan(&self, max_batch: usize) -> BatchPlan {
+        BatchPlan::for_architecture(self.architecture(), max_batch)
+    }
+
+    /// Batched counterpart of [`MultiExitNetwork::forward_to_exit_with`]:
+    /// runs every input of the batch up to (and including) `exit` in one
+    /// widened pass inside `plan`'s pre-sized buffers. After the plan's
+    /// construction this performs zero heap allocations, and each sample's
+    /// logits are bit-identical to a separate single-input planned pass.
+    ///
+    /// The plan caches the batched trunk activation, so
+    /// [`MultiExitNetwork::continue_to_exit_batch_with`] can resume the whole
+    /// batch at a deeper exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] for an empty or oversized batch,
+    /// [`NnError::InvalidExit`] for an unknown exit, or a shape error when the
+    /// inputs disagree with each other or the architecture.
+    pub fn forward_to_exit_batch_with<'p>(
+        &self,
+        plan: &'p mut BatchPlan,
+        inputs: &[&Tensor],
+        exit: usize,
+    ) -> Result<BatchOutput<'p>> {
+        plan.forward_to_exit(self, inputs, exit)?;
+        Ok(plan.output(exit))
+    }
+
+    /// Batched counterpart of [`MultiExitNetwork::continue_to_exit_with`]:
+    /// continues the cached batch to a strictly deeper exit without
+    /// recomputing the shared trunk and without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingPlannedState`] when no batched pass has
+    /// populated the plan, [`NnError::NonMonotonicExit`] when `exit` is not
+    /// deeper than the cached one, or [`NnError::InvalidExit`] when it does
+    /// not exist.
+    pub fn continue_to_exit_batch_with<'p>(
+        &self,
+        plan: &'p mut BatchPlan,
+        exit: usize,
+    ) -> Result<BatchOutput<'p>> {
+        plan.continue_to_exit(self, exit)?;
+        Ok(plan.output(exit))
+    }
+
+    /// Batched counterpart of [`MultiExitNetwork::forward_all_with`]:
+    /// evaluates every exit on the batch, invoking `visit` with each exit's
+    /// [`BatchOutput`] in order. Allocation-free like the other batched entry
+    /// points; per-exit results remain readable from the plan afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_all_batch_with<F: FnMut(BatchOutput<'_>)>(
+        &self,
+        plan: &mut BatchPlan,
+        inputs: &[&Tensor],
+        mut visit: F,
+    ) -> Result<()> {
+        plan.forward_to_exit(self, inputs, 0)?;
+        visit(plan.output(0));
+        for exit in 1..self.num_exits() {
+            plan.continue_to_exit(self, exit)?;
+            visit(plan.output(exit));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{lenet_multi_exit, tiny_multi_exit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> MultiExitNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap()
+    }
+
+    fn random_batch(rng: &mut StdRng, dims: &[usize], n: usize) -> Vec<Tensor> {
+        (0..n).map(|_| Tensor::randn(rng, dims, 0.0, 1.0)).collect()
+    }
+
+    /// Zeroes every other filter of each conv and marks it sparse, emulating
+    /// what channel pruning does to the weights.
+    fn prune_convs(layer_groups: &mut [&mut Vec<Layer>]) {
+        for layers in layer_groups.iter_mut() {
+            for layer in layers.iter_mut() {
+                if let Layer::Conv2d(conv) = layer {
+                    let out_ch = conv.out_channels();
+                    let per_filter = conv.weight().len() / out_ch;
+                    for (i, w) in conv.weight_mut().as_mut_slice().iter_mut().enumerate() {
+                        if (i / per_filter) % 2 == 0 {
+                            *w = 0.0;
+                        }
+                    }
+                    conv.set_sparse_hint(true);
+                }
+            }
+        }
+    }
+
+    fn assert_batch_matches_singles(net: &MultiExitNetwork, inputs: &[Tensor]) {
+        let mut batch_plan = net.batch_plan(inputs.len());
+        let mut single_plan = net.execution_plan();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        for exit in 0..net.num_exits() {
+            let out = net.forward_to_exit_batch_with(&mut batch_plan, &refs, exit).unwrap();
+            for (i, input) in inputs.iter().enumerate() {
+                let single = net.forward_to_exit_with(&mut single_plan, input, exit).unwrap();
+                assert_eq!(out.prediction(i), single.prediction, "exit {exit} sample {i}");
+                assert_eq!(
+                    out.confidence(i).to_bits(),
+                    single.confidence.to_bits(),
+                    "exit {exit} sample {i}"
+                );
+                let single_logits: Vec<u32> =
+                    single_plan.logits(exit).iter().map(|v| v.to_bits()).collect();
+                let batch_logits: Vec<u32> = out.logits(i).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(batch_logits, single_logits, "exit {exit} sample {i} logits");
+                assert_eq!(out.probs(i), single_plan.probs(exit), "exit {exit} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_single_planned_forward() {
+        let net = tiny_net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 5, 8] {
+            let inputs = random_batch(&mut rng, &[1, 8, 8], n);
+            assert_batch_matches_singles(&net, &inputs);
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_on_the_paper_backbone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+        let inputs = random_batch(&mut rng, &[3, 32, 32], 4);
+        assert_batch_matches_singles(&net, &inputs);
+    }
+
+    #[test]
+    fn batched_forward_matches_with_sparse_hints_and_pruned_weights() {
+        // Emulate what channel pruning does: zero whole filter rows and mark
+        // the convs sparse so the batched pass exercises gemm_sparse_into.
+        let mut net = tiny_net(4);
+        let mut all_layers: Vec<&mut Vec<Layer>> = net.segments_mut().iter_mut().collect();
+        prune_convs(&mut all_layers);
+        let mut branch_layers: Vec<&mut Vec<Layer>> = net.branches_mut().iter_mut().collect();
+        prune_convs(&mut branch_layers);
+        let mut rng = StdRng::seed_from_u64(5);
+        let inputs = random_batch(&mut rng, &[1, 8, 8], 6);
+        assert_batch_matches_singles(&net, &inputs);
+    }
+
+    #[test]
+    fn batched_continuation_matches_batched_direct() {
+        let net = tiny_net(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let inputs = random_batch(&mut rng, &[1, 8, 8], 3);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut direct = net.batch_plan(3);
+        net.forward_to_exit_batch_with(&mut direct, &refs, 1).unwrap();
+        let mut incremental = net.batch_plan(3);
+        net.forward_to_exit_batch_with(&mut incremental, &refs, 0).unwrap();
+        let out = net.continue_to_exit_batch_with(&mut incremental, 1).unwrap();
+        assert_eq!(out.exit(), 1);
+        for i in 0..3 {
+            assert_eq!(out.logits(i), direct.output(1).logits(i), "sample {i}");
+        }
+        assert_eq!(incremental.segments_done(), 2);
+        assert_eq!(incremental.last_exit(), Some(1));
+    }
+
+    #[test]
+    fn forward_all_batch_visits_every_exit_in_order() {
+        let net = tiny_net(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let inputs = random_batch(&mut rng, &[1, 8, 8], 4);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut plan = net.batch_plan(4);
+        let mut seen = Vec::new();
+        net.forward_all_batch_with(&mut plan, &refs, |out| {
+            seen.push((out.exit(), out.len()));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 4), (1, 4)]);
+        // And per-sample agreement with the allocating forward_all.
+        for (i, input) in inputs.iter().enumerate() {
+            let reference = net.forward_all(input).unwrap();
+            for out in &reference {
+                assert_eq!(plan.output(out.exit).prediction(i), out.prediction);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_errors_mirror_the_single_planned_path() {
+        let net = tiny_net(10);
+        let mut plan = net.batch_plan(2);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        // Empty and oversized batches are rejected.
+        assert!(matches!(
+            net.forward_to_exit_batch_with(&mut plan, &[], 0),
+            Err(NnError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            net.forward_to_exit_batch_with(&mut plan, &[&x, &x, &x], 0),
+            Err(NnError::InvalidSpec(_))
+        ));
+        // Unknown exit, missing state, non-monotonic continuation.
+        assert!(matches!(
+            net.forward_to_exit_batch_with(&mut plan, &[&x], 9),
+            Err(NnError::InvalidExit { .. })
+        ));
+        assert!(matches!(
+            net.continue_to_exit_batch_with(&mut plan, 1),
+            Err(NnError::MissingPlannedState)
+        ));
+        net.forward_to_exit_batch_with(&mut plan, &[&x], 1).unwrap();
+        assert!(matches!(
+            net.continue_to_exit_batch_with(&mut plan, 0),
+            Err(NnError::NonMonotonicExit { .. })
+        ));
+        // Mismatched input shapes within one batch.
+        let y = Tensor::zeros(&[1, 8, 7]);
+        assert!(matches!(
+            net.forward_to_exit_batch_with(&mut plan, &[&x, &y], 0),
+            Err(NnError::InputShapeMismatch { .. })
+        ));
+        // A failed pass invalidates the cached state.
+        assert!(matches!(
+            net.continue_to_exit_batch_with(&mut plan, 1),
+            Err(NnError::MissingPlannedState)
+        ));
+        // The plan stays usable after errors.
+        plan.reset();
+        net.forward_to_exit_batch_with(&mut plan, &[&x, &x], 0).unwrap();
+        assert_eq!(plan.last_exit(), Some(0));
+        assert_eq!(plan.batch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not evaluated for the current batch")]
+    fn reading_an_exit_from_an_earlier_batch_panics_instead_of_relabeling() {
+        let net = tiny_net(12);
+        let mut plan = net.batch_plan(4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let old = random_batch(&mut rng, &[1, 8, 8], 4);
+        let old_refs: Vec<&Tensor> = old.iter().collect();
+        net.forward_to_exit_batch_with(&mut plan, &old_refs, 1).unwrap();
+        let fresh = random_batch(&mut rng, &[1, 8, 8], 2);
+        let fresh_refs: Vec<&Tensor> = fresh.iter().collect();
+        net.forward_to_exit_batch_with(&mut plan, &fresh_refs, 0).unwrap();
+        // Exit 1 was only evaluated for the previous 4-sample batch; reading
+        // it now would relabel stale logits with the new batch size.
+        let _ = plan.output(1);
+    }
+
+    #[test]
+    fn plan_for_a_smaller_architecture_is_rejected_not_a_panic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lenet = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+        let tiny = tiny_net(11);
+        let mut tiny_plan = tiny.batch_plan(2);
+        let x = Tensor::zeros(&[3, 32, 32]);
+        let err = lenet.forward_to_exit_batch_with(&mut tiny_plan, &[&x], 0).unwrap_err();
+        assert!(matches!(err, NnError::InvalidSpec(_)), "got {err:?}");
+    }
+}

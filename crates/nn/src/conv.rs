@@ -1,5 +1,8 @@
 use crate::{NnError, Result};
-use ie_tensor::{col2im, gemm_into, gemm_sparse_into, im2col, im2col_into, Conv2dGeometry, Tensor};
+use ie_tensor::{
+    col2im, gemm_into, gemm_sparse_into, im2col, im2col_batch_into, im2col_into, Conv2dGeometry,
+    Tensor,
+};
 use rand::Rng;
 
 /// A 2-D convolution layer over `[C, H, W]` inputs.
@@ -181,6 +184,68 @@ impl Conv2d {
             gemm_into(self.weight.as_slice(), col, out, m, k, n);
         }
         let plane = self.geom.out_h() * self.geom.out_w();
+        let bias = self.bias.as_slice();
+        if fuse_relu {
+            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
+                for v in row {
+                    *v = (*v + b).max(0.0);
+                }
+            }
+        } else {
+            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
+                for v in row {
+                    *v += b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched counterpart of [`Self::forward_into`]: runs `batch` samples
+    /// through one widened GEMM. Input and output use the channel-major wide
+    /// layout `[C, batch, H, W]` (see [`ie_tensor::im2col_batch_into`]); the
+    /// column scratch must hold `batch · col_len` elements. The batched
+    /// `im2col` lowers all samples into one `[C·K·K, batch·out_h·out_w]`
+    /// activation matrix, a single GEMM multiplies it against the filters,
+    /// and the bias (+ fused ReLU) epilogue sweeps each output-channel row
+    /// once. Per sample the results are bit-identical to
+    /// [`Self::forward_into`]: the GEMM accumulates every output element in
+    /// ascending depth order regardless of the matrix width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when a buffer length does not
+    /// match `batch` copies of the layer geometry.
+    pub fn forward_batch_into(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        col: &mut [f32],
+        batch: usize,
+        fuse_relu: bool,
+    ) -> Result<()> {
+        if input.len() != self.input_len() * batch {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d(batch)".into(),
+                expected: vec![batch, self.geom.in_channels, self.geom.in_h, self.geom.in_w],
+                actual: vec![input.len()],
+            });
+        }
+        if out.len() != self.output_len() * batch {
+            return Err(NnError::InputShapeMismatch {
+                layer: "conv2d(batch out)".into(),
+                expected: vec![self.output_len() * batch],
+                actual: vec![out.len()],
+            });
+        }
+        im2col_batch_into(input, batch, &self.geom, col)?;
+        let (m, k, n) = (self.out_channels, self.geom.col_rows(), batch * self.geom.col_cols());
+        if self.sparse_hint {
+            gemm_sparse_into(self.weight.as_slice(), col, out, m, k, n);
+        } else {
+            gemm_into(self.weight.as_slice(), col, out, m, k, n);
+        }
+        let plane = batch * self.geom.out_h() * self.geom.out_w();
         let bias = self.bias.as_slice();
         if fuse_relu {
             for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {

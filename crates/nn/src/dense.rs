@@ -158,6 +158,62 @@ impl Dense {
         Ok(())
     }
 
+    /// Batched counterpart of [`Self::forward_into`]: `batch` input vectors
+    /// sample-major in `input` (`[batch, in_features]`), results sample-major
+    /// in `out` (`[batch, out_features]`). Each sample's result is
+    /// bit-identical to a separate [`Self::forward_into`] call (the batched
+    /// kernel runs the same lane-parallel dot product per row and sample, see
+    /// [`ie_tensor::matvec_batch_into`]); the win is that each weight row is
+    /// streamed from memory once per batch instead of once per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] when a buffer length does not
+    /// match `batch` copies of the layer shape.
+    pub fn forward_batch_into(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        fuse_relu: bool,
+    ) -> Result<()> {
+        if input.len() != self.in_features * batch {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense(batch)".into(),
+                expected: vec![batch, self.in_features],
+                actual: vec![input.len()],
+            });
+        }
+        if out.len() != self.out_features * batch {
+            return Err(NnError::InputShapeMismatch {
+                layer: "dense(batch out)".into(),
+                expected: vec![batch, self.out_features],
+                actual: vec![out.len()],
+            });
+        }
+        ie_tensor::matvec_batch_into(
+            self.weight.as_slice(),
+            input,
+            out,
+            self.out_features,
+            self.in_features,
+            batch,
+        );
+        let bias = self.bias.as_slice();
+        for sample in out.chunks_exact_mut(self.out_features.max(1)) {
+            if fuse_relu {
+                for (o, &b) in sample.iter_mut().zip(bias) {
+                    *o = (*o + b).max(0.0);
+                }
+            } else {
+                for (o, &b) in sample.iter_mut().zip(bias) {
+                    *o += b;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass for a flat input of `in_features` elements.
     ///
     /// Allocating wrapper over [`Self::forward_into`].

@@ -12,6 +12,9 @@
 //!   inference: pre-sized buffers, fused bias+ReLU GEMM epilogues, and planned
 //!   `*_with` variants of every forward entry point that are bit-identical to
 //!   the allocating ones,
+//! * a [`BatchPlan`] that runs N inputs per pass through one widened GEMM per
+//!   layer, bit-identical per sample to the single-input plan, plus a sharded
+//!   multi-threaded dataset evaluator ([`train::evaluate_batched`]),
 //! * softmax / cross-entropy losses and the **entropy-based confidence**
 //!   measure used to decide whether an exit's prediction is trustworthy,
 //! * an SGD optimiser and a tiny training loop,
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod batch;
 mod conv;
 pub mod dataset;
 mod dense;
@@ -51,6 +55,7 @@ pub mod spec;
 pub mod train;
 
 pub use activation::Relu;
+pub use batch::{BatchOutput, BatchPlan};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;

@@ -386,8 +386,9 @@ impl ExecutionPlan {
 
 /// Largest activation and `im2col` column buffer (element counts) any layer
 /// of `arch` needs. Shared by plan construction and the per-call
-/// compatibility check; iterates the specs without allocating.
-fn buffer_requirements(arch: &MultiExitArchitecture) -> (usize, usize) {
+/// compatibility check (for both the single-input and the batched plan);
+/// iterates the specs without allocating.
+pub(crate) fn buffer_requirements(arch: &MultiExitArchitecture) -> (usize, usize) {
     let mut max_act: usize = arch.input_dims().iter().product();
     let mut max_col = 0usize;
     for spec in arch.all_layers() {
@@ -400,7 +401,8 @@ fn buffer_requirements(arch: &MultiExitArchitecture) -> (usize, usize) {
     (max_act, max_col)
 }
 
-fn check_exit(net: &MultiExitNetwork, exit: usize) -> Result<()> {
+/// Validates an exit index against `net` (shared with the batched plan).
+pub(crate) fn check_exit(net: &MultiExitNetwork, exit: usize) -> Result<()> {
     if exit >= net.num_exits() {
         return Err(NnError::InvalidExit { requested: exit, available: net.num_exits() });
     }

@@ -108,6 +108,59 @@ impl MaxPool2d {
         Ok(())
     }
 
+    /// Batched counterpart of [`Self::forward_slice_into`] over the
+    /// channel-major wide layout: `input` is `[c, batch, h, w]`, `out` is
+    /// `[c, batch, h/size, w/size]`. Each `(channel, sample)` plane is pooled
+    /// with the same window scan as the single-sample kernel, so every
+    /// sample's result is bit-identical to pooling it alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] under the same conditions as
+    /// [`Self::forward_slice_into`], with lengths scaled by `batch`.
+    pub fn forward_batch_slice_into(
+        &self,
+        input: &[f32],
+        dims: [usize; 3],
+        batch: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        if input.len() != c * batch * h * w || h % self.size != 0 || w % self.size != 0 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(batch)".into(),
+                expected: vec![c, h / self.size * self.size, w / self.size * self.size],
+                actual: vec![input.len()],
+            });
+        }
+        let (oh, ow) = (h / self.size, w / self.size);
+        if out.len() != c * batch * oh * ow {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(batch out)".into(),
+                expected: vec![c * batch * oh * ow],
+                actual: vec![out.len()],
+            });
+        }
+        for plane_idx in 0..c * batch {
+            let src = &input[plane_idx * h * w..][..h * w];
+            let dst = &mut out[plane_idx * oh * ow..][..oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..self.size {
+                        for dx in 0..self.size {
+                            let iy = oy * self.size + dy;
+                            let ix = ox * self.size + dx;
+                            best = best.max(src[iy * w + ix]);
+                        }
+                    }
+                    dst[oy * ow + ox] = best;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass.
     ///
     /// Allocating wrapper over [`Self::forward_slice_into`].

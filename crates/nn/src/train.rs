@@ -1,7 +1,9 @@
-//! A small training loop for multi-exit networks on in-memory datasets.
+//! A small training loop for multi-exit networks on in-memory datasets, plus
+//! the batched, sharded multi-threaded dataset evaluator.
 
 use crate::dataset::Sample;
-use crate::{MultiExitNetwork, Result, Sgd};
+use crate::{BatchPlan, MultiExitNetwork, Result, Sgd};
+use ie_tensor::Tensor;
 
 /// Configuration of a multi-exit training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +109,102 @@ pub fn evaluate(network: &MultiExitNetwork, samples: &[Sample]) -> Result<Vec<f3
     Ok(correct.iter().map(|&c| c as f32 / samples.len() as f32).collect())
 }
 
+/// Default batch size of the batched evaluators (8 samples per widened pass).
+pub const DEFAULT_EVAL_BATCH: usize = 8;
+
+/// Parses a thread-count override, accepting only positive integers.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Worker-thread count for sharded evaluation: the `IE_EVAL_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism capped at 4. The thread count never
+/// changes results — the sharded reduction is deterministic — so this is a
+/// pure throughput knob (and what the CI thread-matrix job varies).
+pub fn eval_threads() -> usize {
+    parse_threads(std::env::var("IE_EVAL_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
+    })
+}
+
+/// Evaluates the accuracy of every exit on the given samples using batched
+/// passes sharded across `threads` worker threads.
+///
+/// The samples are split into `threads` contiguous shards; each worker owns
+/// one [`BatchPlan`] (the per-thread sharding unit) and streams its shard
+/// through [`MultiExitNetwork::forward_all_batch_with`] in chunks of `batch`
+/// samples. Per-shard correct counts are reduced in shard order — integer
+/// sums over a fixed partition — so the result is identical for every thread
+/// count, and because the batched pass is bit-identical to the single-input
+/// planned path, identical to [`evaluate`] as well.
+///
+/// # Errors
+///
+/// Propagates layer shape errors from the workers (first shard's error wins).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_batched(
+    network: &MultiExitNetwork,
+    samples: &[Sample],
+    batch: usize,
+    threads: usize,
+) -> Result<Vec<f32>> {
+    let num_exits = network.num_exits();
+    if samples.is_empty() {
+        return Ok(vec![0.0; num_exits]);
+    }
+    let batch = batch.max(1);
+    let threads = threads.clamp(1, samples.len());
+    // A worker evaluates one shard with its own plan; the single-worker case
+    // runs inline so callers in a hot loop never pay thread spawn/join for a
+    // sequential evaluation.
+    let eval_shard = |shard: &[Sample]| -> Result<Vec<usize>> {
+        let mut plan = BatchPlan::for_architecture(network.architecture(), batch);
+        let mut correct = vec![0usize; num_exits];
+        let mut refs: Vec<&Tensor> = Vec::with_capacity(batch);
+        for chunk in shard.chunks(batch) {
+            refs.clear();
+            refs.extend(chunk.iter().map(|s| &s.image));
+            network.forward_all_batch_with(&mut plan, &refs, |out| {
+                for (i, sample) in chunk.iter().enumerate() {
+                    correct[out.exit()] += usize::from(out.prediction(i) == sample.label);
+                }
+            })?;
+        }
+        Ok(correct)
+    };
+    let counts: Vec<Result<Vec<usize>>> = if threads == 1 {
+        vec![eval_shard(samples)]
+    } else {
+        let shard_len = samples.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                samples.chunks(shard_len).map(|shard| scope.spawn(|| eval_shard(shard))).collect();
+            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
+        })
+    };
+    let mut total = vec![0usize; num_exits];
+    for shard_counts in counts {
+        for (t, c) in total.iter_mut().zip(shard_counts?) {
+            *t += c;
+        }
+    }
+    Ok(total.iter().map(|&c| c as f32 / samples.len() as f32).collect())
+}
+
+/// [`evaluate_batched`] with the default batch size and the environment-driven
+/// worker count ([`eval_threads`]).
+///
+/// # Errors
+///
+/// Propagates layer shape errors from the workers.
+pub fn evaluate_batched_auto(network: &MultiExitNetwork, samples: &[Sample]) -> Result<Vec<f32>> {
+    evaluate_batched(network, samples, DEFAULT_EVAL_BATCH, eval_threads())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +247,43 @@ mod tests {
     fn default_config_matches_exit_count() {
         let c = TrainConfig::for_exits(3);
         assert_eq!(c.exit_weights.len(), 3);
+    }
+
+    #[test]
+    fn batched_evaluation_is_identical_for_every_batch_and_thread_count() {
+        let data = SyntheticDataset::generate(3, 8, 90, 0.1, 7);
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let reference = evaluate(&net, data.test()).unwrap();
+        for batch in [1usize, 3, 8] {
+            for threads in [1usize, 2, 4] {
+                let sharded = evaluate_batched(&net, data.test(), batch, threads).unwrap();
+                assert_eq!(
+                    sharded, reference,
+                    "batch {batch} x {threads} threads must match the single-input evaluation"
+                );
+            }
+        }
+        // More workers than samples degrades gracefully to one per sample.
+        let few = &data.test()[..2];
+        assert_eq!(evaluate_batched(&net, few, 4, 16).unwrap(), evaluate(&net, few).unwrap());
+    }
+
+    #[test]
+    fn batched_evaluation_handles_empty_sample_sets() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(2), &mut rng).unwrap();
+        assert_eq!(evaluate_batched(&net, &[], 8, 4).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn thread_override_parses_only_positive_integers() {
+        assert_eq!(super::parse_threads(Some("4")), Some(4));
+        assert_eq!(super::parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(super::parse_threads(Some("0")), None);
+        assert_eq!(super::parse_threads(Some("-1")), None);
+        assert_eq!(super::parse_threads(Some("lots")), None);
+        assert_eq!(super::parse_threads(None), None);
+        assert!(eval_threads() >= 1);
     }
 }

@@ -61,6 +61,16 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
     let mut tiny_plan = tiny.execution_plan();
     let mut lenet_plan = lenet.execution_plan();
 
+    // Batched counterparts: the ref slices are built up front so the measured
+    // loop only reuses them.
+    let mut tiny_batch_plan = tiny.batch_plan(2);
+    let mut lenet_batch_plan = lenet.batch_plan(4);
+    let tiny_batch = [Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0), tiny_input.clone()];
+    let tiny_refs: Vec<&Tensor> = tiny_batch.iter().collect();
+    let lenet_batch: Vec<Tensor> =
+        (0..4).map(|_| Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0)).collect();
+    let lenet_refs: Vec<&Tensor> = lenet_batch.iter().collect();
+
     // Warm-up: touch every code path the measured section will run.
     for _ in 0..2 {
         tiny.forward_to_exit_with(&mut tiny_plan, &tiny_input, 0).unwrap();
@@ -71,6 +81,9 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
         }
         lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, 0).unwrap();
         lenet.continue_to_exit_with(&mut lenet_plan, 2).unwrap();
+        tiny.forward_all_batch_with(&mut tiny_batch_plan, &tiny_refs, |_| {}).unwrap();
+        lenet.forward_to_exit_batch_with(&mut lenet_batch_plan, &lenet_refs, 0).unwrap();
+        lenet.continue_to_exit_batch_with(&mut lenet_batch_plan, 2).unwrap();
     }
 
     let before = allocations_on_this_thread();
@@ -87,6 +100,17 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
         checksum +=
             lenet.forward_to_exit_with(&mut lenet_plan, &lenet_input, 0).unwrap().prediction;
         checksum += lenet.continue_to_exit_with(&mut lenet_plan, 2).unwrap().prediction;
+        // A warmed batched pass is equally allocation-free.
+        tiny.forward_all_batch_with(&mut tiny_batch_plan, &tiny_refs, |out| {
+            checksum += out.prediction(0) + out.prediction(1);
+        })
+        .unwrap();
+        checksum += lenet
+            .forward_to_exit_batch_with(&mut lenet_batch_plan, &lenet_refs, 0)
+            .unwrap()
+            .prediction(3);
+        checksum +=
+            lenet.continue_to_exit_batch_with(&mut lenet_batch_plan, 2).unwrap().prediction(1);
     }
     let after = allocations_on_this_thread();
 

@@ -116,7 +116,11 @@ impl CompressionEnv {
     /// Propagates evaluation and simulation errors.
     pub fn evaluate(&self, policy: &CompressionPolicy) -> Result<PolicyOutcome> {
         let snapped = policy.snapped();
-        let profile = self.evaluator.evaluate(&snapped)?;
+        // Whole-policy scoring goes through the batched evaluator: estimators
+        // that run a real calibration set shard it across worker threads (one
+        // `BatchPlan` per worker), and analytic estimators fall back to the
+        // plain path. Results are identical either way.
+        let profile = self.evaluator.evaluate_batched(&snapped)?;
         let model = DeployedModel::new(profile.clone(), self.config.cost_model());
         let mut selection_policy = GreedyAffordablePolicy::new();
         let report = EventLoopSimulator::new(&self.config).run(&model, &mut selection_policy)?;

@@ -80,74 +80,131 @@ impl Conv2dGeometry {
     }
 }
 
+/// The hoisted padding bounds of one `(ky, kx)` kernel offset: for a fixed
+/// offset the valid output range is computable in closed form, so the hot
+/// middle region of every row is a branch-free copy (a straight memcpy for
+/// stride 1). The bounds depend only on the geometry and `(ky, kx)` — not on
+/// the channel or sample — which is why the batched lowering computes them
+/// once per offset and reuses them across the whole `channels × batch` sweep.
+struct KernelOffsetBounds {
+    shift: isize,
+    vshift: isize,
+    ox_lo: usize,
+    ox_hi: usize,
+    oy_lo: usize,
+    oy_hi: usize,
+}
+
+impl KernelOffsetBounds {
+    fn new(geom: &Conv2dGeometry, ky: usize, kx: usize) -> Self {
+        let (out_h, out_w) = (geom.out_h(), geom.out_w());
+        let (stride, in_h, in_w) = (geom.stride, geom.in_h, geom.in_w);
+        let shift = kx as isize - geom.padding as isize; // ix = ox·s + shift
+        let ox_lo = if shift < 0 { ((-shift) as usize).div_ceil(stride).min(out_w) } else { 0 };
+        let last = in_w as isize - 1 - shift;
+        let ox_hi = if last < 0 { 0 } else { (last as usize / stride + 1).min(out_w) };
+        let ox_hi = ox_hi.max(ox_lo);
+        // Same bounds in y: rows fully inside the padding are zeroed with
+        // single contiguous fills above and below the valid band.
+        let vshift = ky as isize - geom.padding as isize; // iy = oy·s + vshift
+        let oy_lo = if vshift < 0 { ((-vshift) as usize).div_ceil(stride).min(out_h) } else { 0 };
+        let vlast = in_h as isize - 1 - vshift;
+        let oy_hi = if vlast < 0 { 0 } else { (vlast as usize / stride + 1).min(out_h) };
+        let oy_hi = oy_hi.max(oy_lo);
+        KernelOffsetBounds { shift, vshift, ox_lo, ox_hi, oy_lo, oy_hi }
+    }
+
+    /// Lowers one channel plane's `(ky, kx)` row section into `out_row`
+    /// (`out_h·out_w` cells), writing every cell including the zero padding.
+    fn lower_plane(&self, geom: &Conv2dGeometry, chan: &[f32], out_row: &mut [f32]) {
+        let out_w = geom.out_w();
+        let (stride, in_w) = (geom.stride, geom.in_w);
+        out_row[..self.oy_lo * out_w].fill(0.0);
+        out_row[self.oy_hi * out_w..].fill(0.0);
+        for oy in self.oy_lo..self.oy_hi {
+            let iy = (oy * stride) as isize + self.vshift;
+            let orow = &mut out_row[oy * out_w..(oy + 1) * out_w];
+            let src = &chan[iy as usize * in_w..(iy as usize + 1) * in_w];
+            orow[..self.ox_lo].fill(0.0);
+            orow[self.ox_hi..].fill(0.0);
+            if self.ox_lo >= self.ox_hi {
+                continue;
+            }
+            let start = ((self.ox_lo * stride) as isize + self.shift) as usize;
+            if stride == 1 {
+                orow[self.ox_lo..self.ox_hi]
+                    .copy_from_slice(&src[start..start + (self.ox_hi - self.ox_lo)]);
+            } else {
+                let mut ix = start;
+                for o in &mut orow[self.ox_lo..self.ox_hi] {
+                    *o = src[ix];
+                    ix += stride;
+                }
+            }
+        }
+    }
+}
+
 /// Lowers a `[C, H, W]` image (given as a flat slice) into a caller-provided
 /// `[C·K·K, out_h·out_w]` column buffer. Never allocates; every output cell —
 /// including zero padding — is written, so the buffer needs no prior clearing.
+///
+/// The single-sample instance of [`im2col_batch_into`]; both lower each
+/// sample bit-identically.
 ///
 /// # Errors
 ///
 /// Returns an error when the geometry is invalid or either buffer length does
 /// not match it.
 pub fn im2col_into(input: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) -> Result<()> {
+    im2col_batch_into(input, 1, geom, out)
+}
+
+/// Lowers a batch of `[C, H, W]` images into one wide column matrix.
+///
+/// The input uses the *channel-major wide* batch layout `[C, batch, H, W]`
+/// (sample `s` of channel `c` starts at `(c·batch + s)·H·W`; for `batch == 1`
+/// this is exactly the ordinary `[C, H, W]` layout). The output is the
+/// `[C·K·K, batch·out_h·out_w]` column matrix in which sample `s` occupies
+/// columns `s·out_h·out_w ..` — one contiguous activation matrix a single
+/// widened GEMM can multiply against the filter matrix. Sample `s`'s column
+/// block is bit-identical to what [`im2col_into`] produces for that sample
+/// alone. Never allocates.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid or either buffer length does
+/// not match `batch` copies of it.
+pub fn im2col_batch_into(
+    input: &[f32],
+    batch: usize,
+    geom: &Conv2dGeometry,
+    out: &mut [f32],
+) -> Result<()> {
     geom.validate()?;
-    let in_len = geom.in_channels * geom.in_h * geom.in_w;
+    let plane = geom.in_h * geom.in_w;
+    let in_len = geom.in_channels * batch * plane;
     if input.len() != in_len {
         return Err(TensorError::DataShapeMismatch { data_len: input.len(), shape_len: in_len });
     }
-    if out.len() != geom.col_len() {
+    if out.len() != geom.col_len() * batch {
         return Err(TensorError::DataShapeMismatch {
             data_len: out.len(),
-            shape_len: geom.col_len(),
+            shape_len: geom.col_len() * batch,
         });
     }
-    let (out_h, out_w) = (geom.out_h(), geom.out_w());
-    let (k, stride, in_h, in_w) = (geom.kernel, geom.stride, geom.in_h, geom.in_w);
-    let cols = out_h * out_w;
-    for c in 0..geom.in_channels {
-        let chan = &input[c * in_h * in_w..(c + 1) * in_h * in_w];
-        for ky in 0..k {
-            for kx in 0..k {
+    let cols = geom.col_cols();
+    let row_stride = batch * cols;
+    let k = geom.kernel;
+    for ky in 0..k {
+        for kx in 0..k {
+            let bounds = KernelOffsetBounds::new(geom, ky, kx);
+            for c in 0..geom.in_channels {
                 let row = (c * k + ky) * k + kx;
-                // The padding tests are hoisted out of the inner loop: for a
-                // fixed (ky, kx) the valid output range is computable in
-                // closed form, so the hot middle region is a branch-free copy
-                // (a straight memcpy for stride 1).
-                let shift = kx as isize - geom.padding as isize; // ix = ox·s + shift
-                let ox_lo =
-                    if shift < 0 { ((-shift) as usize).div_ceil(stride).min(out_w) } else { 0 };
-                let last = in_w as isize - 1 - shift;
-                let ox_hi = if last < 0 { 0 } else { (last as usize / stride + 1).min(out_w) };
-                let ox_hi = ox_hi.max(ox_lo);
-                // Same bounds in y: rows fully inside the padding are zeroed
-                // with single contiguous fills above and below the valid band.
-                let vshift = ky as isize - geom.padding as isize; // iy = oy·s + vshift
-                let oy_lo =
-                    if vshift < 0 { ((-vshift) as usize).div_ceil(stride).min(out_h) } else { 0 };
-                let vlast = in_h as isize - 1 - vshift;
-                let oy_hi = if vlast < 0 { 0 } else { (vlast as usize / stride + 1).min(out_h) };
-                let oy_hi = oy_hi.max(oy_lo);
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                out_row[..oy_lo * out_w].fill(0.0);
-                out_row[oy_hi * out_w..].fill(0.0);
-                for oy in oy_lo..oy_hi {
-                    let iy = (oy * stride) as isize + vshift;
-                    let orow = &mut out_row[oy * out_w..(oy + 1) * out_w];
-                    let src = &chan[iy as usize * in_w..(iy as usize + 1) * in_w];
-                    orow[..ox_lo].fill(0.0);
-                    orow[ox_hi..].fill(0.0);
-                    if ox_lo >= ox_hi {
-                        continue;
-                    }
-                    let start = ((ox_lo * stride) as isize + shift) as usize;
-                    if stride == 1 {
-                        orow[ox_lo..ox_hi].copy_from_slice(&src[start..start + (ox_hi - ox_lo)]);
-                    } else {
-                        let mut ix = start;
-                        for o in &mut orow[ox_lo..ox_hi] {
-                            *o = src[ix];
-                            ix += stride;
-                        }
-                    }
+                let out_row = &mut out[row * row_stride..(row + 1) * row_stride];
+                for (s, block) in out_row.chunks_exact_mut(cols).enumerate() {
+                    let chan = &input[(c * batch + s) * plane..][..plane];
+                    bounds.lower_plane(geom, chan, block);
                 }
             }
         }
@@ -319,6 +376,46 @@ mod tests {
         assert_eq!(back.get(&[0, 0, 0]), Some(1.0));
         assert_eq!(back.get(&[0, 1, 1]), Some(4.0));
         assert_eq!(back.get(&[0, 3, 3]), Some(1.0));
+    }
+
+    #[test]
+    fn batched_im2col_matches_per_sample_im2col() {
+        let g =
+            Conv2dGeometry { in_channels: 2, in_h: 5, in_w: 4, kernel: 3, stride: 2, padding: 1 };
+        let batch = 3;
+        let plane = g.in_h * g.in_w;
+        // Wide layout [C, batch, H, W] with distinct per-(channel, sample) data.
+        let wide: Vec<f32> = (0..g.in_channels * batch * plane).map(|i| (i as f32).sin()).collect();
+        let mut wide_cols = vec![f32::NAN; g.col_len() * batch];
+        im2col_batch_into(&wide, batch, &g, &mut wide_cols).unwrap();
+        let cols = g.col_cols();
+        for s in 0..batch {
+            // Reassemble sample s in plain [C, H, W] layout and lower it alone.
+            let mut single = Vec::with_capacity(g.in_channels * plane);
+            for c in 0..g.in_channels {
+                single.extend_from_slice(&wide[(c * batch + s) * plane..][..plane]);
+            }
+            let mut single_cols = vec![0.0f32; g.col_len()];
+            im2col_into(&single, &g, &mut single_cols).unwrap();
+            for r in 0..g.col_rows() {
+                assert_eq!(
+                    &wide_cols[r * batch * cols + s * cols..][..cols],
+                    &single_cols[r * cols..][..cols],
+                    "sample {s} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_im2col_validates_lengths() {
+        let g = geom_3x3_stride1_nopad();
+        let mut out = vec![0.0f32; g.col_len() * 2];
+        assert!(im2col_batch_into(&[0.0; 16], 2, &g, &mut out).is_err());
+        let ok_input = vec![0.0; 32];
+        let mut short = vec![0.0f32; g.col_len()];
+        assert!(im2col_batch_into(&ok_input, 2, &g, &mut short).is_err());
+        assert!(im2col_batch_into(&ok_input, 2, &g, &mut out).is_ok());
     }
 
     #[test]

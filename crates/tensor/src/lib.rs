@@ -32,8 +32,8 @@ mod tensor;
 mod workspace;
 
 pub use error::TensorError;
-pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
-pub use linalg::{gemm_into, gemm_sparse_into, matvec_into};
+pub use im2col::{col2im, col2im_into, im2col, im2col_batch_into, im2col_into, Conv2dGeometry};
+pub use linalg::{gemm_into, gemm_sparse_into, matvec_batch_into, matvec_into};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

@@ -36,6 +36,11 @@ fn check_gemm_lens(a: &[f32], b: &[f32], out: &[f32], m: usize, k: usize, n: usi
 /// 4×16 register micro-kernel: accumulates rows `i..i+4`, columns
 /// `jb..jb+16` of the product over the depth range `kb..kend`.
 ///
+/// `panel` holds the `B` column panel for that range: depth index `p` reads
+/// `panel[(p - kb) * panel_stride ..][..16]` — either a view straight into
+/// `B` (`panel_stride == n`) or a packed contiguous copy
+/// (`panel_stride == GEMM_NR`).
+///
 /// The accumulators are *loaded from* and *stored back to* `out`, so across
 /// depth blocks every output element still receives its contributions in
 /// ascending depth order — bit-identical to the naive triple loop.
@@ -43,7 +48,8 @@ fn check_gemm_lens(a: &[f32], b: &[f32], out: &[f32], m: usize, k: usize, n: usi
 #[allow(clippy::too_many_arguments)]
 fn gemm_tile_4x16(
     a: &[f32],
-    b: &[f32],
+    panel: &[f32],
+    panel_stride: usize,
     out: &mut [f32],
     i: usize,
     jb: usize,
@@ -64,8 +70,8 @@ fn gemm_tile_4x16(
     let a2 = &a[(i + 2) * k..(i + 3) * k];
     let a3 = &a[(i + 3) * k..(i + 4) * k];
     for p in kb..kend {
-        let brow: &[f32; GEMM_NR] =
-            b[p * n + jb..p * n + jb + GEMM_NR].try_into().expect("tile width");
+        let off = (p - kb) * panel_stride;
+        let brow: &[f32; GEMM_NR] = panel[off..off + GEMM_NR].try_into().expect("tile width");
         let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
         for t in 0..GEMM_NR {
             acc[0][t] += v0 * brow[t];
@@ -80,12 +86,14 @@ fn gemm_tile_4x16(
     }
 }
 
-/// 1×16 register micro-kernel for the row remainder (`m % 4` rows).
+/// 1×16 register micro-kernel for the row remainder (`m % 4` rows); `panel`
+/// addresses `B` exactly as in [`gemm_tile_4x16`].
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn gemm_tile_1x16(
     a: &[f32],
-    b: &[f32],
+    panel: &[f32],
+    panel_stride: usize,
     out: &mut [f32],
     i: usize,
     jb: usize,
@@ -99,10 +107,9 @@ fn gemm_tile_1x16(
         acc.copy_from_slice(&out[i * n + jb..i * n + jb + GEMM_NR]);
     }
     let arow = &a[i * k..(i + 1) * k];
-    for p in kb..kend {
-        let brow: &[f32; GEMM_NR] =
-            b[p * n + jb..p * n + jb + GEMM_NR].try_into().expect("tile width");
-        let v = arow[p];
+    for (step, &v) in arow[kb..kend].iter().enumerate() {
+        let off = step * panel_stride;
+        let brow: &[f32; GEMM_NR] = panel[off..off + GEMM_NR].try_into().expect("tile width");
         for t in 0..GEMM_NR {
             acc[t] += v * brow[t];
         }
@@ -110,22 +117,46 @@ fn gemm_tile_1x16(
     out[i * n + jb..i * n + jb + GEMM_NR].copy_from_slice(&acc);
 }
 
+/// Row tiles that must share one column panel before packing it pays for
+/// itself (the packed copy is amortized across the row-tile sweep).
+const GEMM_PACK_MIN_TILES: usize = 2;
+
 /// Accumulates `A·B` into `out`, which the caller must have zeroed.
 fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     if m == 0 || k == 0 || n == 0 {
         return;
     }
     let n_main = n - n % GEMM_NR;
+    // One column panel of `B` (`GEMM_KC x GEMM_NR`, 16 KB), packed contiguous
+    // on the stack. For wide matrices — exactly what batched inference
+    // produces — the panel rows sit `n` floats apart, so reading them once
+    // into a dense panel turns every row-tile pass into contiguous L1
+    // streaming. Packing only moves values; each tile still accumulates in
+    // ascending depth order, so results stay bit-identical. With a single
+    // row-tile sweep (or when the panel view is already the whole of `B`)
+    // the copy cannot be amortized and the kernels read `B` in place — in
+    // that case the buffer is never materialized, so small GEMMs skip its
+    // 16 KB zero-fill entirely.
+    let pack = m >= GEMM_PACK_MIN_TILES * GEMM_MR && n > GEMM_NR;
+    let mut packed = if pack { Some([0.0f32; GEMM_KC * GEMM_NR]) } else { None };
     for kb in (0..k).step_by(GEMM_KC) {
         let kend = (kb + GEMM_KC).min(k);
         for jb in (0..n_main).step_by(GEMM_NR) {
+            let (panel, panel_stride): (&[f32], usize) = if let Some(packed) = packed.as_mut() {
+                for (p, row) in (kb..kend).zip(packed.chunks_exact_mut(GEMM_NR)) {
+                    row.copy_from_slice(&b[p * n + jb..p * n + jb + GEMM_NR]);
+                }
+                (&packed[..], GEMM_NR)
+            } else {
+                (&b[kb * n + jb..], n)
+            };
             let mut i = 0;
             while i + GEMM_MR <= m {
-                gemm_tile_4x16(a, b, out, i, jb, kb, kend, k, n);
+                gemm_tile_4x16(a, panel, panel_stride, out, i, jb, kb, kend, k, n);
                 i += GEMM_MR;
             }
             while i < m {
-                gemm_tile_1x16(a, b, out, i, jb, kb, kend, k, n);
+                gemm_tile_1x16(a, panel, panel_stride, out, i, jb, kb, kend, k, n);
                 i += 1;
             }
         }
@@ -238,6 +269,34 @@ pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
     }
     for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
         *o = dot_lanes(row, x);
+    }
+}
+
+/// Batched matrix–vector product: one shared `[m, k]` matrix against `batch`
+/// input vectors. `xs` holds the vectors sample-major (`[batch, k]`), `out`
+/// receives the products sample-major (`[batch, m]`). Never allocates.
+///
+/// Each `(row, sample)` dot product runs through the same lane-parallel
+/// kernel as [`matvec_into`], so every sample's result is bit-identical to a
+/// separate `matvec_into` call. The loop is row-major over the matrix with
+/// the samples innermost: each matrix row is streamed from memory once per
+/// batch instead of once per sample, which is where batched dense layers win.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_batch_into(a: &[f32], xs: &[f32], out: &mut [f32], m: usize, k: usize, batch: usize) {
+    assert_eq!(a.len(), m * k, "matvec_batch: matrix buffer length {} != {m}x{k}", a.len());
+    assert_eq!(xs.len(), batch * k, "matvec_batch: vectors length {} != {batch}x{k}", xs.len());
+    assert_eq!(out.len(), batch * m, "matvec_batch: out length {} != {batch}x{m}", out.len());
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (i, row) in a.chunks_exact(k).enumerate() {
+        for s in 0..batch {
+            out[s * m + i] = dot_lanes(row, &xs[s * k..(s + 1) * k]);
+        }
     }
 }
 
@@ -478,6 +537,30 @@ mod tests {
         assert_eq!(out.as_slice(), y.as_slice());
         let mut wrong = Tensor::zeros(&[3]);
         assert!(a.matvec_into(&x, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn batched_matvec_is_bit_identical_to_per_sample_matvec() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (m, k, batch) in [(1, 1, 1), (5, 17, 3), (8, 64, 8), (3, 9, 16)] {
+            let a = Tensor::randn(&mut rng, &[m, k], 0.0, 1.0);
+            let xs = Tensor::randn(&mut rng, &[batch, k], 0.0, 1.0);
+            let mut batched = vec![0.0f32; batch * m];
+            matvec_batch_into(a.as_slice(), xs.as_slice(), &mut batched, m, k, batch);
+            for s in 0..batch {
+                let mut single = vec![0.0f32; m];
+                matvec_into(a.as_slice(), &xs.as_slice()[s * k..(s + 1) * k], &mut single, m, k);
+                assert_eq!(
+                    batched[s * m..(s + 1) * m].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "sample {s} of {m}x{k} batch {batch}"
+                );
+            }
+        }
+        // k == 0 zero-fills like matvec_into.
+        let mut out = vec![1.0f32; 4];
+        matvec_batch_into(&[], &[], &mut out, 2, 0, 2);
+        assert_eq!(out, vec![0.0; 4]);
     }
 
     #[test]
