@@ -19,9 +19,14 @@
 //!   (zero allocations after warm-up, fused bias+ReLU epilogues);
 //! * `batch_forward/*` — `forward_to_exit_batch_with` over a `BatchPlan`
 //!   (N samples through one widened GEMM per layer), reported as ns/sample;
+//! * `quant_forward/*` — the i8-dominant compression policy executed through
+//!   the integer engine (quantized plans: i8 GEMM + requantization
+//!   epilogues) vs the same policy on the fake-quant f32 planned path;
 //! * `policy_eval_loop` — whole-policy scoring through `PolicyEvaluator`
 //!   (an empirical estimator over a calibration set), single-input vs the
-//!   batched sharded evaluator.
+//!   batched sharded evaluator;
+//! * `search_loop` — one full `CompressionEnv::evaluate` step (profile +
+//!   event-loop simulation + rewards) against the bare profile evaluation.
 //!
 //! Writes `BENCH_inference.json` (median ns/op per case, with the run `mode`
 //! and actual timed sample count recorded) into the current directory and
@@ -31,11 +36,17 @@
 //! the CI perf-regression gate. All forward paths are checked to produce the
 //! same prediction before anything is timed.
 
-use ie_compress::{CompressionPolicy, EmpiricalAccuracyEstimator, PolicyEvaluator};
-use ie_nn::dataset::SyntheticDataset;
+use ie_compress::apply::{apply_policy, apply_policy_quantized};
+use ie_compress::{
+    CalibratedAccuracyModel, CompressionPolicy, EmpiricalAccuracyEstimator, PolicyEvaluator,
+};
+use ie_core::ExperimentConfig;
+use ie_nn::dataset::{Sample, SyntheticDataset};
 use ie_nn::loss::{confidence, softmax};
+use ie_nn::quant::{fake_quant_logits, QuantizedModel};
 use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
 use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
+use ie_search::{CompressionEnv, RewardMode};
 use ie_tensor::{Conv2dGeometry, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -228,6 +239,35 @@ impl PolicyEvalResult {
     }
 }
 
+struct QuantCaseResult {
+    case: String,
+    /// The same policy executed on the fake-quant f32 planned path (the
+    /// same-run machine-speed reference of the gate).
+    fake_quant_f32_ns: u64,
+    /// The integer engine (i8 GEMM + requantization epilogues).
+    quantized_ns: u64,
+}
+
+impl QuantCaseResult {
+    fn speedup(&self) -> f64 {
+        self.fake_quant_f32_ns as f64 / self.quantized_ns.max(1) as f64
+    }
+}
+
+struct SearchLoopResult {
+    case: String,
+    /// Bare cost/accuracy profile evaluation through the analytic evaluator
+    /// (printed for context; too small to normalize against).
+    profile_eval_ns: u64,
+    /// The same-run machine-speed reference of the gate: the single-input
+    /// empirical policy evaluation (`policy_eval_loop`'s `single_eval_ns`),
+    /// a stable millisecond-scale measurement.
+    reference_eval_ns: u64,
+    /// One full search-loop step: snapped policy → profile → deployed-model
+    /// simulation → rewards (`CompressionEnv::evaluate`).
+    env_eval_ns: u64,
+}
+
 /// Extracts the numeric value of `key` inside the JSON object whose
 /// `"case"` equals `case`. A deliberately narrow parser for the flat JSON
 /// this binary itself emits — enough for the regression gate without a JSON
@@ -375,6 +415,69 @@ fn main() {
         "batched policy evaluation diverged from the single-input one"
     );
 
+    // Quantized backend fixtures: the paper-style i8-dominant policy (8-bit
+    // convs pruned to 0.5/0.25, 1–2-bit large FC layers — the Fig. 4 shape
+    // that actually fits the MCU targets) executed once through the
+    // fake-quant f32 planned path (sparse-aware GEMM on the pruned convs)
+    // and once through the integer engine (pruned channels packed away, madd
+    // GEMM on the kept ones).
+    let compressible = arch.compressible_layers();
+    let i8_policy: CompressionPolicy = compressible
+        .iter()
+        .map(|l| {
+            if l.is_conv {
+                if l.first_exit == 0 {
+                    ie_compress::LayerPolicy::new(0.5, 8, 8).unwrap()
+                } else {
+                    ie_compress::LayerPolicy::new(0.25, 4, 8).unwrap()
+                }
+            } else if l.weight_params > 20_000 {
+                ie_compress::LayerPolicy::new(0.35, 1, 8).unwrap()
+            } else {
+                ie_compress::LayerPolicy::new(0.5, 2, 8).unwrap()
+            }
+        })
+        .collect();
+    let calib: Vec<Sample> = (0..8)
+        .map(|_| Sample { image: Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0), label: 0 })
+        .collect();
+    let mut fake_net = net.clone();
+    apply_policy(&mut fake_net, &i8_policy).unwrap();
+    let mut fake_plan = fake_net.execution_plan();
+    let mut fake_batch_plan = fake_net.batch_plan(BATCH);
+    let mut int_net = net.clone();
+    let quant_cfg = apply_policy_quantized(&mut int_net, &i8_policy, &calib).unwrap();
+    let quant_model = QuantizedModel::for_network(&int_net, &quant_cfg).unwrap();
+    let (i8_layers, i16_layers) = quant_model.kernel_counts();
+    assert_eq!(
+        i8_layers + i16_layers,
+        compressible.len(),
+        "the i8-dominant policy quantizes every layer"
+    );
+    let mut quant_plan = int_net.execution_plan_quantized(&quant_cfg).unwrap();
+    let mut quant_batch_plan = int_net.batch_plan_quantized(&quant_cfg, BATCH).unwrap();
+    // The integer engine must agree bit-for-bit with its naive fake-quant
+    // reference before anything is timed.
+    for exit in 0..3 {
+        int_net.forward_to_exit_with(&mut quant_plan, &input, exit).unwrap();
+        let reference = fake_quant_logits(&int_net, &quant_model, &input, exit).unwrap();
+        assert_eq!(quant_plan.logits(exit), reference.as_slice(), "quantized diverged at {exit}");
+        let batched =
+            int_net.forward_to_exit_batch_with(&mut quant_batch_plan, &batch_refs, exit).unwrap();
+        let batched_ref =
+            fake_quant_logits(&int_net, &quant_model, &batch_inputs[0], exit).unwrap();
+        assert_eq!(batched.logits(0), batched_ref.as_slice(), "batched quantized diverged");
+    }
+
+    // Search-loop fixture: one full `CompressionEnv::evaluate` step (profile
+    // + event-loop simulation + rewards) on the small test experiment, with
+    // the bare profile evaluation as the same-run machine-speed reference.
+    let search_env = CompressionEnv::new(&ExperimentConfig::small_test(), RewardMode::ExitGuided)
+        .expect("small test config is valid");
+    let search_policy = CompressionPolicy::uniform(search_env.num_layers(), 0.5, 4, 8).unwrap();
+    let profile_evaluator =
+        PolicyEvaluator::new(&arch, CalibratedAccuracyModel::for_paper_backbone());
+
     // The whole measurement pass lives in a closure so the --check gate can
     // re-run it to confirm a suspected regression (see below).
     let mut measure_all = || {
@@ -458,6 +561,42 @@ fn main() {
             batched_ns_per_sample: tiny_batched_ns,
         });
 
+        // Quantized vs fake-quant f32: the identical i8-dominant policy, the
+        // only difference being which kernels execute it.
+        let mut quant_results = Vec::new();
+        let fake_single_ns = median_ns(warmup, samples, || {
+            black_box(fake_net.forward_to_exit_with(&mut fake_plan, &input, 2).unwrap().prediction);
+        });
+        let quant_single_ns = median_ns(warmup, samples, || {
+            black_box(int_net.forward_to_exit_with(&mut quant_plan, &input, 2).unwrap().prediction);
+        });
+        quant_results.push(QuantCaseResult {
+            case: "to_exit_3_i8".to_string(),
+            fake_quant_f32_ns: fake_single_ns,
+            quantized_ns: quant_single_ns,
+        });
+        let fake_batch_ns = median_ns(warmup, samples, || {
+            black_box(
+                fake_net
+                    .forward_to_exit_batch_with(&mut fake_batch_plan, &batch_refs, 2)
+                    .unwrap()
+                    .prediction(0),
+            );
+        }) / BATCH as u64;
+        let quant_batch_ns = median_ns(warmup, samples, || {
+            black_box(
+                int_net
+                    .forward_to_exit_batch_with(&mut quant_batch_plan, &batch_refs, 2)
+                    .unwrap()
+                    .prediction(0),
+            );
+        }) / BATCH as u64;
+        quant_results.push(QuantCaseResult {
+            case: "to_exit_3_i8_batch8".to_string(),
+            fake_quant_f32_ns: fake_batch_ns,
+            quantized_ns: quant_batch_ns,
+        });
+
         let single_eval_ns = median_ns(eval_warmup, eval_samples, || {
             black_box(evaluator.evaluate(&policy).unwrap().exit_accuracy.len());
         });
@@ -469,10 +608,23 @@ fn main() {
             single_eval_ns,
             batched_eval_ns,
         };
-        (results, batch_results, policy_eval)
+
+        let profile_eval_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(profile_evaluator.evaluate(&search_policy).unwrap().total_flops);
+        });
+        let env_eval_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(search_env.evaluate(&search_policy).unwrap().feasible);
+        });
+        let search_loop = SearchLoopResult {
+            case: "small_env".to_string(),
+            profile_eval_ns,
+            reference_eval_ns: single_eval_ns,
+            env_eval_ns,
+        };
+        (results, batch_results, quant_results, policy_eval, search_loop)
     };
 
-    let (results, batch_results, policy_eval) = measure_all();
+    let (results, batch_results, quant_results, policy_eval, search_loop) = measure_all();
 
     println!("# multi_exit_forward — median ns/op over {samples} samples ({mode} mode)\n");
     println!(
@@ -500,6 +652,20 @@ fn main() {
             r.speedup_vs_planned()
         );
     }
+    println!("\n# quant_forward — median ns/op (batch cases: ns/sample)\n");
+    println!(
+        "{:<22} {:>18} {:>14} {:>22}",
+        "case", "fake_quant_f32", "quantized", "quantized vs f32"
+    );
+    for r in &quant_results {
+        println!(
+            "{:<22} {:>18} {:>14} {:>21.2}x",
+            r.case,
+            r.fake_quant_f32_ns,
+            r.quantized_ns,
+            r.speedup()
+        );
+    }
     println!("\n# policy_eval_loop — median ns/policy\n");
     println!(
         "{:<20} {:>14} {:>18} {:>19.2}x",
@@ -507,6 +673,11 @@ fn main() {
         policy_eval.single_eval_ns,
         policy_eval.batched_eval_ns,
         policy_eval.speedup()
+    );
+    println!("\n# search_loop — median ns/step\n");
+    println!(
+        "{:<20} {:>14} {:>18}",
+        search_loop.case, search_loop.profile_eval_ns, search_loop.env_eval_ns
     );
 
     let gate = results.last().expect("three cases benchmarked");
@@ -531,9 +702,25 @@ fn main() {
             r.speedup_vs_planned()
         )
     }));
+    json_cases.extend(quant_results.iter().map(|r| {
+        format!(
+            "    {{\n      \"case\": \"quant_forward/{}\",\n      \"fake_quant_f32_ns\": {},\n      \"quantized_ns\": {},\n      \"speedup_quantized_vs_f32\": {:.3}\n    }}",
+            r.case,
+            r.fake_quant_f32_ns,
+            r.quantized_ns,
+            r.speedup()
+        )
+    }));
     json_cases.push(format!(
         "    {{\n      \"case\": \"policy_eval_loop/{}\",\n      \"single_eval_ns\": {},\n      \"batched_eval_ns\": {},\n      \"speedup_batched_vs_single\": {:.3}\n    }}",
         policy_eval.case, policy_eval.single_eval_ns, policy_eval.batched_eval_ns, policy_eval.speedup()
+    ));
+    json_cases.push(format!(
+        "    {{\n      \"case\": \"search_loop/{}\",\n      \"profile_eval_ns\": {},\n      \"reference_eval_ns\": {},\n      \"env_eval_ns\": {}\n    }}",
+        search_loop.case,
+        search_loop.profile_eval_ns,
+        search_loop.reference_eval_ns,
+        search_loop.env_eval_ns
     ));
     // Record the invocation that actually produced this file, so the artifact
     // is reproducible as-is (e.g. CI passes --fast), and the mode + timed
@@ -550,8 +737,12 @@ fn main() {
     // `batch_pass` reports the truth next to the measured value instead of
     // folding it into the headline gate.
     const REQUIRED_BATCH_SPEEDUP: f64 = 1.5;
+    // The ISSUE's quantized aspiration: the i8-dominant policy must beat the
+    // fake-quant f32 planned path, with ≥1.5x as the target.
+    const REQUIRED_QUANT_SPEEDUP: f64 = 1.5;
+    let quant_gate = quant_results.first().expect("quant cases benchmarked");
     let json = format!(
-        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {},\n    \"quant_case\": \"quant_forward/{}\",\n    \"quant_required_speedup_vs_f32\": {:.1},\n    \"quant_measured_speedup_vs_f32\": {:.3},\n    \"quant_pass\": {}\n  }}\n}}\n",
         mode,
         samples,
         command,
@@ -561,7 +752,11 @@ fn main() {
         batch_gate.case,
         REQUIRED_BATCH_SPEEDUP,
         batch_gate.speedup_vs_planned(),
-        batch_gate.speedup_vs_planned() >= REQUIRED_BATCH_SPEEDUP
+        batch_gate.speedup_vs_planned() >= REQUIRED_BATCH_SPEEDUP,
+        quant_gate.case,
+        REQUIRED_QUANT_SPEEDUP,
+        quant_gate.speedup(),
+        quant_gate.speedup() >= REQUIRED_QUANT_SPEEDUP
     );
     // The baseline must be read BEFORE the fresh results are written: with
     // the default out path, `--check BENCH_inference.json` would otherwise
@@ -573,9 +768,10 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!(
         "\nwrote {out_path} (to_exit_3 planned speedup vs pre-PR: {:.2}x, batch8 vs planned: \
-         {:.2}x)",
+         {:.2}x, quantized i8 vs f32: {:.2}x)",
         gate.speedup_vs_pre_pr(),
-        batch_gate.speedup_vs_planned()
+        batch_gate.speedup_vs_planned(),
+        quant_gate.speedup()
     );
 
     // Perf-regression gate: compare the fresh measurements against the
@@ -588,11 +784,15 @@ fn main() {
         let baseline = check_baseline.expect("baseline read above when --check is present");
         let gated = |results: &[CaseResult],
                      batch_results: &[BatchCaseResult],
-                     policy_eval: &PolicyEvalResult| {
+                     quant_results: &[QuantCaseResult],
+                     policy_eval: &PolicyEvalResult,
+                     search_loop: &SearchLoopResult| {
             // The pre-PR replica (unchanged historical code) is the
             // machine-speed canary of the planned cases; the batched cases
             // normalize against the planned path measured in the same run,
-            // and the batched policy eval against the single-input eval.
+            // the quantized cases against the fake-quant f32 path, the
+            // batched policy eval against the single-input eval, and the
+            // search-loop step against the bare profile evaluation.
             let mut metrics: Vec<GatedMetric> = results
                 .iter()
                 .map(|r| GatedMetric {
@@ -610,6 +810,13 @@ fn main() {
                 ref_key: "planned_single_ns",
                 current_ref: r.planned_single_ns,
             }));
+            metrics.extend(quant_results.iter().map(|r| GatedMetric {
+                case: format!("quant_forward/{}", r.case),
+                key: "quantized_ns",
+                current: r.quantized_ns,
+                ref_key: "fake_quant_f32_ns",
+                current_ref: r.fake_quant_f32_ns,
+            }));
             metrics.push(GatedMetric {
                 case: format!("policy_eval_loop/{}", policy_eval.case),
                 key: "batched_eval_ns",
@@ -617,9 +824,16 @@ fn main() {
                 ref_key: "single_eval_ns",
                 current_ref: policy_eval.single_eval_ns,
             });
+            metrics.push(GatedMetric {
+                case: format!("search_loop/{}", search_loop.case),
+                key: "env_eval_ns",
+                current: search_loop.env_eval_ns,
+                ref_key: "reference_eval_ns",
+                current_ref: search_loop.reference_eval_ns,
+            });
             metrics
         };
-        let metrics = gated(&results, &batch_results, &policy_eval);
+        let metrics = gated(&results, &batch_results, &quant_results, &policy_eval, &search_loop);
         println!("\n# --check against {path} (15 % tolerance)\n");
         let mut regressions = check_against_baseline(&baseline, &metrics, 1.15);
         const CONFIRM_ATTEMPTS: usize = 2;
@@ -633,8 +847,9 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, p2) = measure_all();
-            let confirmed = check_against_baseline(&baseline, &gated(&r2, &b2, &p2), 1.15);
+            let (r2, b2, q2, p2, s2) = measure_all();
+            let confirmed =
+                check_against_baseline(&baseline, &gated(&r2, &b2, &q2, &p2, &s2), 1.15);
             regressions.retain(|m| confirmed.contains(m));
         }
         if !regressions.is_empty() {

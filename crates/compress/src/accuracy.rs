@@ -61,6 +61,27 @@ pub trait ExitAccuracyEstimator {
         let _ = (batch, threads);
         self.exit_accuracy(layers, policy)
     }
+
+    /// Integer-execution variant: estimators that run a real network apply
+    /// the policy with [`crate::apply::apply_policy_quantized`] and measure
+    /// accuracy through the quantized plans (i8/i16 GEMM + requantization),
+    /// so the estimate reflects true integer inference — including
+    /// activation quantization, which the fake-quant `f32` round trip does
+    /// not model. Analytical estimators fall back to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::exit_accuracy`].
+    fn exit_accuracy_quantized(
+        &self,
+        layers: &[CompressibleLayer],
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        let _ = (batch, threads);
+        self.exit_accuracy(layers, policy)
+    }
 }
 
 /// Analytical accuracy model calibrated to the paper's reported numbers.
@@ -190,18 +211,40 @@ impl ExitAccuracyEstimator for CalibratedAccuracyModel {
     }
 }
 
+/// Calibration budget of the quantized path: activation ranges are observed
+/// on this many evaluation samples (the estimator's first ones) before the
+/// integer plans are built.
+const QUANT_CALIBRATION_SAMPLES: usize = 32;
+
 /// Measures exit accuracy by applying the policy to a real network and
 /// evaluating it on held-out samples.
-#[derive(Debug, Clone)]
+///
+/// The batched path keeps one [`ie_nn::train::BatchPlanPool`] across calls:
+/// compression changes weights but never the architecture, so the per-worker
+/// plans warmed by the first candidate policy serve every later one instead
+/// of being re-allocated per evaluation.
+#[derive(Debug)]
 pub struct EmpiricalAccuracyEstimator {
     network: MultiExitNetwork,
     samples: Vec<Sample>,
+    plan_pool: std::sync::Mutex<ie_nn::train::BatchPlanPool>,
+}
+
+impl Clone for EmpiricalAccuracyEstimator {
+    fn clone(&self) -> Self {
+        // Plans are per-instance scratch; a clone starts with a cold pool.
+        EmpiricalAccuracyEstimator::new(self.network.clone(), self.samples.clone())
+    }
 }
 
 impl EmpiricalAccuracyEstimator {
     /// Creates an estimator around a trained network and evaluation samples.
     pub fn new(network: MultiExitNetwork, samples: Vec<Sample>) -> Self {
-        EmpiricalAccuracyEstimator { network, samples }
+        EmpiricalAccuracyEstimator {
+            network,
+            samples,
+            plan_pool: std::sync::Mutex::new(ie_nn::train::BatchPlanPool::new()),
+        }
     }
 
     /// The evaluation samples.
@@ -237,7 +280,32 @@ impl ExitAccuracyEstimator for EmpiricalAccuracyEstimator {
         policy.check_length(layers.len())?;
         let mut compressed = self.network.clone();
         apply_policy(&mut compressed, policy)?;
-        let accs = ie_nn::train::evaluate_batched(&compressed, &self.samples, batch, threads)?;
+        // A panicked evaluation must not brick the estimator: the pooled
+        // plans are plain buffers, safe to reuse after a poisoned lock.
+        let mut pool = self.plan_pool.lock().unwrap_or_else(|e| e.into_inner());
+        let accs = ie_nn::train::evaluate_batched_with_pool(
+            &compressed,
+            &self.samples,
+            batch,
+            threads,
+            &mut pool,
+        )?;
+        Ok(accs.into_iter().map(f64::from).collect())
+    }
+
+    fn exit_accuracy_quantized(
+        &self,
+        layers: &[CompressibleLayer],
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        policy.check_length(layers.len())?;
+        let mut compressed = self.network.clone();
+        let calibration = &self.samples[..self.samples.len().min(QUANT_CALIBRATION_SAMPLES)];
+        let config = crate::apply::apply_policy_quantized(&mut compressed, policy, calibration)?;
+        let accs =
+            ie_nn::train::evaluate_quantized(&compressed, &config, &self.samples, batch, threads)?;
         Ok(accs.into_iter().map(f64::from).collect())
     }
 }

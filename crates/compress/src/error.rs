@@ -21,6 +21,9 @@ pub enum CompressError {
         /// Compressible layers in the model.
         model_layers: usize,
     },
+    /// Quantized execution was requested without any calibration samples
+    /// (activation scales/zero points need observed ranges).
+    EmptyCalibrationSet,
     /// A propagated neural-network error (shape problems while applying a
     /// policy to real weights).
     Nn(ie_nn::NnError),
@@ -39,6 +42,9 @@ impl fmt::Display for CompressError {
                 f,
                 "policy describes {policy_layers} layers but the model has {model_layers} compressible layers"
             ),
+            CompressError::EmptyCalibrationSet => {
+                write!(f, "quantized execution needs at least one calibration sample")
+            }
             CompressError::Nn(e) => write!(f, "network error: {e}"),
         }
     }
@@ -69,6 +75,7 @@ mod tests {
             CompressError::InvalidPreserveRatio { ratio: 0.0 },
             CompressError::InvalidBitwidth { bits: 0 },
             CompressError::PolicyLengthMismatch { policy_layers: 3, model_layers: 11 },
+            CompressError::EmptyCalibrationSet,
             CompressError::Nn(ie_nn::NnError::InvalidSpec("x".into())),
         ];
         for e in errs {

@@ -199,6 +199,73 @@ impl PolicyEvaluator {
         Ok(())
     }
 
+    /// Evaluates a policy with the **integer** execution backend: the
+    /// accuracy estimate comes from running the compressed network through
+    /// the quantized plans (i8/i16 GEMM + requantization epilogues, see
+    /// [`crate::ExitAccuracyEstimator::exit_accuracy_quantized`]), so the
+    /// search's signal reflects MCU-class integer arithmetic — including
+    /// activation quantization, which the fake-quant `f32` round trip of
+    /// [`Self::evaluate`] does not model. Cost accounting (FLOPs/size) is
+    /// identical to the other paths; analytical estimators fall back to the
+    /// plain accuracy model.
+    ///
+    /// Uses the default evaluation batch and the environment-driven worker
+    /// count, like [`Self::evaluate_batched`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate`], plus
+    /// [`crate::CompressError::EmptyCalibrationSet`] when an empirical
+    /// estimator has no samples to calibrate on.
+    pub fn evaluate_quantized(&self, policy: &CompressionPolicy) -> Result<CompressedProfile> {
+        self.evaluate_quantized_with(
+            policy,
+            ie_nn::train::DEFAULT_EVAL_BATCH,
+            ie_nn::train::eval_threads(),
+        )
+    }
+
+    /// [`Self::evaluate_quantized`] with explicit batch size and worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate_quantized`].
+    pub fn evaluate_quantized_with(
+        &self,
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+    ) -> Result<CompressedProfile> {
+        let mut profile = CompressedProfile {
+            exit_flops: Vec::new(),
+            branch_flops: Vec::new(),
+            exit_accuracy: Vec::new(),
+            total_flops: 0,
+            model_size_bytes: 0,
+        };
+        self.evaluate_quantized_into(policy, batch, threads, &mut profile)?;
+        Ok(profile)
+    }
+
+    /// Integer-backend counterpart of [`Self::evaluate_into`], reusing the
+    /// profile's buffers across candidates.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::evaluate_quantized`].
+    pub fn evaluate_quantized_into(
+        &self,
+        policy: &CompressionPolicy,
+        batch: usize,
+        threads: usize,
+        profile: &mut CompressedProfile,
+    ) -> Result<()> {
+        self.account_costs(policy, profile)?;
+        profile.exit_accuracy =
+            self.estimator.exit_accuracy_quantized(&self.layers, policy, batch, threads)?;
+        Ok(())
+    }
+
     /// The allocation-free FLOPs/size accounting shared by the plain and
     /// batched evaluation paths (everything except the accuracy estimate).
     fn account_costs(
@@ -363,6 +430,28 @@ mod tests {
         let ev = evaluator();
         let policy = CompressionPolicy::uniform(ev.layers().len(), 0.7, 6, 8).unwrap();
         assert_eq!(ev.evaluate_batched(&policy).unwrap(), ev.evaluate(&policy).unwrap());
+        // The integer backend likewise falls back for analytical estimators.
+        assert_eq!(ev.evaluate_quantized(&policy).unwrap(), ev.evaluate(&policy).unwrap());
+    }
+
+    #[test]
+    fn quantized_evaluation_runs_the_integer_backend_deterministically() {
+        let ev = empirical_tiny_evaluator();
+        let policy = CompressionPolicy::uniform(ev.layers().len(), 0.8, 8, 8).unwrap();
+        let one = ev.evaluate_quantized_with(&policy, 8, 1).unwrap();
+        let four = ev.evaluate_quantized_with(&policy, 4, 4).unwrap();
+        assert_eq!(one, four, "batch/thread counts are pure throughput knobs");
+        // Cost accounting is shared with the fake-quant path; only the
+        // accuracy estimate (now true integer inference) may differ.
+        let fake = ev.evaluate(&policy).unwrap();
+        assert_eq!(one.exit_flops, fake.exit_flops);
+        assert_eq!(one.model_size_bytes, fake.model_size_bytes);
+        assert!(one.exit_accuracy.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        // 8-bit integer inference stays close to the fake-quant accuracy on
+        // the tiny network (activation quantization is the only extra error).
+        for (q, f) in one.exit_accuracy.iter().zip(&fake.exit_accuracy) {
+            assert!((q - f).abs() < 0.25, "integer {q} vs fake-quant {f}");
+        }
     }
 
     #[test]

@@ -2,10 +2,18 @@
 //!
 //! Weights are quantized symmetrically into `k`-bit signed integers,
 //! `w' = clamp(round(w / s), −2^{k−1}, 2^{k−1} − 1) · s`, with the scale `s`
-//! chosen to minimise `‖w' − w‖²`. Activations (non-negative after ReLU) use
-//! the unsigned range `[0, 2^k − 1]`.
+//! chosen to minimise `‖w' − w‖²`. One-bit weights use the two nonzero
+//! levels `{−s, +s}` (a true binary quantizer; exact zeros from pruning stay
+//! zero). Activations (non-negative after ReLU) use the unsigned range
+//! `[0, 2^k − 1]`.
+//!
+//! For bitwidths up to 16 the round trip goes through the **shared** integer
+//! code map [`ie_tensor::weight_code`] — the same function the quantized
+//! execution backend uses to pack its i8/i16 GEMM operands — so the
+//! fake-quant `f32` values produced here are exactly `code · scale` for the
+//! codes the integer engine multiplies with.
 
-use ie_tensor::Tensor;
+use ie_tensor::{weight_code, Tensor};
 
 /// Result of quantizing a tensor: the dequantized values (what the MCU's
 /// integer arithmetic effectively computes with) and the scale used.
@@ -30,7 +38,23 @@ fn quantize_with_scale(data: &[f32], scale: f32, lo: f32, hi: f32) -> (Vec<f32>,
     (out, err / data.len().max(1) as f32)
 }
 
-fn search_scale(data: &[f32], lo: f32, hi: f32, initial: f32) -> (Vec<f32>, f32, f32) {
+/// Round trip through the shared integer code map — bit-for-bit the values
+/// the integer execution backend computes with (`code · scale`).
+fn quantize_codes_with_scale(data: &[f32], scale: f32, bits: u8) -> (Vec<f32>, f32) {
+    let mut out = Vec::with_capacity(data.len());
+    let mut err = 0.0f32;
+    for &w in data {
+        let q = weight_code(w, scale, bits) as f32 * scale;
+        err += (q - w) * (q - w);
+        out.push(q);
+    }
+    (out, err / data.len().max(1) as f32)
+}
+
+fn search_scale<F>(data: &[f32], initial: f32, quantize: F) -> (Vec<f32>, f32, f32)
+where
+    F: Fn(&[f32], f32) -> (Vec<f32>, f32),
+{
     let mut best_scale = initial;
     let mut best: Option<(Vec<f32>, f32)> = None;
     // Scan a multiplicative neighbourhood of the max-abs scale; this is the
@@ -39,7 +63,7 @@ fn search_scale(data: &[f32], lo: f32, hi: f32, initial: f32) -> (Vec<f32>, f32,
     for step in 0..=65 {
         let factor = 0.3 + 0.02 * step as f32;
         let scale = (initial * factor).max(f32::MIN_POSITIVE);
-        let (vals, mse) = quantize_with_scale(data, scale, lo, hi);
+        let (vals, mse) = quantize(data, scale);
         if best.as_ref().map(|(_, m)| mse < *m).unwrap_or(true) {
             best = Some((vals, mse));
             best_scale = scale;
@@ -51,7 +75,12 @@ fn search_scale(data: &[f32], lo: f32, hi: f32, initial: f32) -> (Vec<f32>, f32,
 
 /// Quantizes a weight tensor to `bits` bits with a symmetric signed range.
 ///
-/// Bitwidths of 32 or more return the tensor unchanged (full precision).
+/// For `bits ≤ 16` the values are `code · scale` for the integer codes of
+/// [`ie_tensor::weight_code`] — exactly what the quantized execution backend
+/// packs into its i8/i16 GEMM operands — with one bit getting the honest
+/// two-level binary quantizer `{−s, +s}` (exact zeros stay zero, so pruning
+/// survives). Bitwidths of 32 or more return the tensor unchanged (full
+/// precision).
 ///
 /// # Panics
 ///
@@ -67,9 +96,13 @@ pub fn quantize_weights(weights: &Tensor, bits: u8) -> Quantized {
         return Quantized { values: weights.clone(), scale: 1.0, mse: 0.0 };
     }
     let hi = (2f32.powi(i32::from(bits) - 1) - 1.0).max(1.0);
-    let lo = -2f32.powi(i32::from(bits) - 1);
     let initial = max_abs / hi;
-    let (vals, scale, mse) = search_scale(data, lo, hi, initial);
+    let (vals, scale, mse) = if bits <= 16 {
+        search_scale(data, initial, |d, s| quantize_codes_with_scale(d, s, bits))
+    } else {
+        let lo = -2f32.powi(i32::from(bits) - 1);
+        search_scale(data, initial, |d, s| quantize_with_scale(d, s, lo, hi))
+    };
     Quantized {
         values: Tensor::from_vec(vals, weights.dims()).expect("quantization preserves shape"),
         scale,
@@ -97,7 +130,7 @@ pub fn quantize_activations(activations: &Tensor, bits: u8) -> Quantized {
     }
     let hi = 2f32.powi(i32::from(bits)) - 1.0;
     let initial = max / hi;
-    let (vals, scale, mse) = search_scale(data, 0.0, hi, initial);
+    let (vals, scale, mse) = search_scale(data, initial, |d, s| quantize_with_scale(d, s, 0.0, hi));
     Quantized {
         values: Tensor::from_vec(vals, activations.dims()).expect("quantization preserves shape"),
         scale,
@@ -143,7 +176,37 @@ mod tests {
         let q = quantize_weights(&w, 1);
         let distinct: std::collections::BTreeSet<i64> =
             q.values.as_slice().iter().map(|v| (v * 1e4).round() as i64).collect();
-        assert!(distinct.len() <= 2, "1-bit quantization uses at most two levels: {distinct:?}");
+        assert_eq!(distinct.len(), 2, "1-bit quantization uses exactly two levels: {distinct:?}");
+        // The two levels are ±scale: a true binary quantizer, not the
+        // three-level {−s, 0, +s} drift of a naive signed clamp.
+        assert!(q.values.as_slice().iter().all(|&v| v.abs() == q.scale), "levels are ±scale");
+    }
+
+    #[test]
+    fn one_bit_quantization_preserves_pruned_zeros() {
+        // Channel pruning zeroes whole blocks; a binary quantizer must not
+        // resurrect them as +scale.
+        let w = t(&[0.0, 0.5, -0.5, 0.0, -0.0]);
+        let q = quantize_weights(&w, 1);
+        assert_eq!(q.values.as_slice()[0], 0.0);
+        assert_eq!(q.values.as_slice()[3], 0.0);
+        assert_eq!(q.values.as_slice()[4], 0.0);
+        assert!(q.values.as_slice()[1] > 0.0 && q.values.as_slice()[2] < 0.0);
+    }
+
+    #[test]
+    fn sub_16_bit_round_trips_land_on_integer_code_multiples() {
+        // The fake-quant values must be exactly code · scale for the shared
+        // integer code map, so the f32 round trip and the integer engine
+        // multiply with the same numbers.
+        let w = t(&(0..40).map(|i| ((i * 29) % 17) as f32 / 5.0 - 1.5).collect::<Vec<_>>());
+        for bits in [2u8, 4, 8, 12, 16] {
+            let q = quantize_weights(&w, bits);
+            for (&orig, &v) in w.as_slice().iter().zip(q.values.as_slice()) {
+                let code = ie_tensor::weight_code(orig, q.scale, bits);
+                assert_eq!(v, code as f32 * q.scale, "bits {bits} weight {orig}");
+            }
+        }
     }
 
     #[test]

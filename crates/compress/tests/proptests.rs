@@ -65,6 +65,45 @@ proptest! {
         prop_assert_eq!(quantize::quantize_weights(&w, 32).mse, 0.0);
     }
 
+    /// The quantize→dequantize round trip of every bitwidth 1..=16 lands
+    /// within the quantizer's step size of the original value: half a step
+    /// for the rounding quantizers (bits ≥ 2), one step for the two-level
+    /// binary quantizer, plus the unavoidable saturation excess for values
+    /// beyond the chosen scale's representable range.
+    #[test]
+    fn quantize_roundtrip_error_is_bounded_by_the_step_size(
+        w in arb_weight_matrix(),
+        bits in 1u8..=16,
+    ) {
+        let q = quantize::quantize_weights(&w, bits);
+        prop_assert!(q.scale > 0.0 && q.scale.is_finite());
+        let hi = if bits == 1 { 1.0f32 } else { ((1i64 << (bits - 1)) - 1) as f32 };
+        let step_bound = if bits == 1 { q.scale } else { q.scale * 0.5 };
+        for (&orig, &val) in w.as_slice().iter().zip(q.values.as_slice()) {
+            let saturation = (orig.abs() - q.scale * hi).max(0.0);
+            let err = (val - orig).abs();
+            prop_assert!(
+                err <= saturation + step_bound + 1e-4,
+                "bits {}: |{} -> {}| = {} exceeds saturation {} + step bound {}",
+                bits, orig, val, err, saturation, step_bound
+            );
+        }
+        // Activations obey the same bound with their unsigned range.
+        let act: Tensor = Tensor::from_vec(
+            w.as_slice().iter().map(|v| v.abs()).collect(),
+            w.dims(),
+        ).expect("shape preserved");
+        let qa = quantize::quantize_activations(&act, bits);
+        let a_hi = 2f32.powi(i32::from(bits)) - 1.0;
+        for (&orig, &val) in act.as_slice().iter().zip(qa.values.as_slice()) {
+            let saturation = (orig - qa.scale * a_hi).max(0.0);
+            prop_assert!(
+                (val - orig).abs() <= saturation + qa.scale * 0.5 + 1e-4,
+                "activation bits {}: {} -> {}", bits, orig, val
+            );
+        }
+    }
+
     /// Storage accounting: fewer bits or fewer parameters never increases the
     /// byte count.
     #[test]

@@ -42,6 +42,10 @@
 
 use crate::loss::{argmax_slice, confidence_slice, softmax_into};
 use crate::plan::{buffer_requirements, check_exit};
+use crate::quant::{
+    code_pair, quant_conv_forward, quant_dense_forward, quantize_slice, Domain, QuantBuffers,
+    QuantConfig, QuantCtx, QuantDst, QuantState, QuantizedLayer, QuantizedModel,
+};
 use crate::spec::MultiExitArchitecture;
 use crate::{Layer, MultiExitNetwork, NnError, PlannedOutput, Result};
 use ie_tensor::{Tensor, Workspace};
@@ -204,6 +208,9 @@ pub struct BatchPlan {
     generation: u64,
     /// Generation in which each exit's buffers were last filled (0 = never).
     evaluated_gen: Vec<u64>,
+    /// Quantized model + integer buffers when the plan executes ≤8/≤16-bit
+    /// layers through the integer kernels (`None` → pure `f32` engine).
+    quant: Option<QuantState>,
 }
 
 impl BatchPlan {
@@ -241,7 +248,47 @@ impl BatchPlan {
             last_exit: None,
             generation: 0,
             evaluated_gen: vec![0; exits],
+            quant: None,
         }
+    }
+
+    /// Builds a **quantized** batch plan for `net`: the batched counterpart
+    /// of [`crate::ExecutionPlan::for_network_quantized`]. Layers covered by
+    /// `config` run the widened i8/i16 GEMM over the whole batch; integer
+    /// scratch is pre-sized for `max_batch` samples, so warmed quantized
+    /// batched passes perform zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when `config` does not match the
+    /// network's compressible layers.
+    pub fn for_network_quantized(
+        net: &MultiExitNetwork,
+        config: &QuantConfig,
+        max_batch: usize,
+    ) -> Result<BatchPlan> {
+        let model = QuantizedModel::for_network(net, config)?;
+        Ok(BatchPlan::for_quantized_model(net.architecture(), model, max_batch))
+    }
+
+    /// [`Self::for_network_quantized`] from an already-built model: the
+    /// sharded quantized evaluator packs the weights **once** per policy and
+    /// clones the packed model into each worker's plan instead of
+    /// re-quantizing per thread.
+    pub(crate) fn for_quantized_model(
+        arch: &MultiExitArchitecture,
+        model: QuantizedModel,
+        max_batch: usize,
+    ) -> BatchPlan {
+        let mut plan = BatchPlan::for_architecture(arch, max_batch);
+        plan.quant =
+            Some(QuantState { model, bufs: QuantBuffers::for_architecture(arch, max_batch) });
+        plan
+    }
+
+    /// The quantized model baked into this plan, if any.
+    pub fn quantized_model(&self) -> Option<&QuantizedModel> {
+        self.quant.as_ref().map(|q| &q.model)
     }
 
     /// Largest batch one pass can hold.
@@ -294,6 +341,13 @@ impl BatchPlan {
         }
     }
 
+    /// Returns `true` when this plan can run `net` — the same check every
+    /// batched planned entry point performs. Lets a plan pool decide whether
+    /// a cached plan is reusable without paying a failed forward pass.
+    pub fn is_compatible(&self, net: &MultiExitNetwork) -> bool {
+        self.check_compatible(net).is_ok()
+    }
+
     /// Drops the cached trunk state (buffers stay warm).
     pub fn reset(&mut self) {
         self.segments_done = 0;
@@ -312,7 +366,8 @@ impl BatchPlan {
         let compatible = self.num_exits == arch.num_exits()
             && self.classes == arch.num_classes()
             && act <= self.act_capacity
-            && col <= self.col_capacity;
+            && col <= self.col_capacity
+            && self.quant.as_ref().is_none_or(|q| q.model.matches(net));
         if !compatible {
             return Err(NnError::InvalidSpec(format!(
                 "batch plan ({} exits, {} classes, act {}, col {}) does not fit the network \
@@ -356,9 +411,41 @@ impl BatchPlan {
         *dims = BatchDims::Flat(features);
     }
 
+    /// [`Self::flatten_to_sample_major`] over the code ping-pong slots: the
+    /// same pure transpose, moving `i8` codes instead of floats, used when a
+    /// `Flatten` (or an implicit one before a dense layer) sits between two
+    /// chained quantized layers.
+    fn flatten_codes_to_sample_major(
+        codes: &mut [Vec<i8>; 2],
+        slot: &mut usize,
+        dims: &mut BatchDims,
+        batch: usize,
+    ) {
+        let BatchDims::Spatial([c, h, w]) = *dims else {
+            return;
+        };
+        let plane = h * w;
+        let features = c * plane;
+        let (src, dst) = code_pair(codes, *slot);
+        for ch in 0..c {
+            for s in 0..batch {
+                let src_off = (ch * batch + s) * plane;
+                let dst_off = s * features + ch * plane;
+                dst[dst_off..dst_off + plane].copy_from_slice(&src[src_off..src_off + plane]);
+            }
+        }
+        *slot = 1 - *slot;
+        *dims = BatchDims::Flat(features);
+    }
+
     /// Runs `layers` over the batched activation held in `ws`, fusing
     /// Conv→ReLU / Dense→ReLU pairs into the kernel epilogues exactly like
     /// the single-input plan.
+    ///
+    /// With a quantized context, covered layers run the widened i8/i16
+    /// integer kernels with the same code-domain chaining as the single-input
+    /// plan (see [`crate::ExecutionPlan`]); the wide channel-major layout
+    /// carries over unchanged because quantization is elementwise.
     fn run_layers(
         layers: &[Layer],
         ws: &mut Workspace,
@@ -366,10 +453,18 @@ impl BatchPlan {
         slot: &mut usize,
         dims: &mut BatchDims,
         batch: usize,
+        quant: QuantCtx<'_>,
     ) -> Result<()> {
+        let (qlist, mut qbufs): (&[Option<QuantizedLayer>], Option<&mut QuantBuffers>) = match quant
+        {
+            Some((list, bufs)) => (list, Some(bufs)),
+            None => (&[], None),
+        };
+        let mut domain = Domain::F32;
         let mut i = 0;
         while i < layers.len() {
             let fuse = matches!(layers.get(i + 1), Some(Layer::Relu(_)));
+            let qentry = qlist.get(i).and_then(|e| e.as_ref());
             match &layers[i] {
                 Layer::Conv2d(conv) => {
                     let geom = conv.geometry();
@@ -379,14 +474,58 @@ impl BatchPlan {
                     }
                     let in_len = conv.input_len() * batch;
                     let out_len = conv.output_len() * batch;
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    conv.forward_batch_into(
-                        &src[..in_len],
-                        &mut dst[..out_len],
-                        &mut col[..conv.col_len() * batch],
-                        batch,
-                        fuse,
-                    )?;
+                    if let Some(ql) = qentry {
+                        let bufs = qbufs.as_deref_mut().expect("quantized entry implies buffers");
+                        let QuantBuffers { codes, col8, rows16, acc, .. } = bufs;
+                        let (src_c, dst_c) = code_pair(codes, *slot);
+                        if domain == Domain::F32 {
+                            quantize_slice(
+                                &ws.slot(*slot)[..in_len],
+                                &ql.input,
+                                &mut src_c[..in_len],
+                            );
+                        }
+                        match ql.out {
+                            None => {
+                                quant_conv_forward(
+                                    conv,
+                                    ql,
+                                    &src_c[..in_len],
+                                    batch,
+                                    fuse,
+                                    col8,
+                                    rows16,
+                                    acc,
+                                    QuantDst::F32(&mut ws.slot_mut(1 - *slot)[..out_len]),
+                                )?;
+                                domain = Domain::F32;
+                            }
+                            Some(p) => {
+                                quant_conv_forward(
+                                    conv,
+                                    ql,
+                                    &src_c[..in_len],
+                                    batch,
+                                    fuse,
+                                    col8,
+                                    rows16,
+                                    acc,
+                                    QuantDst::Codes(&mut dst_c[..out_len]),
+                                )?;
+                                domain = Domain::Codes(p);
+                            }
+                        }
+                    } else {
+                        debug_assert_eq!(domain, Domain::F32, "float conv fed from code domain");
+                        let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                        conv.forward_batch_into(
+                            &src[..in_len],
+                            &mut dst[..out_len],
+                            &mut col[..conv.col_len() * batch],
+                            batch,
+                            fuse,
+                        )?;
+                    }
                     *slot = 1 - *slot;
                     *dims = BatchDims::Spatial(conv.output_dims());
                     i += if fuse { 2 } else { 1 };
@@ -395,25 +534,85 @@ impl BatchPlan {
                     // Dense layers want the sample-major flat layout; a wide
                     // spatial activation is flattened implicitly, mirroring
                     // the single-input path's tolerance of a missing Flatten.
-                    Self::flatten_to_sample_major(ws, slot, dims, batch);
+                    match domain {
+                        Domain::F32 => Self::flatten_to_sample_major(ws, slot, dims, batch),
+                        Domain::Codes(_) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            Self::flatten_codes_to_sample_major(&mut bufs.codes, slot, dims, batch);
+                        }
+                    }
                     if dims.per_sample() != dense.in_features() {
                         return Err(shape_error("dense(batch)", &[dense.in_features()], dims));
                     }
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    dense.forward_batch_into(
-                        &src[..dense.in_features() * batch],
-                        &mut dst[..dense.out_features() * batch],
-                        batch,
-                        fuse,
-                    )?;
+                    let (in_f, out_f) = (dense.in_features(), dense.out_features());
+                    if let Some(ql) = qentry {
+                        let bufs = qbufs.as_deref_mut().expect("quantized entry implies buffers");
+                        let QuantBuffers { codes, xs16, acc, .. } = bufs;
+                        let (src_c, dst_c) = code_pair(codes, *slot);
+                        if domain == Domain::F32 {
+                            quantize_slice(
+                                &ws.slot(*slot)[..in_f * batch],
+                                &ql.input,
+                                &mut src_c[..in_f * batch],
+                            );
+                        }
+                        match ql.out {
+                            None => {
+                                quant_dense_forward(
+                                    ql,
+                                    &src_c[..in_f * batch],
+                                    in_f,
+                                    batch,
+                                    fuse,
+                                    xs16,
+                                    acc,
+                                    QuantDst::F32(&mut ws.slot_mut(1 - *slot)[..out_f * batch]),
+                                );
+                                domain = Domain::F32;
+                            }
+                            Some(p) => {
+                                quant_dense_forward(
+                                    ql,
+                                    &src_c[..in_f * batch],
+                                    in_f,
+                                    batch,
+                                    fuse,
+                                    xs16,
+                                    acc,
+                                    QuantDst::Codes(&mut dst_c[..out_f * batch]),
+                                );
+                                domain = Domain::Codes(p);
+                            }
+                        }
+                    } else {
+                        debug_assert_eq!(domain, Domain::F32, "float dense fed from code domain");
+                        let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                        dense.forward_batch_into(
+                            &src[..in_f * batch],
+                            &mut dst[..out_f * batch],
+                            batch,
+                            fuse,
+                        )?;
+                    }
                     *slot = 1 - *slot;
-                    *dims = BatchDims::Flat(dense.out_features());
+                    *dims = BatchDims::Flat(out_f);
                     i += if fuse { 2 } else { 1 };
                 }
                 Layer::Relu(_) => {
                     let len = dims.per_sample() * batch;
-                    for v in &mut ws.slot_mut(*slot)[..len] {
-                        *v = v.max(0.0);
+                    match domain {
+                        Domain::F32 => {
+                            for v in &mut ws.slot_mut(*slot)[..len] {
+                                *v = v.max(0.0);
+                            }
+                        }
+                        Domain::Codes(p) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            let zp = p.zero_point() as i8;
+                            for c in &mut bufs.codes[*slot][..len] {
+                                *c = (*c).max(zp);
+                            }
+                        }
                     }
                     i += 1;
                 }
@@ -424,17 +623,47 @@ impl BatchPlan {
                     let out_dims = pool.output_dims(&d);
                     let in_len: usize = d.iter().product::<usize>() * batch;
                     let out_len: usize = out_dims.iter().product::<usize>() * batch;
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    pool.forward_batch_slice_into(&src[..in_len], d, batch, &mut dst[..out_len])?;
+                    match domain {
+                        Domain::F32 => {
+                            let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                            pool.forward_batch_slice_into(
+                                &src[..in_len],
+                                d,
+                                batch,
+                                &mut dst[..out_len],
+                            )?;
+                        }
+                        Domain::Codes(_) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            let (src_c, dst_c) = code_pair(&mut bufs.codes, *slot);
+                            pool.forward_batch_codes_into(
+                                &src_c[..in_len],
+                                d,
+                                batch,
+                                &mut dst_c[..out_len],
+                            )?;
+                        }
+                    }
                     *slot = 1 - *slot;
                     *dims = BatchDims::Spatial(out_dims);
                     i += 1;
                 }
                 Layer::Flatten(_) => {
-                    Self::flatten_to_sample_major(ws, slot, dims, batch);
+                    match domain {
+                        Domain::F32 => Self::flatten_to_sample_major(ws, slot, dims, batch),
+                        Domain::Codes(_) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            Self::flatten_codes_to_sample_major(&mut bufs.codes, slot, dims, batch);
+                        }
+                    }
                     i += 1;
                 }
             }
+        }
+        if domain != Domain::F32 {
+            return Err(NnError::InvalidSpec(
+                "batched layer list ended in the code domain (quantized chaining bug)".into(),
+            ));
         }
         Ok(())
     }
@@ -448,6 +677,7 @@ impl BatchPlan {
         self.branch.slot_mut(SLOT_A)[..len].copy_from_slice(src);
         let mut slot = SLOT_A;
         let mut dims = self.trunk_dims;
+        let quant = self.quant.as_mut().map(|q| (q.model.branch(exit), &mut q.bufs));
         BatchPlan::run_layers(
             &net.branches()[exit],
             &mut self.branch,
@@ -455,6 +685,7 @@ impl BatchPlan {
             &mut slot,
             &mut dims,
             batch,
+            quant,
         )?;
         // A branch that ends spatially (no trailing Flatten/Dense) still needs
         // the sample-major layout before per-sample logits can be read.
@@ -546,7 +777,8 @@ impl BatchPlan {
         let mut dims = self.load_inputs(inputs)?;
         self.batch = inputs.len();
         let mut slot = SLOT_A;
-        for segment in &net.segments()[..=exit] {
+        for (seg, segment) in net.segments()[..=exit].iter().enumerate() {
+            let quant = self.quant.as_mut().map(|q| (q.model.segment(seg), &mut q.bufs));
             BatchPlan::run_layers(
                 segment,
                 &mut self.trunk,
@@ -554,6 +786,7 @@ impl BatchPlan {
                 &mut slot,
                 &mut dims,
                 self.batch,
+                quant,
             )?;
         }
         self.trunk_slot = slot;
@@ -578,7 +811,9 @@ impl BatchPlan {
         self.segments_done = 0;
         let mut slot = self.trunk_slot;
         let mut dims = self.trunk_dims;
-        for segment in &net.segments()[segments_done..=exit] {
+        for (seg, segment) in net.segments()[segments_done..=exit].iter().enumerate() {
+            let quant =
+                self.quant.as_mut().map(|q| (q.model.segment(segments_done + seg), &mut q.bufs));
             BatchPlan::run_layers(
                 segment,
                 &mut self.trunk,
@@ -586,6 +821,7 @@ impl BatchPlan {
                 &mut slot,
                 &mut dims,
                 self.batch,
+                quant,
             )?;
         }
         self.trunk_slot = slot;
@@ -610,6 +846,21 @@ impl MultiExitNetwork {
     /// `max_batch` samples per pass.
     pub fn batch_plan(&self, max_batch: usize) -> BatchPlan {
         BatchPlan::for_architecture(self.architecture(), max_batch)
+    }
+
+    /// Builds a **quantized** [`BatchPlan`] (see
+    /// [`BatchPlan::for_network_quantized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when `config` does not match this
+    /// network's compressible layers.
+    pub fn batch_plan_quantized(
+        &self,
+        config: &QuantConfig,
+        max_batch: usize,
+    ) -> Result<BatchPlan> {
+        BatchPlan::for_network_quantized(self, config, max_batch)
     }
 
     /// Batched counterpart of [`MultiExitNetwork::forward_to_exit_with`]:
@@ -855,6 +1106,64 @@ mod tests {
         net.forward_to_exit_batch_with(&mut plan, &[&x, &x], 0).unwrap();
         assert_eq!(plan.last_exit(), Some(0));
         assert_eq!(plan.batch(), 2);
+    }
+
+    fn mixed_quant_config(net: &MultiExitNetwork) -> crate::quant::QuantConfig {
+        use ie_tensor::QuantParams;
+        let n = net.architecture().compressible_layers().len();
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 8);
+        let entries: Vec<Option<(u8, QuantParams)>> = (0..n)
+            .map(|i| match i % 4 {
+                0 => Some((8, if i == 0 { first } else { act })),
+                1 => Some((11, act)),
+                2 => None,
+                _ => Some((6, act)),
+            })
+            .collect();
+        crate::quant::config_from_bits(net, &entries).unwrap()
+    }
+
+    #[test]
+    fn quantized_batched_forward_is_bit_identical_to_quantized_single_planned() {
+        let net = tiny_net(30);
+        let cfg = mixed_quant_config(&net);
+        let mut single = net.execution_plan_quantized(&cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1usize, 3, 8] {
+            let inputs = random_batch(&mut rng, &[1, 8, 8], n);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let mut plan = net.batch_plan_quantized(&cfg, n).unwrap();
+            assert!(plan.quantized_model().is_some());
+            for exit in 0..net.num_exits() {
+                let out = net.forward_to_exit_batch_with(&mut plan, &refs, exit).unwrap();
+                for (i, input) in inputs.iter().enumerate() {
+                    let s = net.forward_to_exit_with(&mut single, input, exit).unwrap();
+                    assert_eq!(out.prediction(i), s.prediction, "batch {n} exit {exit} sample {i}");
+                    let batch_bits: Vec<u32> = out.logits(i).iter().map(|v| v.to_bits()).collect();
+                    let single_bits: Vec<u32> =
+                        single.logits(exit).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(batch_bits, single_bits, "batch {n} exit {exit} sample {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batched_continuation_matches_direct() {
+        let net = tiny_net(32);
+        let cfg = mixed_quant_config(&net);
+        let mut rng = StdRng::seed_from_u64(33);
+        let inputs = random_batch(&mut rng, &[1, 8, 8], 4);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut direct = net.batch_plan_quantized(&cfg, 4).unwrap();
+        net.forward_to_exit_batch_with(&mut direct, &refs, 1).unwrap();
+        let mut incremental = net.batch_plan_quantized(&cfg, 4).unwrap();
+        net.forward_to_exit_batch_with(&mut incremental, &refs, 0).unwrap();
+        let out = net.continue_to_exit_batch_with(&mut incremental, 1).unwrap();
+        for i in 0..4 {
+            assert_eq!(out.logits(i), direct.output(1).logits(i), "sample {i}");
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod network;
 mod optim;
 mod plan;
 mod pool;
+pub mod quant;
 pub mod spec;
 pub mod train;
 

@@ -34,6 +34,10 @@
 //! ```
 
 use crate::loss::{argmax_slice, confidence_slice, softmax_into};
+use crate::quant::{
+    quant_conv_forward, quant_dense_forward, quantize_slice, Domain, QuantBuffers, QuantConfig,
+    QuantCtx, QuantDst, QuantState, QuantizedLayer, QuantizedModel,
+};
 use crate::spec::{LayerSpecKind, MultiExitArchitecture};
 use crate::{Layer, MultiExitNetwork, NnError, Result};
 use ie_tensor::{Tensor, Workspace};
@@ -103,6 +107,9 @@ pub struct ExecutionPlan {
     segments_done: usize,
     /// Exit most recently evaluated from the cached state.
     last_exit: Option<usize>,
+    /// Quantized model + integer buffers when the plan executes ≤8/≤16-bit
+    /// layers through the integer kernels (`None` → pure `f32` engine).
+    quant: Option<QuantState>,
 }
 
 impl ExecutionPlan {
@@ -128,7 +135,40 @@ impl ExecutionPlan {
             trunk_dims: ActDims::Flat(0),
             segments_done: 0,
             last_exit: None,
+            quant: None,
         }
+    }
+
+    /// Builds a **quantized** plan for `net`: layers covered by `config` run
+    /// the i8/i16 integer kernels with weights quantized and packed here,
+    /// once; everything else stays on the `f32` engine. The plan additionally
+    /// pre-sizes the integer scratch (code ping-pong slots, i8/i16 column
+    /// buffers, the `i32` accumulator), so warmed quantized passes perform
+    /// zero heap allocations, exactly like the float plan.
+    ///
+    /// The quantized parameters are baked from `net`'s **current** weights;
+    /// use the plan only with that network (the compatibility check catches
+    /// architecture mismatches, not weight changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when `config` does not match the
+    /// network's compressible layers (see
+    /// [`QuantizedModel::for_network`]).
+    pub fn for_network_quantized(
+        net: &MultiExitNetwork,
+        config: &QuantConfig,
+    ) -> Result<ExecutionPlan> {
+        let model = QuantizedModel::for_network(net, config)?;
+        let mut plan = ExecutionPlan::for_architecture(net.architecture());
+        plan.quant =
+            Some(QuantState { model, bufs: QuantBuffers::for_architecture(net.architecture(), 1) });
+        Ok(plan)
+    }
+
+    /// The quantized model baked into this plan, if any.
+    pub fn quantized_model(&self) -> Option<&QuantizedModel> {
+        self.quant.as_ref().map(|q| &q.model)
     }
 
     /// Number of exits the plan covers.
@@ -173,17 +213,36 @@ impl ExecutionPlan {
     }
 
     /// Runs `layers` over the activation held in `ws` (ping-pong between its
-    /// two slots), fusing Conv→ReLU / Dense→ReLU pairs into the GEMM epilogue.
+    /// two slots), fusing Conv→ReLU / Dense→ReLU pairs into the kernel
+    /// epilogue.
+    ///
+    /// With a quantized context, layers whose aligned entry is `Some` run the
+    /// i8/i16 integer kernels instead: the activation is quantized at the
+    /// float→int boundary (or arrives as codes from the previous chained
+    /// quantized layer), the GEMM accumulates in `i32`, and the
+    /// requantization epilogue emits either codes for the next quantized
+    /// layer or `f32` at the mixed-precision boundary. ReLU and max-pool
+    /// operate directly in the code domain between chained layers
+    /// (quantization is monotone, so both commute with it exactly). Every
+    /// list starts and ends in the f32 domain.
     fn run_layers(
         layers: &[Layer],
         ws: &mut Workspace,
         col: &mut [f32],
         slot: &mut usize,
         dims: &mut ActDims,
+        quant: QuantCtx<'_>,
     ) -> Result<()> {
+        let (qlist, mut qbufs): (&[Option<QuantizedLayer>], Option<&mut QuantBuffers>) = match quant
+        {
+            Some((list, bufs)) => (list, Some(bufs)),
+            None => (&[], None),
+        };
+        let mut domain = Domain::F32;
         let mut i = 0;
         while i < layers.len() {
             let fuse = matches!(layers.get(i + 1), Some(Layer::Relu(_)));
+            let qentry = qlist.get(i).and_then(|e| e.as_ref());
             match &layers[i] {
                 Layer::Conv2d(conv) => {
                     let geom = conv.geometry();
@@ -193,13 +252,57 @@ impl ExecutionPlan {
                     }
                     let in_len = conv.input_len();
                     let out_len = conv.output_len();
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    conv.forward_into(
-                        &src[..in_len],
-                        &mut dst[..out_len],
-                        &mut col[..conv.col_len()],
-                        fuse,
-                    )?;
+                    if let Some(ql) = qentry {
+                        let bufs = qbufs.as_deref_mut().expect("quantized entry implies buffers");
+                        let QuantBuffers { codes, col8, rows16, acc, .. } = bufs;
+                        let (src_c, dst_c) = crate::quant::code_pair(codes, *slot);
+                        if domain == Domain::F32 {
+                            quantize_slice(
+                                &ws.slot(*slot)[..in_len],
+                                &ql.input,
+                                &mut src_c[..in_len],
+                            );
+                        }
+                        match ql.out {
+                            None => {
+                                quant_conv_forward(
+                                    conv,
+                                    ql,
+                                    &src_c[..in_len],
+                                    1,
+                                    fuse,
+                                    col8,
+                                    rows16,
+                                    acc,
+                                    QuantDst::F32(&mut ws.slot_mut(1 - *slot)[..out_len]),
+                                )?;
+                                domain = Domain::F32;
+                            }
+                            Some(p) => {
+                                quant_conv_forward(
+                                    conv,
+                                    ql,
+                                    &src_c[..in_len],
+                                    1,
+                                    fuse,
+                                    col8,
+                                    rows16,
+                                    acc,
+                                    QuantDst::Codes(&mut dst_c[..out_len]),
+                                )?;
+                                domain = Domain::Codes(p);
+                            }
+                        }
+                    } else {
+                        debug_assert_eq!(domain, Domain::F32, "float conv fed from code domain");
+                        let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                        conv.forward_into(
+                            &src[..in_len],
+                            &mut dst[..out_len],
+                            &mut col[..conv.col_len()],
+                            fuse,
+                        )?;
+                    }
                     *slot = 1 - *slot;
                     *dims = ActDims::Spatial(conv.output_dims());
                     i += if fuse { 2 } else { 1 };
@@ -208,20 +311,66 @@ impl ExecutionPlan {
                     if dims.len() != dense.in_features() {
                         return Err(shape_error("dense", &[dense.in_features()], dims));
                     }
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    dense.forward_into(
-                        &src[..dense.in_features()],
-                        &mut dst[..dense.out_features()],
-                        fuse,
-                    )?;
+                    let (in_f, out_f) = (dense.in_features(), dense.out_features());
+                    if let Some(ql) = qentry {
+                        let bufs = qbufs.as_deref_mut().expect("quantized entry implies buffers");
+                        let QuantBuffers { codes, xs16, acc, .. } = bufs;
+                        let (src_c, dst_c) = crate::quant::code_pair(codes, *slot);
+                        if domain == Domain::F32 {
+                            quantize_slice(&ws.slot(*slot)[..in_f], &ql.input, &mut src_c[..in_f]);
+                        }
+                        match ql.out {
+                            None => {
+                                quant_dense_forward(
+                                    ql,
+                                    &src_c[..in_f],
+                                    in_f,
+                                    1,
+                                    fuse,
+                                    xs16,
+                                    acc,
+                                    QuantDst::F32(&mut ws.slot_mut(1 - *slot)[..out_f]),
+                                );
+                                domain = Domain::F32;
+                            }
+                            Some(p) => {
+                                quant_dense_forward(
+                                    ql,
+                                    &src_c[..in_f],
+                                    in_f,
+                                    1,
+                                    fuse,
+                                    xs16,
+                                    acc,
+                                    QuantDst::Codes(&mut dst_c[..out_f]),
+                                );
+                                domain = Domain::Codes(p);
+                            }
+                        }
+                    } else {
+                        debug_assert_eq!(domain, Domain::F32, "float dense fed from code domain");
+                        let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                        dense.forward_into(&src[..in_f], &mut dst[..out_f], fuse)?;
+                    }
                     *slot = 1 - *slot;
-                    *dims = ActDims::Flat(dense.out_features());
+                    *dims = ActDims::Flat(out_f);
                     i += if fuse { 2 } else { 1 };
                 }
                 Layer::Relu(_) => {
                     let len = dims.len();
-                    for v in &mut ws.slot_mut(*slot)[..len] {
-                        *v = v.max(0.0);
+                    match domain {
+                        Domain::F32 => {
+                            for v in &mut ws.slot_mut(*slot)[..len] {
+                                *v = v.max(0.0);
+                            }
+                        }
+                        Domain::Codes(p) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            let zp = p.zero_point() as i8;
+                            for c in &mut bufs.codes[*slot][..len] {
+                                *c = (*c).max(zp);
+                            }
+                        }
                     }
                     i += 1;
                 }
@@ -230,12 +379,19 @@ impl ExecutionPlan {
                         return Err(shape_error("maxpool2d", &[0, 0, 0], dims));
                     };
                     let out_dims = pool.output_dims(&d);
-                    let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
-                    pool.forward_slice_into(
-                        &src[..d.iter().product()],
-                        d,
-                        &mut dst[..out_dims.iter().product()],
-                    )?;
+                    let in_len = d.iter().product();
+                    let out_len = out_dims.iter().product();
+                    match domain {
+                        Domain::F32 => {
+                            let (src, dst) = ws.pair_mut(*slot, 1 - *slot);
+                            pool.forward_slice_into(&src[..in_len], d, &mut dst[..out_len])?;
+                        }
+                        Domain::Codes(_) => {
+                            let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
+                            let (src_c, dst_c) = crate::quant::code_pair(&mut bufs.codes, *slot);
+                            pool.forward_codes_into(&src_c[..in_len], d, &mut dst_c[..out_len])?;
+                        }
+                    }
                     *slot = 1 - *slot;
                     *dims = ActDims::Spatial(out_dims);
                     i += 1;
@@ -245,6 +401,11 @@ impl ExecutionPlan {
                     i += 1;
                 }
             }
+        }
+        if domain != Domain::F32 {
+            return Err(NnError::InvalidSpec(
+                "layer list ended in the code domain (quantized chaining bug)".into(),
+            ));
         }
         Ok(())
     }
@@ -259,12 +420,14 @@ impl ExecutionPlan {
         self.branch.slot_mut(SLOT_A)[..len].copy_from_slice(src);
         let mut slot = SLOT_A;
         let mut dims = self.trunk_dims;
+        let quant = self.quant.as_mut().map(|q| (q.model.branch(exit), &mut q.bufs));
         ExecutionPlan::run_layers(
             &net.branches()[exit],
             &mut self.branch,
             &mut self.col,
             &mut slot,
             &mut dims,
+            quant,
         )?;
         let classes = self.logits[exit].len();
         if dims.len() != classes {
@@ -289,7 +452,8 @@ impl ExecutionPlan {
         let compatible = self.num_exits == arch.num_exits()
             && self.logits.first().map(Vec::len) == Some(arch.num_classes())
             && max_act <= self.trunk.slot_len(SLOT_A)
-            && max_col <= self.col.len();
+            && max_col <= self.col.len()
+            && self.quant.as_ref().is_none_or(|q| q.model.matches(net));
         if !compatible {
             return Err(NnError::InvalidSpec(format!(
                 "execution plan ({} exits, {} classes, act {}, col {}) does not fit the \
@@ -333,13 +497,15 @@ impl ExecutionPlan {
         self.segments_done = 0;
         self.trunk.slot_mut(SLOT_A)[..input.len()].copy_from_slice(input.as_slice());
         let mut slot = SLOT_A;
-        for segment in &net.segments()[..=exit] {
+        for (seg, segment) in net.segments()[..=exit].iter().enumerate() {
+            let quant = self.quant.as_mut().map(|q| (q.model.segment(seg), &mut q.bufs));
             ExecutionPlan::run_layers(
                 segment,
                 &mut self.trunk,
                 &mut self.col,
                 &mut slot,
                 &mut act_dims,
+                quant,
             )?;
         }
         self.trunk_slot = slot;
@@ -366,13 +532,16 @@ impl ExecutionPlan {
         self.segments_done = 0;
         let mut slot = self.trunk_slot;
         let mut dims = self.trunk_dims;
-        for segment in &net.segments()[segments_done..=exit] {
+        for (seg, segment) in net.segments()[segments_done..=exit].iter().enumerate() {
+            let quant =
+                self.quant.as_mut().map(|q| (q.model.segment(segments_done + seg), &mut q.bufs));
             ExecutionPlan::run_layers(
                 segment,
                 &mut self.trunk,
                 &mut self.col,
                 &mut slot,
                 &mut dims,
+                quant,
             )?;
         }
         self.trunk_slot = slot;
@@ -421,6 +590,19 @@ impl MultiExitNetwork {
     /// Builds an [`ExecutionPlan`] sized for this network's architecture.
     pub fn execution_plan(&self) -> ExecutionPlan {
         ExecutionPlan::for_architecture(self.architecture())
+    }
+
+    /// Builds a **quantized** [`ExecutionPlan`]: layers covered by `config`
+    /// run the i8/i16 integer kernels with this network's weights quantized
+    /// and packed at construction (see
+    /// [`ExecutionPlan::for_network_quantized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when `config` does not match this
+    /// network's compressible layers.
+    pub fn execution_plan_quantized(&self, config: &QuantConfig) -> Result<ExecutionPlan> {
+        ExecutionPlan::for_network_quantized(self, config)
     }
 
     /// Planned counterpart of [`MultiExitNetwork::forward_to_exit`]: runs
@@ -610,6 +792,90 @@ mod tests {
             net.continue_to_exit_with(&mut plan, 1),
             Err(NnError::MissingPlannedState)
         ));
+    }
+
+    #[test]
+    fn quantized_plan_is_bit_identical_to_the_fake_quant_reference() {
+        use crate::quant::{config_from_bits, fake_quant_logits};
+        use ie_tensor::QuantParams;
+
+        let net = tiny_net(20);
+        let n = net.architecture().compressible_layers().len();
+        // Mixed per-layer kernels: i8, f32, i16, i8, f32 across the canonical
+        // order, so float→int and int→float boundaries are all exercised.
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 8);
+        let entries: Vec<Option<(u8, QuantParams)>> = (0..n)
+            .map(|i| match i % 5 {
+                0 => Some((8, if i == 0 { first } else { act })),
+                1 => None,
+                2 => Some((12, act)),
+                3 => Some((4, act)),
+                _ => None,
+            })
+            .collect();
+        let cfg = config_from_bits(&net, &entries).unwrap();
+        let model = crate::quant::QuantizedModel::for_network(&net, &cfg).unwrap();
+        let mut plan = net.execution_plan_quantized(&cfg).unwrap();
+        assert!(plan.quantized_model().is_some());
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..3 {
+            let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+            for exit in 0..net.num_exits() {
+                let out = net.forward_to_exit_with(&mut plan, &x, exit).unwrap();
+                let reference = fake_quant_logits(&net, &model, &x, exit).unwrap();
+                let plan_bits: Vec<u32> = plan.logits(exit).iter().map(|v| v.to_bits()).collect();
+                let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(plan_bits, ref_bits, "exit {exit}");
+                assert_eq!(out.exit, exit);
+            }
+            // Incremental continuation reuses the cached f32 trunk.
+            net.forward_to_exit_with(&mut plan, &x, 0).unwrap();
+            net.continue_to_exit_with(&mut plan, 1).unwrap();
+            let reference = fake_quant_logits(&net, &model, &x, 1).unwrap();
+            assert_eq!(plan.logits(1), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn fully_quantized_plan_chains_codes_and_still_matches_the_reference() {
+        use crate::quant::{config_from_bits, fake_quant_logits};
+        use ie_tensor::QuantParams;
+
+        let net = tiny_net(22);
+        let n = net.architecture().compressible_layers().len();
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 6);
+        let entries: Vec<Option<(u8, QuantParams)>> =
+            (0..n).map(|i| Some((8, if i == 0 { first } else { act }))).collect();
+        let cfg = config_from_bits(&net, &entries).unwrap();
+        let model = crate::quant::QuantizedModel::for_network(&net, &cfg).unwrap();
+        let mut plan = net.execution_plan_quantized(&cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Tensor::randn(&mut rng, &[1, 8, 8], 0.0, 1.0);
+        for exit in 0..net.num_exits() {
+            net.forward_to_exit_with(&mut plan, &x, exit).unwrap();
+            let reference = fake_quant_logits(&net, &model, &x, exit).unwrap();
+            assert_eq!(plan.logits(exit), reference.as_slice(), "exit {exit}");
+        }
+    }
+
+    #[test]
+    fn quantized_plan_rejects_a_mismatched_network() {
+        use crate::quant::config_from_bits;
+        use ie_tensor::QuantParams;
+
+        let tiny = tiny_net(24);
+        let n = tiny.architecture().compressible_layers().len();
+        let entries: Vec<Option<(u8, QuantParams)>> =
+            (0..n).map(|_| Some((8, QuantParams::from_range(0.0, 4.0, 8)))).collect();
+        let cfg = config_from_bits(&tiny, &entries).unwrap();
+        let mut plan = tiny.execution_plan_quantized(&cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let lenet = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+        let err =
+            lenet.forward_to_exit_with(&mut plan, &Tensor::zeros(&[3, 32, 32]), 0).unwrap_err();
+        assert!(matches!(err, NnError::InvalidSpec(_)), "got {err:?}");
     }
 
     #[test]

@@ -161,6 +161,72 @@ impl MaxPool2d {
         Ok(())
     }
 
+    /// [`Self::forward_slice_into`] over quantized activation codes.
+    ///
+    /// Quantization is monotone, so the maximum of the codes is the code of
+    /// the maximum: pooling in the code domain is exactly equivalent to
+    /// pooling the real values and quantizing afterwards, which is what lets
+    /// chained quantized layers keep their activations as `i8` across pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] under the same conditions as
+    /// [`Self::forward_slice_into`].
+    pub fn forward_codes_into(&self, input: &[i8], dims: [usize; 3], out: &mut [i8]) -> Result<()> {
+        self.forward_batch_codes_into(input, dims, 1, out)
+    }
+
+    /// Batched counterpart of [`Self::forward_codes_into`] over the
+    /// channel-major wide layout (`[c, batch, h, w]` codes in, pooled codes
+    /// out), mirroring [`Self::forward_batch_slice_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] under the same conditions as
+    /// [`Self::forward_batch_slice_into`].
+    pub fn forward_batch_codes_into(
+        &self,
+        input: &[i8],
+        dims: [usize; 3],
+        batch: usize,
+        out: &mut [i8],
+    ) -> Result<()> {
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        if input.len() != c * batch * h * w || h % self.size != 0 || w % self.size != 0 {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(codes)".into(),
+                expected: vec![c, h / self.size * self.size, w / self.size * self.size],
+                actual: vec![input.len()],
+            });
+        }
+        let (oh, ow) = (h / self.size, w / self.size);
+        if out.len() != c * batch * oh * ow {
+            return Err(NnError::InputShapeMismatch {
+                layer: "maxpool2d(codes out)".into(),
+                expected: vec![c * batch * oh * ow],
+                actual: vec![out.len()],
+            });
+        }
+        for plane_idx in 0..c * batch {
+            let src = &input[plane_idx * h * w..][..h * w];
+            let dst = &mut out[plane_idx * oh * ow..][..oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = i8::MIN;
+                    for dy in 0..self.size {
+                        for dx in 0..self.size {
+                            let iy = oy * self.size + dy;
+                            let ix = ox * self.size + dx;
+                            best = best.max(src[iy * w + ix]);
+                        }
+                    }
+                    dst[oy * ow + ox] = best;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Forward pass.
     ///
     /// Allocating wrapper over [`Self::forward_slice_into`].
@@ -268,6 +334,22 @@ mod tests {
     #[should_panic(expected = "pool size must be non-zero")]
     fn zero_pool_size_panics() {
         let _ = MaxPool2d::new(0);
+    }
+
+    #[test]
+    fn code_pooling_commutes_with_quantization() {
+        // max over codes == code of the max (monotone map).
+        let pool = MaxPool2d::new(2);
+        let codes: Vec<i8> = vec![-8, 3, 127, -128, 0, 5, -1, 2, 9, 9, 9, 9, 1, 2, 3, 4];
+        let mut out = vec![0i8; 4];
+        pool.forward_codes_into(&codes, [1, 4, 4], &mut out).unwrap();
+        let floats: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+        let mut out_f = vec![0.0f32; 4];
+        pool.forward_slice_into(&floats, [1, 4, 4], &mut out_f).unwrap();
+        assert_eq!(out.iter().map(|&c| f32::from(c)).collect::<Vec<_>>(), out_f);
+        // Length validation.
+        let mut wrong = vec![0i8; 3];
+        assert!(pool.forward_codes_into(&codes, [1, 4, 4], &mut wrong).is_err());
     }
 
     #[test]

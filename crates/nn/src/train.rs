@@ -2,6 +2,7 @@
 //! the batched, sharded multi-threaded dataset evaluator.
 
 use crate::dataset::Sample;
+use crate::quant::QuantConfig;
 use crate::{BatchPlan, MultiExitNetwork, Result, Sgd};
 use ie_tensor::Tensor;
 
@@ -128,6 +129,104 @@ pub fn eval_threads() -> usize {
     })
 }
 
+/// A reusable pool of per-worker [`BatchPlan`]s for the sharded evaluators.
+///
+/// `evaluate_batched` historically rebuilt one plan per worker on **every**
+/// call; a search loop scores thousands of candidate policies, so those
+/// buffers were re-allocated thousands of times. A pool owned by the caller
+/// (e.g. the accuracy estimator) keeps the warmed plans across calls:
+/// compression changes a network's weights but never its architecture, so
+/// the same plans serve every candidate policy. Incompatible or undersized
+/// plans are dropped and rebuilt transparently.
+///
+/// Plans in the pool are plain `f32` plans; quantized plans bake per-policy
+/// weights in and are rebuilt per evaluation instead.
+#[derive(Debug, Default)]
+pub struct BatchPlanPool {
+    plans: Vec<BatchPlan>,
+}
+
+impl BatchPlanPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BatchPlanPool::default()
+    }
+
+    /// Number of plans currently pooled.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` when no plans are pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Hands out `count` plans compatible with `network` and `batch`,
+    /// reusing pooled ones and building only what is missing.
+    fn ensure(
+        &mut self,
+        network: &MultiExitNetwork,
+        batch: usize,
+        count: usize,
+    ) -> &mut [BatchPlan] {
+        self.plans.retain(|p| p.is_compatible(network) && p.max_batch() >= batch);
+        while self.plans.len() < count {
+            self.plans.push(BatchPlan::for_architecture(network.architecture(), batch));
+        }
+        &mut self.plans[..count]
+    }
+}
+
+/// The shared shard/reduce skeleton of the batched evaluators: splits the
+/// samples into one contiguous shard per plan, runs each shard through its
+/// plan (inline for a single worker, scoped threads otherwise) and reduces
+/// the per-shard correct counts in shard order.
+fn evaluate_with_plans(
+    network: &MultiExitNetwork,
+    samples: &[Sample],
+    batch: usize,
+    plans: &mut [BatchPlan],
+) -> Result<Vec<f32>> {
+    let num_exits = network.num_exits();
+    let eval_shard = |shard: &[Sample], plan: &mut BatchPlan| -> Result<Vec<usize>> {
+        let mut correct = vec![0usize; num_exits];
+        let mut refs: Vec<&Tensor> = Vec::with_capacity(batch);
+        for chunk in shard.chunks(batch) {
+            refs.clear();
+            refs.extend(chunk.iter().map(|s| &s.image));
+            network.forward_all_batch_with(plan, &refs, |out| {
+                for (i, sample) in chunk.iter().enumerate() {
+                    correct[out.exit()] += usize::from(out.prediction(i) == sample.label);
+                }
+            })?;
+        }
+        Ok(correct)
+    };
+    let threads = plans.len();
+    let counts: Vec<Result<Vec<usize>>> = if threads == 1 {
+        vec![eval_shard(samples, &mut plans[0])]
+    } else {
+        let shard_len = samples.len().div_ceil(threads);
+        let eval_shard = &eval_shard;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(shard_len)
+                .zip(plans.iter_mut())
+                .map(|(shard, plan)| scope.spawn(move || eval_shard(shard, plan)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
+        })
+    };
+    let mut total = vec![0usize; num_exits];
+    for shard_counts in counts {
+        for (t, c) in total.iter_mut().zip(shard_counts?) {
+            *t += c;
+        }
+    }
+    Ok(total.iter().map(|&c| c as f32 / samples.len() as f32).collect())
+}
+
 /// Evaluates the accuracy of every exit on the given samples using batched
 /// passes sharded across `threads` worker threads.
 ///
@@ -138,6 +237,9 @@ pub fn eval_threads() -> usize {
 /// sums over a fixed partition — so the result is identical for every thread
 /// count, and because the batched pass is bit-identical to the single-input
 /// planned path, identical to [`evaluate`] as well.
+///
+/// Builds fresh plans per call; hot loops should hold a [`BatchPlanPool`]
+/// and call [`evaluate_batched_with_pool`] instead.
 ///
 /// # Errors
 ///
@@ -152,47 +254,83 @@ pub fn evaluate_batched(
     batch: usize,
     threads: usize,
 ) -> Result<Vec<f32>> {
+    let mut pool = BatchPlanPool::new();
+    evaluate_batched_with_pool(network, samples, batch, threads, &mut pool)
+}
+
+/// [`evaluate_batched`] with caller-owned plans: per-worker [`BatchPlan`]s
+/// are taken from (and kept warm in) `pool` across calls instead of being
+/// rebuilt every time. Results are identical to [`evaluate_batched`] for
+/// every pool state — a reused plan is reset by the first batched pass of
+/// each evaluation.
+///
+/// # Errors
+///
+/// Propagates layer shape errors from the workers (first shard's error wins).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_batched_with_pool(
+    network: &MultiExitNetwork,
+    samples: &[Sample],
+    batch: usize,
+    threads: usize,
+    pool: &mut BatchPlanPool,
+) -> Result<Vec<f32>> {
     let num_exits = network.num_exits();
     if samples.is_empty() {
         return Ok(vec![0.0; num_exits]);
     }
     let batch = batch.max(1);
     let threads = threads.clamp(1, samples.len());
-    // A worker evaluates one shard with its own plan; the single-worker case
-    // runs inline so callers in a hot loop never pay thread spawn/join for a
-    // sequential evaluation.
-    let eval_shard = |shard: &[Sample]| -> Result<Vec<usize>> {
-        let mut plan = BatchPlan::for_architecture(network.architecture(), batch);
-        let mut correct = vec![0usize; num_exits];
-        let mut refs: Vec<&Tensor> = Vec::with_capacity(batch);
-        for chunk in shard.chunks(batch) {
-            refs.clear();
-            refs.extend(chunk.iter().map(|s| &s.image));
-            network.forward_all_batch_with(&mut plan, &refs, |out| {
-                for (i, sample) in chunk.iter().enumerate() {
-                    correct[out.exit()] += usize::from(out.prediction(i) == sample.label);
-                }
-            })?;
-        }
-        Ok(correct)
-    };
-    let counts: Vec<Result<Vec<usize>>> = if threads == 1 {
-        vec![eval_shard(samples)]
-    } else {
-        let shard_len = samples.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                samples.chunks(shard_len).map(|shard| scope.spawn(|| eval_shard(shard))).collect();
-            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
-        })
-    };
-    let mut total = vec![0usize; num_exits];
-    for shard_counts in counts {
-        for (t, c) in total.iter_mut().zip(shard_counts?) {
-            *t += c;
-        }
+    let plans = pool.ensure(network, batch, threads);
+    evaluate_with_plans(network, samples, batch, plans)
+}
+
+/// Evaluates the accuracy of every exit with the **integer** execution
+/// backend: each worker owns a quantized [`BatchPlan`] built from `network`
+/// and `config` (pre-quantized packed weights, i8/i16 GEMM + requantization
+/// epilogues), so the measured accuracy is that of true integer inference
+/// rather than the fake-quant `f32` round trip.
+///
+/// Sharding and reduction are identical to [`evaluate_batched`]; results are
+/// deterministic and independent of `batch` and `threads` (the quantized
+/// batched pass is bit-identical per sample to the quantized single-input
+/// plan). Quantized plans bake in per-policy weights, so they are built per
+/// call rather than pooled.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::InvalidSpec`] when `config` does not match the
+/// network, and propagates layer shape errors from the workers.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_quantized(
+    network: &MultiExitNetwork,
+    config: &QuantConfig,
+    samples: &[Sample],
+    batch: usize,
+    threads: usize,
+) -> Result<Vec<f32>> {
+    let num_exits = network.num_exits();
+    if samples.is_empty() {
+        return Ok(vec![0.0; num_exits]);
     }
-    Ok(total.iter().map(|&c| c as f32 / samples.len() as f32).collect())
+    let batch = batch.max(1);
+    let threads = threads.clamp(1, samples.len());
+    // Pack the weight codes once; workers get clones of the packed model
+    // (a memcpy) instead of re-running the quantizer per thread.
+    let model = crate::quant::QuantizedModel::for_network(network, config)?;
+    let arch = network.architecture();
+    let mut plans = Vec::with_capacity(threads);
+    for _ in 0..threads - 1 {
+        plans.push(BatchPlan::for_quantized_model(arch, model.clone(), batch));
+    }
+    plans.push(BatchPlan::for_quantized_model(arch, model, batch));
+    evaluate_with_plans(network, samples, batch, &mut plans)
 }
 
 /// [`evaluate_batched`] with the default batch size and the environment-driven
@@ -267,6 +405,50 @@ mod tests {
         // More workers than samples degrades gracefully to one per sample.
         let few = &data.test()[..2];
         assert_eq!(evaluate_batched(&net, few, 4, 16).unwrap(), evaluate(&net, few).unwrap());
+    }
+
+    #[test]
+    fn pooled_evaluation_reuses_plans_and_matches_the_fresh_path() {
+        let data = SyntheticDataset::generate(3, 8, 60, 0.1, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let reference = evaluate(&net, data.test()).unwrap();
+        let mut pool = BatchPlanPool::new();
+        assert!(pool.is_empty());
+        for _ in 0..3 {
+            let pooled = evaluate_batched_with_pool(&net, data.test(), 4, 2, &mut pool).unwrap();
+            assert_eq!(pooled, reference);
+            assert_eq!(pool.len(), 2, "both worker plans stay pooled across calls");
+        }
+        // A different (incompatible) network flushes the stale plans.
+        let other = MultiExitNetwork::from_architecture(&tiny_multi_exit(4), &mut rng).unwrap();
+        let small = SyntheticDataset::generate(4, 8, 20, 0.1, 11);
+        let fresh = evaluate_batched_with_pool(&other, small.test(), 4, 2, &mut pool).unwrap();
+        assert_eq!(fresh, evaluate(&other, small.test()).unwrap());
+    }
+
+    #[test]
+    fn quantized_evaluation_is_identical_for_every_batch_and_thread_count() {
+        use crate::quant::config_from_bits;
+        use ie_tensor::QuantParams;
+
+        let data = SyntheticDataset::generate(3, 8, 60, 0.1, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let n = net.architecture().compressible_layers().len();
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 8);
+        let entries: Vec<Option<(u8, QuantParams)>> =
+            (0..n).map(|i| Some((8, if i == 0 { first } else { act }))).collect();
+        let cfg = config_from_bits(&net, &entries).unwrap();
+        let reference = evaluate_quantized(&net, &cfg, data.test(), 1, 1).unwrap();
+        for batch in [3usize, 8] {
+            for threads in [1usize, 2, 4] {
+                let accs = evaluate_quantized(&net, &cfg, data.test(), batch, threads).unwrap();
+                assert_eq!(accs, reference, "batch {batch} x {threads} threads");
+            }
+        }
+        assert_eq!(evaluate_quantized(&net, &cfg, &[], 8, 4).unwrap(), vec![0.0; 2]);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! threads of the harness), and the whole file contains a single test so no
 //! sibling test can interleave allocations on this thread.
 
+use ie_nn::quant::config_from_bits;
 use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
 use ie_nn::MultiExitNetwork;
-use ie_tensor::Tensor;
+use ie_tensor::{QuantParams, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -71,6 +72,23 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
         (0..4).map(|_| Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0)).collect();
     let lenet_refs: Vec<&Tensor> = lenet_batch.iter().collect();
 
+    // Quantized plans: a kernel mix (i8, i16, f32) so the integer GEMMs, the
+    // quantized im2col, the widening scratch and both requantization
+    // emissions (codes and f32) are all exercised inside the measured loop.
+    let n = lenet.architecture().compressible_layers().len();
+    let first = QuantParams::from_range(-3.0, 3.0, 8);
+    let act = QuantParams::from_range(0.0, 12.0, 8);
+    let entries: Vec<Option<(u8, QuantParams)>> = (0..n)
+        .map(|i| match i % 3 {
+            0 => Some((8, if i == 0 { first } else { act })),
+            1 => Some((12, act)),
+            _ => None,
+        })
+        .collect();
+    let quant_cfg = config_from_bits(&lenet, &entries).unwrap();
+    let mut quant_plan = lenet.execution_plan_quantized(&quant_cfg).unwrap();
+    let mut quant_batch_plan = lenet.batch_plan_quantized(&quant_cfg, 4).unwrap();
+
     // Warm-up: touch every code path the measured section will run.
     for _ in 0..2 {
         tiny.forward_to_exit_with(&mut tiny_plan, &tiny_input, 0).unwrap();
@@ -84,6 +102,9 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
         tiny.forward_all_batch_with(&mut tiny_batch_plan, &tiny_refs, |_| {}).unwrap();
         lenet.forward_to_exit_batch_with(&mut lenet_batch_plan, &lenet_refs, 0).unwrap();
         lenet.continue_to_exit_batch_with(&mut lenet_batch_plan, 2).unwrap();
+        lenet.forward_to_exit_with(&mut quant_plan, &lenet_input, 0).unwrap();
+        lenet.continue_to_exit_with(&mut quant_plan, 2).unwrap();
+        lenet.forward_to_exit_batch_with(&mut quant_batch_plan, &lenet_refs, 2).unwrap();
     }
 
     let before = allocations_on_this_thread();
@@ -111,6 +132,15 @@ fn warmed_planned_forward_performs_zero_heap_allocations() {
             .prediction(3);
         checksum +=
             lenet.continue_to_exit_batch_with(&mut lenet_batch_plan, 2).unwrap().prediction(1);
+        // A warmed quantized plan (integer kernels + requantization) is
+        // equally allocation-free, single-input and batched.
+        checksum +=
+            lenet.forward_to_exit_with(&mut quant_plan, &lenet_input, 0).unwrap().prediction;
+        checksum += lenet.continue_to_exit_with(&mut quant_plan, 2).unwrap().prediction;
+        checksum += lenet
+            .forward_to_exit_batch_with(&mut quant_batch_plan, &lenet_refs, 2)
+            .unwrap()
+            .prediction(2);
     }
     let after = allocations_on_this_thread();
 

@@ -115,18 +115,25 @@ impl KernelOffsetBounds {
     }
 
     /// Lowers one channel plane's `(ky, kx)` row section into `out_row`
-    /// (`out_h·out_w` cells), writing every cell including the zero padding.
-    fn lower_plane(&self, geom: &Conv2dGeometry, chan: &[f32], out_row: &mut [f32]) {
+    /// (`out_h·out_w` cells), writing every cell including the padding, which
+    /// is filled with `pad` (`0.0` for real activations, the quantization
+    /// zero point for integer codes — both encode the real value zero).
+    ///
+    /// Generic over the scalar type so the `f32` path and the quantized
+    /// (`i8`/`i16` code) paths share one lowering: the loop moves values
+    /// without arithmetic, so the per-sample layout is identical for every
+    /// element type.
+    fn lower_plane<T: Copy>(&self, geom: &Conv2dGeometry, chan: &[T], out_row: &mut [T], pad: T) {
         let out_w = geom.out_w();
         let (stride, in_w) = (geom.stride, geom.in_w);
-        out_row[..self.oy_lo * out_w].fill(0.0);
-        out_row[self.oy_hi * out_w..].fill(0.0);
+        out_row[..self.oy_lo * out_w].fill(pad);
+        out_row[self.oy_hi * out_w..].fill(pad);
         for oy in self.oy_lo..self.oy_hi {
             let iy = (oy * stride) as isize + self.vshift;
             let orow = &mut out_row[oy * out_w..(oy + 1) * out_w];
             let src = &chan[iy as usize * in_w..(iy as usize + 1) * in_w];
-            orow[..self.ox_lo].fill(0.0);
-            orow[self.ox_hi..].fill(0.0);
+            orow[..self.ox_lo].fill(pad);
+            orow[self.ox_hi..].fill(pad);
             if self.ox_lo >= self.ox_hi {
                 continue;
             }
@@ -143,6 +150,47 @@ impl KernelOffsetBounds {
             }
         }
     }
+}
+
+/// The shared, element-type-generic body of the batched lowering: validates
+/// lengths against `batch` copies of `geom` and fills the whole
+/// `[C·K·K, batch·out_h·out_w]` column buffer (padding cells get `pad`).
+fn lower_batch<T: Copy>(
+    input: &[T],
+    batch: usize,
+    geom: &Conv2dGeometry,
+    pad: T,
+    out: &mut [T],
+) -> Result<()> {
+    geom.validate()?;
+    let plane = geom.in_h * geom.in_w;
+    let in_len = geom.in_channels * batch * plane;
+    if input.len() != in_len {
+        return Err(TensorError::DataShapeMismatch { data_len: input.len(), shape_len: in_len });
+    }
+    if out.len() != geom.col_len() * batch {
+        return Err(TensorError::DataShapeMismatch {
+            data_len: out.len(),
+            shape_len: geom.col_len() * batch,
+        });
+    }
+    let cols = geom.col_cols();
+    let row_stride = batch * cols;
+    let k = geom.kernel;
+    for ky in 0..k {
+        for kx in 0..k {
+            let bounds = KernelOffsetBounds::new(geom, ky, kx);
+            for c in 0..geom.in_channels {
+                let row = (c * k + ky) * k + kx;
+                let out_row = &mut out[row * row_stride..(row + 1) * row_stride];
+                for (s, block) in out_row.chunks_exact_mut(cols).enumerate() {
+                    let chan = &input[(c * batch + s) * plane..][..plane];
+                    bounds.lower_plane(geom, chan, block, pad);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Lowers a `[C, H, W]` image (given as a flat slice) into a caller-provided
@@ -181,30 +229,102 @@ pub fn im2col_batch_into(
     geom: &Conv2dGeometry,
     out: &mut [f32],
 ) -> Result<()> {
+    lower_batch(input, batch, geom, 0.0, out)
+}
+
+/// Quantized batched `im2col`: lowers a batch of `i8` activation-code images
+/// into one wide column matrix of codes, ready for [`crate::gemm_i8_into`].
+///
+/// Layouts match [`im2col_batch_into`] exactly (channel-major wide input,
+/// `[C·K·K, batch·out_h·out_w]` output); the only difference is the element
+/// type and that padding cells are filled with `pad` — the activation
+/// quantization's zero point, whose real value is exactly `0.0`, so the
+/// lowered codes represent the same padded image the `f32` path sees.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid or either buffer length does
+/// not match `batch` copies of it.
+pub fn im2col_quant_batch_into(
+    input: &[i8],
+    batch: usize,
+    geom: &Conv2dGeometry,
+    pad: i8,
+    out: &mut [i8],
+) -> Result<()> {
+    lower_batch(input, batch, geom, pad, out)
+}
+
+/// [`im2col_quant_batch_into`] over `i16` codes, feeding
+/// [`crate::gemm_i16_into`] (the i16 layers widen their 8-bit activation
+/// codes before lowering).
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid or either buffer length does
+/// not match `batch` copies of it.
+pub fn im2col_quant_batch_i16_into(
+    input: &[i16],
+    batch: usize,
+    geom: &Conv2dGeometry,
+    pad: i16,
+    out: &mut [i16],
+) -> Result<()> {
+    lower_batch(input, batch, geom, pad, out)
+}
+
+/// Channel-selective quantized batched `im2col`: lowers only the listed
+/// input channels, producing a `[len(channels)·K², batch·out_h·out_w]`
+/// column matrix of codes.
+///
+/// Channel pruning zeroes whole input-channel blocks of the filter matrix;
+/// the quantized engine packs those blocks away from its weight codes and
+/// skips them here, so a pruned layer's integer GEMM does proportionally
+/// less work — the deployed-MCU behaviour ("pruned channels are physically
+/// removed") rather than the zero-multiplying simulation. Each kept
+/// channel's rows are lowered exactly as by [`im2col_quant_batch_into`];
+/// with the identity channel list the outputs match cell for cell.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is invalid, a channel index is out of
+/// range, or a buffer length does not match.
+pub fn im2col_quant_select_batch_into(
+    input: &[i8],
+    batch: usize,
+    geom: &Conv2dGeometry,
+    pad: i8,
+    channels: &[usize],
+    out: &mut [i8],
+) -> Result<()> {
     geom.validate()?;
     let plane = geom.in_h * geom.in_w;
     let in_len = geom.in_channels * batch * plane;
     if input.len() != in_len {
         return Err(TensorError::DataShapeMismatch { data_len: input.len(), shape_len: in_len });
     }
-    if out.len() != geom.col_len() * batch {
-        return Err(TensorError::DataShapeMismatch {
-            data_len: out.len(),
-            shape_len: geom.col_len() * batch,
-        });
+    if let Some(&bad) = channels.iter().find(|&&c| c >= geom.in_channels) {
+        return Err(TensorError::InvalidConvGeometry(format!(
+            "selected channel {bad} out of range for {} input channels",
+            geom.in_channels
+        )));
     }
+    let k = geom.kernel;
     let cols = geom.col_cols();
     let row_stride = batch * cols;
-    let k = geom.kernel;
+    let expected = channels.len() * k * k * row_stride;
+    if out.len() != expected {
+        return Err(TensorError::DataShapeMismatch { data_len: out.len(), shape_len: expected });
+    }
     for ky in 0..k {
         for kx in 0..k {
             let bounds = KernelOffsetBounds::new(geom, ky, kx);
-            for c in 0..geom.in_channels {
-                let row = (c * k + ky) * k + kx;
+            for (ci, &c) in channels.iter().enumerate() {
+                let row = (ci * k + ky) * k + kx;
                 let out_row = &mut out[row * row_stride..(row + 1) * row_stride];
                 for (s, block) in out_row.chunks_exact_mut(cols).enumerate() {
                     let chan = &input[(c * batch + s) * plane..][..plane];
-                    bounds.lower_plane(geom, chan, block);
+                    bounds.lower_plane(geom, chan, block, pad);
                 }
             }
         }
@@ -416,6 +536,58 @@ mod tests {
         let mut short = vec![0.0f32; g.col_len()];
         assert!(im2col_batch_into(&ok_input, 2, &g, &mut short).is_err());
         assert!(im2col_batch_into(&ok_input, 2, &g, &mut out).is_ok());
+    }
+
+    #[test]
+    fn quantized_im2col_matches_float_lowering_cell_for_cell() {
+        // The generic lowering moves values without arithmetic, so lowering
+        // integer codes must place exactly the same per-cell values as
+        // lowering the same values as floats — with `pad` where the float
+        // path writes its zero fill.
+        let g =
+            Conv2dGeometry { in_channels: 2, in_h: 4, in_w: 5, kernel: 3, stride: 2, padding: 1 };
+        let batch = 2;
+        let plane = g.in_h * g.in_w;
+        // Strictly nonzero codes, so a zero in the float lowering can only be
+        // padding (and must therefore hold `pad` in the code lowering).
+        let codes: Vec<i8> = (0..g.in_channels * batch * plane)
+            .map(|i| {
+                let v = (i % 99) as i8 + 1;
+                if i % 2 == 0 {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .collect();
+        let pad: i8 = -7;
+        let mut lowered = vec![0i8; g.col_len() * batch];
+        im2col_quant_batch_into(&codes, batch, &g, pad, &mut lowered).unwrap();
+        let floats: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+        let mut lowered_f = vec![f32::NAN; g.col_len() * batch];
+        im2col_batch_into(&floats, batch, &g, &mut lowered_f).unwrap();
+        for (i, (&c, &f)) in lowered.iter().zip(&lowered_f).enumerate() {
+            let expected = if f == 0.0 { pad } else { f as i8 };
+            assert_eq!(c, expected, "cell {i}");
+        }
+        // The i16 variant produces the widened copy of the i8 lowering.
+        let codes16: Vec<i16> = codes.iter().map(|&c| i16::from(c)).collect();
+        let mut lowered16 = vec![0i16; g.col_len() * batch];
+        im2col_quant_batch_i16_into(&codes16, batch, &g, i16::from(pad), &mut lowered16).unwrap();
+        assert_eq!(lowered16, lowered.iter().map(|&c| i16::from(c)).collect::<Vec<_>>());
+        // Length validation mirrors the float path.
+        let mut short = vec![0i8; g.col_len()];
+        assert!(im2col_quant_batch_into(&codes, batch, &g, pad, &mut short).is_err());
+        // Channel selection: the identity list reproduces the full lowering,
+        // a subset extracts exactly its channels' row blocks.
+        let mut selected = vec![0i8; g.col_len() * batch];
+        im2col_quant_select_batch_into(&codes, batch, &g, pad, &[0, 1], &mut selected).unwrap();
+        assert_eq!(selected, lowered);
+        let rows_per_chan = g.kernel * g.kernel * g.col_cols() * batch;
+        let mut chan1 = vec![0i8; rows_per_chan];
+        im2col_quant_select_batch_into(&codes, batch, &g, pad, &[1], &mut chan1).unwrap();
+        assert_eq!(chan1, lowered[rows_per_chan..]);
+        assert!(im2col_quant_select_batch_into(&codes, batch, &g, pad, &[2], &mut chan1).is_err());
     }
 
     #[test]

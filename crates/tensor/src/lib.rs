@@ -27,13 +27,22 @@ mod error;
 mod im2col;
 mod linalg;
 mod ops;
+pub mod quant;
 mod shape;
 mod tensor;
 mod workspace;
 
 pub use error::TensorError;
-pub use im2col::{col2im, col2im_into, im2col, im2col_batch_into, im2col_into, Conv2dGeometry};
+pub use im2col::{
+    col2im, col2im_into, im2col, im2col_batch_into, im2col_into, im2col_quant_batch_i16_into,
+    im2col_quant_batch_into, im2col_quant_select_batch_into, Conv2dGeometry,
+};
 pub use linalg::{gemm_into, gemm_sparse_into, matvec_batch_into, matvec_into};
+pub use quant::{
+    dequant_acc, gemm_i16_into, gemm_i16t_into, gemm_i8_into, matvec_i16_batch_into,
+    matvec_i16_into, matvec_i8_batch_into, matvec_i8_into, transpose_widen_into, weight_code,
+    QuantParams, MADD_DEPTH_ALIGN,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::Workspace;
