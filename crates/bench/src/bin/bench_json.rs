@@ -26,28 +26,37 @@
 //!   (an empirical estimator over a calibration set), single-input vs the
 //!   batched sharded evaluator;
 //! * `search_loop` — one full `CompressionEnv::evaluate` step (profile +
-//!   event-loop simulation + rewards) against the bare profile evaluation.
+//!   event-loop simulation + rewards) against the bare profile evaluation;
+//! * `simd_kernels/*` — each runtime-dispatched kernel (softmax, max-pool,
+//!   sparse axpy, activation quantize, the i16 madd GEMM) timed on the
+//!   active ISA tier against its own portable tier, after a bit-identity
+//!   assertion (the JSON records the active tier in `isa_tier`);
+//! * `sim_loop` — the `EventLoopSimulator` wake-window trace replay,
+//!   unbatched and with an 8-event window.
 //!
 //! Writes `BENCH_inference.json` (median ns/op per case, with the run `mode`
 //! and actual timed sample count recorded) into the current directory and
 //! prints a summary table. With `--check <baseline.json>` the freshly
 //! measured numbers are compared against the committed baseline and the
 //! process exits nonzero when any gated metric regresses by more than 15 % —
-//! the CI perf-regression gate. All forward paths are checked to produce the
+//! the CI perf-regression gate — printing the per-case baseline→current
+//! numbers for every confirmed regression. All forward paths are checked to produce the
 //! same prediction before anything is timed.
 
 use ie_compress::apply::{apply_policy, apply_policy_quantized};
 use ie_compress::{
     CalibratedAccuracyModel, CompressionPolicy, EmpiricalAccuracyEstimator, PolicyEvaluator,
 };
-use ie_core::ExperimentConfig;
+use ie_core::policies::GreedyAffordablePolicy;
+use ie_core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
 use ie_nn::dataset::{Sample, SyntheticDataset};
 use ie_nn::loss::{confidence, softmax};
 use ie_nn::quant::{fake_quant_logits, QuantizedModel};
 use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
 use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
 use ie_search::{CompressionEnv, RewardMode};
-use ie_tensor::{Conv2dGeometry, Tensor};
+use ie_tensor::dispatch::IsaTier;
+use ie_tensor::{dispatch, tiered, Conv2dGeometry, QuantParams, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -254,6 +263,32 @@ impl QuantCaseResult {
     }
 }
 
+/// One dispatched kernel benchmarked against its own portable tier in the
+/// same process — the per-kernel visibility of the SIMD sweep. The portable
+/// measurement doubles as the same-run machine-speed reference of the gate.
+struct SimdKernelResult {
+    case: String,
+    /// The kernel pinned to the Portable tier.
+    portable_ns: u64,
+    /// The kernel on the active (auto-dispatched) tier.
+    dispatched_ns: u64,
+}
+
+impl SimdKernelResult {
+    fn speedup(&self) -> f64 {
+        self.portable_ns as f64 / self.dispatched_ns.max(1) as f64
+    }
+}
+
+/// The `EventLoopSimulator` wake-window loop: one full event-trace replay,
+/// unbatched (window 1) and with an 8-event wake window. The unbatched run is
+/// the same-run reference of the gate (both replay identical events).
+struct SimLoopResult {
+    case: String,
+    run_ns: u64,
+    run_batched8_ns: u64,
+}
+
 struct SearchLoopResult {
     case: String,
     /// Bare cost/accuracy profile evaluation through the analytic evaluator
@@ -287,6 +322,14 @@ fn case_metric(json: &str, case: &str, key: &str) -> Option<f64> {
         .ok()
 }
 
+/// Extracts the `isa_tier` the baseline JSON was measured on, if recorded.
+fn baseline_isa_tier(json: &str) -> Option<String> {
+    let pos = json.find("\"isa_tier\": \"")?;
+    let start = pos + "\"isa_tier\": \"".len();
+    let end = start + json[start..].find('"')?;
+    Some(json[start..end].to_string())
+}
+
 /// One gated metric of the regression check: an absolute ns value plus the
 /// same-run reference measurement that normalizes machine speed.
 struct GatedMetric {
@@ -300,6 +343,27 @@ struct GatedMetric {
     /// machine-speed canary.
     ref_key: &'static str,
     current_ref: u64,
+    /// Metrics whose gated/reference ratio depends on the **ISA tier** the
+    /// binary dispatched to (the `simd_kernels/*` cases compare the active
+    /// tier against the portable one; the quantized cases gain a VNNI boost
+    /// their f32 reference does not). Such ratios are only comparable when
+    /// the baseline was recorded on the same tier; on a different machine
+    /// class the gate skips them instead of failing deterministically.
+    tier_sensitive: bool,
+}
+
+/// Everything the gate knows about one confirmed regression — kept so the
+/// failure report can print the old/new numbers per case instead of bare
+/// metric names (which used to force a manual diff of the JSON files).
+struct Regression {
+    /// Stable id `case/key`, intersected across confirmation re-runs.
+    id: String,
+    /// Baseline absolute ns from the committed JSON.
+    baseline_ns: f64,
+    /// Freshly measured absolute ns (of the most recent confirmation run).
+    current_ns: u64,
+    /// `(baseline, current)` reference ratios when both sides carry one.
+    ratios: Option<(f64, f64)>,
 }
 
 /// Compares the gated metrics of the fresh run against a committed baseline
@@ -313,12 +377,52 @@ struct GatedMetric {
 /// measurement is missing on either side. The blind spot — a change slowing
 /// the gated path and its reference by the same factor — is accepted; for
 /// the planned cases the reference is the frozen pre-PR replica, which new
-/// code does not touch. Returns the stable ids (`case/key`) of the regressed
-/// metrics, so callers can intersect the sets across confirmation re-runs.
-fn check_against_baseline(baseline: &str, metrics: &[GatedMetric], tolerance: f64) -> Vec<String> {
+/// code does not touch. Returns the regressed metrics with their old/new
+/// numbers, so callers can intersect the sets across confirmation re-runs
+/// and print a self-contained failure report.
+fn check_against_baseline(
+    baseline: &str,
+    metrics: &[GatedMetric],
+    tolerance: f64,
+) -> Vec<Regression> {
+    // Tier-sensitive ratios are only meaningful against a baseline measured
+    // on the same ISA tier (e.g. a VNNI-recorded madd-GEMM ratio can never be
+    // reproduced by an AVX2-only runner, and would fail the gate on every
+    // confirmation attempt with zero code change).
+    let current_tier = dispatch::active().name();
+    let baseline_tier = baseline_isa_tier(baseline);
+    let tier_matches = baseline_tier.as_deref() == Some(current_tier);
     let mut regressions = Vec::new();
     for m in metrics {
         let (case, key, current) = (&m.case, m.key, m.current);
+        if m.tier_sensitive && !tier_matches {
+            // The baseline's ratio was measured on a different tier, so it is
+            // not reproducible here — but the *same-run* ratio still carries
+            // a hardware-independent invariant: the dispatched path must not
+            // be slower than its own reference (the portable tier for the
+            // simd_kernels cases, the fake-quant f32 path for the quantized
+            // ones) by more than the tolerance. That floor catches
+            // catastrophic SIMD regressions on every runner class without
+            // ever false-failing on slower machines.
+            let current_ratio = current as f64 / m.current_ref.max(1) as f64;
+            let regressed = current_ratio > tolerance;
+            println!(
+                "check: {case}/{key}: baseline tier ({}) differs from this machine's \
+                 ({current_tier}); same-run ratio floor decides: {current_ratio:.3} vs {tolerance} \
+                 {}",
+                baseline_tier.as_deref().unwrap_or("unrecorded"),
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+            if regressed {
+                regressions.push(Regression {
+                    id: format!("{case}/{key}"),
+                    baseline_ns: m.current_ref as f64,
+                    current_ns: current,
+                    ratios: Some((1.0, current_ratio)),
+                });
+            }
+            continue;
+        }
         let Some(base) = case_metric(baseline, case, key) else {
             // Newly added cases are not gated until the baseline records them.
             println!("check: {case}/{key} not in baseline, skipping");
@@ -326,16 +430,18 @@ fn check_against_baseline(baseline: &str, metrics: &[GatedMetric], tolerance: f6
         };
         let abs_limit = base * tolerance;
         let abs_regressed = (current as f64) > abs_limit;
-        let (regressed, ratio_note) = match case_metric(baseline, case, m.ref_key) {
+        let ratios = match case_metric(baseline, case, m.ref_key) {
             Some(base_ref) if base_ref > 0.0 && m.current_ref > 0 => {
-                let base_ratio = base / base_ref;
-                let current_ratio = current as f64 / m.current_ref as f64;
-                (
-                    current_ratio > base_ratio * tolerance,
-                    format!("ratio {current_ratio:.3} vs baseline {base_ratio:.3}"),
-                )
+                Some((base / base_ref, current as f64 / m.current_ref as f64))
             }
-            _ => (abs_regressed, "no reference, absolute decides".to_string()),
+            _ => None,
+        };
+        let (regressed, ratio_note) = match ratios {
+            Some((base_ratio, current_ratio)) => (
+                current_ratio > base_ratio * tolerance,
+                format!("ratio {current_ratio:.3} vs baseline {base_ratio:.3}"),
+            ),
+            None => (abs_regressed, "no reference, absolute decides".to_string()),
         };
         println!(
             "check: {case}/{key}: current {current} vs baseline {base:.0} (abs limit \
@@ -343,7 +449,12 @@ fn check_against_baseline(baseline: &str, metrics: &[GatedMetric], tolerance: f6
             if regressed { "REGRESSED" } else { "ok" }
         );
         if regressed {
-            regressions.push(format!("{case}/{key}"));
+            regressions.push(Regression {
+                id: format!("{case}/{key}"),
+                baseline_ns: base,
+                current_ns: current,
+                ratios,
+            });
         }
     }
     regressions
@@ -477,6 +588,81 @@ fn main() {
     let search_policy = CompressionPolicy::uniform(search_env.num_layers(), 0.5, 4, 8).unwrap();
     let profile_evaluator =
         PolicyEvaluator::new(&arch, CalibratedAccuracyModel::for_paper_backbone());
+
+    // Simulator-loop fixture: the `EventLoopSimulator` wake-window replay on
+    // the small test experiment (the intermittent-side hot loop).
+    let sim_config = ExperimentConfig::small_test();
+    let sim_model =
+        DeployedModel::uncompressed_reference(&sim_config).expect("small test config is valid");
+    let simulator = EventLoopSimulator::new(&sim_config);
+
+    // SIMD kernel fixtures: each dispatched kernel is timed on the active
+    // tier against its own Portable tier in the same process, after a
+    // bit-identity assertion — the per-kernel visibility of the ISA sweep.
+    let sm_logits: Vec<f32> = (0..4096).map(|i| ((i % 997) as f32 * 0.013).sin() * 4.0).collect();
+    let mut sm_out = vec![0.0f32; sm_logits.len()];
+    let (pool_planes, pool_h, pool_w) = (64usize, 32usize, 32usize);
+    let pool_src: Vec<f32> = (0..pool_planes * pool_h * pool_w)
+        .map(|i| ((i % 613) as f32 * 0.021).cos() * 3.0)
+        .collect();
+    let pool_codes: Vec<i8> = pool_src.iter().map(|&v| (v * 20.0) as i8).collect();
+    let mut pool_out = vec![0.0f32; pool_planes * (pool_h / 2) * (pool_w / 2)];
+    let mut pool_out_codes = vec![0i8; pool_out.len()];
+    // The paper backbone's conv2 GEMM shape (32 filters over 3·5·5 inputs,
+    // 16×16 output positions): small enough that the axpy streams from L1/L2
+    // — the regime the pruned convolutions actually run in. (At very wide
+    // shapes the axpy is memory-bandwidth-bound and vector width stops
+    // mattering.)
+    let (sp_m, sp_k, sp_n) = (32usize, 75usize, 256usize);
+    let mut sp_a: Vec<f32> = (0..sp_m * sp_k).map(|i| ((i % 389) as f32 * 0.017).sin()).collect();
+    for (i, v) in sp_a.iter_mut().enumerate() {
+        // Zero every other 25-element input-channel block, like 0.5 pruning.
+        if (i % sp_k) / 25 % 2 == 0 {
+            *v = 0.0;
+        }
+    }
+    let sp_b: Vec<f32> = (0..sp_k * sp_n).map(|i| ((i % 523) as f32 * 0.011).cos()).collect();
+    let mut sp_out = vec![0.0f32; sp_m * sp_n];
+    let q_params = QuantParams::from_range(0.0, 6.0, 8);
+    let q_src: Vec<f32> =
+        (0..16_384).map(|i| ((i % 741) as f32 * 0.009).sin() * 5.0 + 2.0).collect();
+    let mut q_codes = vec![0i8; q_src.len()];
+    let (md_m, md_kp, md_n) = (32usize, 400usize, 1024usize);
+    let md_a: Vec<i16> = (0..md_m * md_kp).map(|i| ((i % 251) as i16) - 125).collect();
+    let md_bt: Vec<i16> = (0..md_n * md_kp).map(|i| ((i % 239) as i16) - 119).collect();
+    let mut md_out = vec![0i32; md_m * md_n];
+    {
+        // Bit-identity of every benchmarked kernel is asserted before any
+        // timing is trusted, mirroring the plan verifications above.
+        let mut reference = sm_out.clone();
+        tiered::softmax_slice_into(IsaTier::Portable, &sm_logits, &mut reference);
+        ie_tensor::softmax_slice_into(&sm_logits, &mut sm_out);
+        assert_eq!(reference, sm_out, "softmax tiers diverged");
+        let mut pref = pool_out.clone();
+        tiered::max_pool_planes_into(
+            IsaTier::Portable,
+            &pool_src,
+            pool_planes,
+            pool_h,
+            pool_w,
+            2,
+            &mut pref,
+        );
+        ie_tensor::max_pool_planes_into(&pool_src, pool_planes, pool_h, pool_w, 2, &mut pool_out);
+        assert_eq!(pref, pool_out, "max-pool tiers diverged");
+        let mut sref = sp_out.clone();
+        tiered::gemm_sparse_into(IsaTier::Portable, &sp_a, &sp_b, &mut sref, sp_m, sp_k, sp_n);
+        ie_tensor::gemm_sparse_into(&sp_a, &sp_b, &mut sp_out, sp_m, sp_k, sp_n);
+        assert_eq!(sref, sp_out, "sparse GEMM tiers diverged");
+        let mut qref = q_codes.clone();
+        q_params.quantize_slice_into_tier(IsaTier::Portable, &q_src, &mut qref);
+        q_params.quantize_slice_into(&q_src, &mut q_codes);
+        assert_eq!(qref, q_codes, "quantize tiers diverged");
+        let mut mref = md_out.clone();
+        tiered::gemm_i16t_into(IsaTier::Portable, &md_a, &md_bt, &mut mref, md_m, md_kp, md_n);
+        ie_tensor::gemm_i16t_into(&md_a, &md_bt, &mut md_out, md_m, md_kp, md_n);
+        assert_eq!(mref, md_out, "madd GEMM tiers diverged");
+    }
 
     // The whole measurement pass lives in a closure so the --check gate can
     // re-run it to confirm a suspected regression (see below).
@@ -621,10 +807,168 @@ fn main() {
             reference_eval_ns: single_eval_ns,
             env_eval_ns,
         };
-        (results, batch_results, quant_results, policy_eval, search_loop)
+
+        // SIMD kernels, portable tier vs the active tier; micro-scale, so
+        // each timed sample covers several invocations and the minimum is
+        // reported (one-sided scheduler noise cannot fake a regression).
+        const KERNEL_REPS: usize = 4;
+        let mut simd_results = Vec::new();
+        macro_rules! kernel_case {
+            ($case:expr, $portable:expr, $dispatched:expr) => {{
+                let portable_ns = min_ns(warmup, samples * 2, || {
+                    for _ in 0..KERNEL_REPS {
+                        $portable;
+                    }
+                }) / KERNEL_REPS as u64;
+                let dispatched_ns = min_ns(warmup, samples * 2, || {
+                    for _ in 0..KERNEL_REPS {
+                        $dispatched;
+                    }
+                }) / KERNEL_REPS as u64;
+                simd_results.push(SimdKernelResult {
+                    case: $case.to_string(),
+                    portable_ns,
+                    dispatched_ns,
+                });
+            }};
+        }
+        kernel_case!(
+            "softmax_4096",
+            {
+                tiered::softmax_slice_into(IsaTier::Portable, &sm_logits, &mut sm_out);
+                black_box(sm_out[0]);
+            },
+            {
+                ie_tensor::softmax_slice_into(&sm_logits, &mut sm_out);
+                black_box(sm_out[0]);
+            }
+        );
+        kernel_case!(
+            "maxpool_f32_64x32x32",
+            {
+                tiered::max_pool_planes_into(
+                    IsaTier::Portable,
+                    &pool_src,
+                    pool_planes,
+                    pool_h,
+                    pool_w,
+                    2,
+                    &mut pool_out,
+                );
+                black_box(pool_out[0]);
+            },
+            {
+                ie_tensor::max_pool_planes_into(
+                    &pool_src,
+                    pool_planes,
+                    pool_h,
+                    pool_w,
+                    2,
+                    &mut pool_out,
+                );
+                black_box(pool_out[0]);
+            }
+        );
+        kernel_case!(
+            "maxpool_i8_64x32x32",
+            {
+                tiered::max_pool_planes_i8_into(
+                    IsaTier::Portable,
+                    &pool_codes,
+                    pool_planes,
+                    pool_h,
+                    pool_w,
+                    2,
+                    &mut pool_out_codes,
+                );
+                black_box(pool_out_codes[0]);
+            },
+            {
+                ie_tensor::max_pool_planes_i8_into(
+                    &pool_codes,
+                    pool_planes,
+                    pool_h,
+                    pool_w,
+                    2,
+                    &mut pool_out_codes,
+                );
+                black_box(pool_out_codes[0]);
+            }
+        );
+        kernel_case!(
+            "sparse_gemm_32x75x256",
+            {
+                tiered::gemm_sparse_into(
+                    IsaTier::Portable,
+                    &sp_a,
+                    &sp_b,
+                    &mut sp_out,
+                    sp_m,
+                    sp_k,
+                    sp_n,
+                );
+                black_box(sp_out[0]);
+            },
+            {
+                ie_tensor::gemm_sparse_into(&sp_a, &sp_b, &mut sp_out, sp_m, sp_k, sp_n);
+                black_box(sp_out[0]);
+            }
+        );
+        kernel_case!(
+            "quantize_16k",
+            {
+                q_params.quantize_slice_into_tier(IsaTier::Portable, &q_src, &mut q_codes);
+                black_box(q_codes[0]);
+            },
+            {
+                q_params.quantize_slice_into(&q_src, &mut q_codes);
+                black_box(q_codes[0]);
+            }
+        );
+        kernel_case!(
+            "madd_gemm_32x400x1024",
+            {
+                tiered::gemm_i16t_into(
+                    IsaTier::Portable,
+                    &md_a,
+                    &md_bt,
+                    &mut md_out,
+                    md_m,
+                    md_kp,
+                    md_n,
+                );
+                black_box(md_out[0]);
+            },
+            {
+                ie_tensor::gemm_i16t_into(&md_a, &md_bt, &mut md_out, md_m, md_kp, md_n);
+                black_box(md_out[0]);
+            }
+        );
+
+        // Simulator wake-window loop: full trace replays.
+        let run_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(
+                simulator
+                    .run(&sim_model, &mut GreedyAffordablePolicy::new())
+                    .unwrap()
+                    .processed_events,
+            );
+        });
+        let run_batched8_ns = median_ns(eval_warmup, eval_samples, || {
+            black_box(
+                simulator
+                    .run_batched(&sim_model, &mut GreedyAffordablePolicy::new(), 8)
+                    .unwrap()
+                    .processed_events,
+            );
+        });
+        let sim_loop = SimLoopResult { case: "small_env".to_string(), run_ns, run_batched8_ns };
+
+        (results, batch_results, quant_results, policy_eval, search_loop, simd_results, sim_loop)
     };
 
-    let (results, batch_results, quant_results, policy_eval, search_loop) = measure_all();
+    let (results, batch_results, quant_results, policy_eval, search_loop, simd_results, sim_loop) =
+        measure_all();
 
     println!("# multi_exit_forward — median ns/op over {samples} samples ({mode} mode)\n");
     println!(
@@ -679,6 +1023,25 @@ fn main() {
         "{:<20} {:>14} {:>18}",
         search_loop.case, search_loop.profile_eval_ns, search_loop.env_eval_ns
     );
+    println!(
+        "\n# simd_kernels — min ns/op, portable tier vs active tier ({})\n",
+        dispatch::active().name()
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>24}",
+        "case", "portable", "dispatched", "dispatched vs portable"
+    );
+    for r in &simd_results {
+        println!(
+            "{:<24} {:>14} {:>14} {:>23.2}x",
+            r.case,
+            r.portable_ns,
+            r.dispatched_ns,
+            r.speedup()
+        );
+    }
+    println!("\n# sim_loop — median ns/trace replay\n");
+    println!("{:<20} {:>14} {:>18}", sim_loop.case, sim_loop.run_ns, sim_loop.run_batched8_ns);
 
     let gate = results.last().expect("three cases benchmarked");
     let batch_gate = batch_results.last().expect("batch cases benchmarked");
@@ -722,6 +1085,19 @@ fn main() {
         search_loop.reference_eval_ns,
         search_loop.env_eval_ns
     ));
+    json_cases.extend(simd_results.iter().map(|r| {
+        format!(
+            "    {{\n      \"case\": \"simd_kernels/{}\",\n      \"statistic\": \"min\",\n      \"portable_ns\": {},\n      \"dispatched_ns\": {},\n      \"speedup_dispatched_vs_portable\": {:.3}\n    }}",
+            r.case,
+            r.portable_ns,
+            r.dispatched_ns,
+            r.speedup()
+        )
+    }));
+    json_cases.push(format!(
+        "    {{\n      \"case\": \"sim_loop/{}\",\n      \"run_ns\": {},\n      \"run_batched8_ns\": {}\n    }}",
+        sim_loop.case, sim_loop.run_ns, sim_loop.run_batched8_ns
+    ));
     // Record the invocation that actually produced this file, so the artifact
     // is reproducible as-is (e.g. CI passes --fast), and the mode + timed
     // sample count so a fast smoke output can never masquerade as the
@@ -742,8 +1118,9 @@ fn main() {
     const REQUIRED_QUANT_SPEEDUP: f64 = 1.5;
     let quant_gate = quant_results.first().expect("quant cases benchmarked");
     let json = format!(
-        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {},\n    \"quant_case\": \"quant_forward/{}\",\n    \"quant_required_speedup_vs_f32\": {:.1},\n    \"quant_measured_speedup_vs_f32\": {:.3},\n    \"quant_pass\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"isa_tier\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {},\n    \"quant_case\": \"quant_forward/{}\",\n    \"quant_required_speedup_vs_f32\": {:.1},\n    \"quant_measured_speedup_vs_f32\": {:.3},\n    \"quant_pass\": {}\n  }}\n}}\n",
         mode,
+        dispatch::active().name(),
         samples,
         command,
         json_cases.join(",\n"),
@@ -782,11 +1159,14 @@ fn main() {
     // transient load burst on the runner cannot fake one.
     if let Some(path) = check_path {
         let baseline = check_baseline.expect("baseline read above when --check is present");
+        #[allow(clippy::too_many_arguments)]
         let gated = |results: &[CaseResult],
                      batch_results: &[BatchCaseResult],
                      quant_results: &[QuantCaseResult],
                      policy_eval: &PolicyEvalResult,
-                     search_loop: &SearchLoopResult| {
+                     search_loop: &SearchLoopResult,
+                     simd_results: &[SimdKernelResult],
+                     sim_loop: &SimLoopResult| {
             // The pre-PR replica (unchanged historical code) is the
             // machine-speed canary of the planned cases; the batched cases
             // normalize against the planned path measured in the same run,
@@ -801,6 +1181,7 @@ fn main() {
                     current: r.planned_ns,
                     ref_key: "pre_pr_allocating_ns",
                     current_ref: r.pre_pr_ns,
+                    tier_sensitive: false,
                 })
                 .collect();
             metrics.extend(batch_results.iter().map(|r| GatedMetric {
@@ -809,6 +1190,7 @@ fn main() {
                 current: r.batched_ns_per_sample,
                 ref_key: "planned_single_ns",
                 current_ref: r.planned_single_ns,
+                tier_sensitive: false,
             }));
             metrics.extend(quant_results.iter().map(|r| GatedMetric {
                 case: format!("quant_forward/{}", r.case),
@@ -816,6 +1198,7 @@ fn main() {
                 current: r.quantized_ns,
                 ref_key: "fake_quant_f32_ns",
                 current_ref: r.fake_quant_f32_ns,
+                tier_sensitive: true,
             }));
             metrics.push(GatedMetric {
                 case: format!("policy_eval_loop/{}", policy_eval.case),
@@ -823,6 +1206,7 @@ fn main() {
                 current: policy_eval.batched_eval_ns,
                 ref_key: "single_eval_ns",
                 current_ref: policy_eval.single_eval_ns,
+                tier_sensitive: false,
             });
             metrics.push(GatedMetric {
                 case: format!("search_loop/{}", search_loop.case),
@@ -830,10 +1214,38 @@ fn main() {
                 current: search_loop.env_eval_ns,
                 ref_key: "reference_eval_ns",
                 current_ref: search_loop.reference_eval_ns,
+                tier_sensitive: false,
+            });
+            // Each dispatched kernel normalizes against its own portable
+            // tier measured in the same run; the batched simulator replay
+            // against the unbatched one (identical event trace).
+            metrics.extend(simd_results.iter().map(|r| GatedMetric {
+                case: format!("simd_kernels/{}", r.case),
+                key: "dispatched_ns",
+                current: r.dispatched_ns,
+                ref_key: "portable_ns",
+                current_ref: r.portable_ns,
+                tier_sensitive: true,
+            }));
+            metrics.push(GatedMetric {
+                case: format!("sim_loop/{}", sim_loop.case),
+                key: "run_batched8_ns",
+                current: sim_loop.run_batched8_ns,
+                ref_key: "run_ns",
+                current_ref: sim_loop.run_ns,
+                tier_sensitive: false,
             });
             metrics
         };
-        let metrics = gated(&results, &batch_results, &quant_results, &policy_eval, &search_loop);
+        let metrics = gated(
+            &results,
+            &batch_results,
+            &quant_results,
+            &policy_eval,
+            &search_loop,
+            &simd_results,
+            &sim_loop,
+        );
         println!("\n# --check against {path} (15 % tolerance)\n");
         let mut regressions = check_against_baseline(&baseline, &metrics, 1.15);
         const CONFIRM_ATTEMPTS: usize = 2;
@@ -847,15 +1259,35 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, q2, p2, s2) = measure_all();
+            let (r2, b2, q2, p2, s2, k2, l2) = measure_all();
             let confirmed =
-                check_against_baseline(&baseline, &gated(&r2, &b2, &q2, &p2, &s2), 1.15);
-            regressions.retain(|m| confirmed.contains(m));
+                check_against_baseline(&baseline, &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2), 1.15);
+            // Keep only metrics that regressed again, carrying the freshest
+            // measurement so the failure report shows confirmed numbers.
+            regressions = confirmed
+                .into_iter()
+                .filter(|c| regressions.iter().any(|r| r.id == c.id))
+                .collect();
         }
         if !regressions.is_empty() {
             eprintln!("perf regression gate FAILED (confirmed on every re-measurement):");
             for r in &regressions {
-                eprintln!("  {r}");
+                let ratio_note = match r.ratios {
+                    Some((base_ratio, current_ratio)) => format!(
+                        "reference ratio {base_ratio:.3} -> {current_ratio:.3} \
+                         ({:+.1} %)",
+                        (current_ratio / base_ratio - 1.0) * 100.0
+                    ),
+                    None => "no same-run reference, absolute ns decided".to_string(),
+                };
+                eprintln!(
+                    "  {}: baseline {:.0} ns -> current {} ns ({:+.1} %), {}",
+                    r.id,
+                    r.baseline_ns,
+                    r.current_ns,
+                    (r.current_ns as f64 / r.baseline_ns - 1.0) * 100.0,
+                    ratio_note
+                );
             }
             std::process::exit(1);
         }

@@ -222,12 +222,15 @@ const QUANT_CALIBRATION_SAMPLES: usize = 32;
 /// The batched path keeps one [`ie_nn::train::BatchPlanPool`] across calls:
 /// compression changes weights but never the architecture, so the per-worker
 /// plans warmed by the first candidate policy serve every later one instead
-/// of being re-allocated per evaluation.
+/// of being re-allocated per evaluation. The quantized path keeps a
+/// [`ie_nn::train::QuantPlanPool`] the same way — each candidate policy's
+/// weight codes are re-packed into the pooled plans' existing buffers.
 #[derive(Debug)]
 pub struct EmpiricalAccuracyEstimator {
     network: MultiExitNetwork,
     samples: Vec<Sample>,
     plan_pool: std::sync::Mutex<ie_nn::train::BatchPlanPool>,
+    quant_plan_pool: std::sync::Mutex<ie_nn::train::QuantPlanPool>,
 }
 
 impl Clone for EmpiricalAccuracyEstimator {
@@ -244,6 +247,7 @@ impl EmpiricalAccuracyEstimator {
             network,
             samples,
             plan_pool: std::sync::Mutex::new(ie_nn::train::BatchPlanPool::new()),
+            quant_plan_pool: std::sync::Mutex::new(ie_nn::train::QuantPlanPool::new()),
         }
     }
 
@@ -304,8 +308,16 @@ impl ExitAccuracyEstimator for EmpiricalAccuracyEstimator {
         let mut compressed = self.network.clone();
         let calibration = &self.samples[..self.samples.len().min(QUANT_CALIBRATION_SAMPLES)];
         let config = crate::apply::apply_policy_quantized(&mut compressed, policy, calibration)?;
-        let accs =
-            ie_nn::train::evaluate_quantized(&compressed, &config, &self.samples, batch, threads)?;
+        // As for the batched pool: buffers survive a poisoned lock fine.
+        let mut pool = self.quant_plan_pool.lock().unwrap_or_else(|e| e.into_inner());
+        let accs = ie_nn::train::evaluate_quantized_with_pool(
+            &compressed,
+            &config,
+            &self.samples,
+            batch,
+            threads,
+            &mut pool,
+        )?;
         Ok(accs.into_iter().map(f64::from).collect())
     }
 }

@@ -291,6 +291,57 @@ impl BatchPlan {
         self.quant.as_ref().map(|q| &q.model)
     }
 
+    /// Returns `true` when this quantized plan's buffers can serve `net`
+    /// with batches of `batch` after a [`BatchPlan::repack_quantized`] —
+    /// the capacity side of [`BatchPlan::is_compatible`] without the baked
+    /// model check (which repacking replaces).
+    pub fn can_repack_quantized(&self, net: &MultiExitNetwork, batch: usize) -> bool {
+        let arch = net.architecture();
+        let (act, col) = buffer_requirements(arch);
+        // The integer scratch (patch/widened-row buffers) has its own
+        // capacity requirements that do not follow from act/col — a plan can
+        // only be repacked when those fit too, for every batch size up to
+        // its own maximum (later calls may legally use any of them).
+        self.quant.as_ref().is_some_and(|q| q.bufs.fits(arch, self.max_batch))
+            && self.max_batch >= batch
+            && self.num_exits == arch.num_exits()
+            && self.classes == arch.num_classes()
+            && act <= self.act_capacity
+            && col <= self.col_capacity
+    }
+
+    /// Re-bakes this **quantized** plan for `net` under a (possibly new)
+    /// `config`: the per-layer weight codes are re-packed **into the old
+    /// model's buffers** (grow-only, so a warmed plan repacks without heap
+    /// allocation of the code matrices) and every integer scratch buffer is
+    /// kept. The plan pool uses this to serve one candidate policy after
+    /// another without rebuilding plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when this plan has no quantized
+    /// state, its buffers cannot hold `net`, or `config` does not match the
+    /// network's compressible layers.
+    pub fn repack_quantized(&mut self, net: &MultiExitNetwork, config: &QuantConfig) -> Result<()> {
+        if !self.can_repack_quantized(net, 1) {
+            return Err(NnError::InvalidSpec(
+                "plan has no quantized state or cannot hold this network".into(),
+            ));
+        }
+        // Validate the config *before* surrendering the old model to the
+        // recycling constructor: it consumes the model's buffers, so an
+        // error raised after the handover would silently strip the plan of
+        // its quantized state (degrading it to the f32 engine) instead of
+        // leaving it untouched.
+        crate::quant::validate_config(net, config)?;
+        let state = self.quant.take().expect("checked above");
+        let model = QuantizedModel::for_network_recycling(net, config, Some(state.model))
+            .expect("for_network_recycling cannot fail on a validated config");
+        self.quant = Some(QuantState { model, bufs: state.bufs });
+        self.reset();
+        Ok(())
+    }
+
     /// Largest batch one pass can hold.
     pub fn max_batch(&self) -> usize {
         self.max_batch
@@ -602,16 +653,12 @@ impl BatchPlan {
                     let len = dims.per_sample() * batch;
                     match domain {
                         Domain::F32 => {
-                            for v in &mut ws.slot_mut(*slot)[..len] {
-                                *v = v.max(0.0);
-                            }
+                            ie_tensor::relu_slice(&mut ws.slot_mut(*slot)[..len]);
                         }
                         Domain::Codes(p) => {
                             let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
                             let zp = p.zero_point() as i8;
-                            for c in &mut bufs.codes[*slot][..len] {
-                                *c = (*c).max(zp);
-                            }
+                            ie_tensor::relu_codes_floor(&mut bufs.codes[*slot][..len], zp);
                         }
                     }
                     i += 1;

@@ -184,20 +184,7 @@ impl Conv2d {
             gemm_into(self.weight.as_slice(), col, out, m, k, n);
         }
         let plane = self.geom.out_h() * self.geom.out_w();
-        let bias = self.bias.as_slice();
-        if fuse_relu {
-            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
-                for v in row {
-                    *v = (*v + b).max(0.0);
-                }
-            }
-        } else {
-            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
-                for v in row {
-                    *v += b;
-                }
-            }
-        }
+        ie_tensor::add_bias_rows(out, plane, self.bias.as_slice(), fuse_relu);
         Ok(())
     }
 
@@ -246,20 +233,7 @@ impl Conv2d {
             gemm_into(self.weight.as_slice(), col, out, m, k, n);
         }
         let plane = batch * self.geom.out_h() * self.geom.out_w();
-        let bias = self.bias.as_slice();
-        if fuse_relu {
-            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
-                for v in row {
-                    *v = (*v + b).max(0.0);
-                }
-            }
-        } else {
-            for (row, &b) in out.chunks_exact_mut(plane.max(1)).zip(bias) {
-                for v in row {
-                    *v += b;
-                }
-            }
-        }
+        ie_tensor::add_bias_rows(out, plane, self.bias.as_slice(), fuse_relu);
         Ok(())
     }
 

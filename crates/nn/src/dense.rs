@@ -145,16 +145,7 @@ impl Dense {
             self.out_features,
             self.in_features,
         );
-        let bias = self.bias.as_slice();
-        if fuse_relu {
-            for (o, &b) in out.iter_mut().zip(bias) {
-                *o = (*o + b).max(0.0);
-            }
-        } else {
-            for (o, &b) in out.iter_mut().zip(bias) {
-                *o += b;
-            }
-        }
+        ie_tensor::add_bias_samples(out, self.bias.as_slice(), fuse_relu);
         Ok(())
     }
 
@@ -199,18 +190,7 @@ impl Dense {
             self.in_features,
             batch,
         );
-        let bias = self.bias.as_slice();
-        for sample in out.chunks_exact_mut(self.out_features.max(1)) {
-            if fuse_relu {
-                for (o, &b) in sample.iter_mut().zip(bias) {
-                    *o = (*o + b).max(0.0);
-                }
-            } else {
-                for (o, &b) in sample.iter_mut().zip(bias) {
-                    *o += b;
-                }
-            }
-        }
+        ie_tensor::add_bias_samples(out, self.bias.as_slice(), fuse_relu);
         Ok(())
     }
 

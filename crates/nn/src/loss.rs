@@ -29,6 +29,10 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
 /// Numerically stable softmax written into a caller-provided buffer of the
 /// same length. Never allocates; bit-identical to [`softmax`].
 ///
+/// Delegates to the dispatched [`ie_tensor::softmax_slice_into`] kernel:
+/// fixed 8-lane max/sum reduction trees and a shared polynomial exponential,
+/// bit-identical on every ISA tier.
+///
 /// # Errors
 ///
 /// Returns [`NnError::Tensor`] for an empty input or a length mismatch.
@@ -42,20 +46,7 @@ pub fn softmax_into(logits: &[f32], out: &mut [f32]) -> Result<()> {
             shape_len: logits.len(),
         }));
     }
-    // Same fold `Tensor::max` uses, so NaN handling and ties are identical.
-    let max = logits
-        .iter()
-        .copied()
-        .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
-        .expect("non-empty checked above");
-    for (o, &x) in out.iter_mut().zip(logits) {
-        *o = (x - max).exp();
-    }
-    let sum: f32 = out.iter().sum();
-    let inv = 1.0 / sum;
-    for o in out.iter_mut() {
-        *o *= inv;
-    }
+    ie_tensor::softmax_slice_into(logits, out);
     Ok(())
 }
 

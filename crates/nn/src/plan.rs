@@ -360,16 +360,12 @@ impl ExecutionPlan {
                     let len = dims.len();
                     match domain {
                         Domain::F32 => {
-                            for v in &mut ws.slot_mut(*slot)[..len] {
-                                *v = v.max(0.0);
-                            }
+                            ie_tensor::relu_slice(&mut ws.slot_mut(*slot)[..len]);
                         }
                         Domain::Codes(p) => {
                             let bufs = qbufs.as_deref_mut().expect("code domain implies buffers");
                             let zp = p.zero_point() as i8;
-                            for c in &mut bufs.codes[*slot][..len] {
-                                *c = (*c).max(zp);
-                            }
+                            ie_tensor::relu_codes_floor(&mut bufs.codes[*slot][..len], zp);
                         }
                     }
                     i += 1;

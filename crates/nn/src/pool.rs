@@ -1,5 +1,5 @@
 use crate::{NnError, Result};
-use ie_tensor::Tensor;
+use ie_tensor::{max_pool_planes_i8_into, max_pool_planes_into, Tensor};
 
 /// Non-overlapping 2-D max pooling over `[C, H, W]` inputs.
 ///
@@ -61,7 +61,9 @@ impl MaxPool2d {
 
     /// Allocation-free forward pass over a flat `[c, h, w]` input slice,
     /// writing the pooled `[c, h/size, w/size]` activation into `out`.
-    /// Bit-identical to [`Self::forward`].
+    /// Bit-identical to [`Self::forward`]. The window scan runs through the
+    /// dispatched [`ie_tensor::max_pool_planes_into`] kernel (AVX2 vectorized
+    /// for the 2×2 window; bit-identical on every ISA tier).
     ///
     /// # Errors
     ///
@@ -90,21 +92,7 @@ impl MaxPool2d {
                 actual: vec![out.len()],
             });
         }
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    for dy in 0..self.size {
-                        for dx in 0..self.size {
-                            let iy = oy * self.size + dy;
-                            let ix = ox * self.size + dx;
-                            best = best.max(input[(ch * h + iy) * w + ix]);
-                        }
-                    }
-                    out[(ch * oh + oy) * ow + ox] = best;
-                }
-            }
-        }
+        max_pool_planes_into(input, c, h, w, self.size, out);
         Ok(())
     }
 
@@ -141,23 +129,7 @@ impl MaxPool2d {
                 actual: vec![out.len()],
             });
         }
-        for plane_idx in 0..c * batch {
-            let src = &input[plane_idx * h * w..][..h * w];
-            let dst = &mut out[plane_idx * oh * ow..][..oh * ow];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    for dy in 0..self.size {
-                        for dx in 0..self.size {
-                            let iy = oy * self.size + dy;
-                            let ix = ox * self.size + dx;
-                            best = best.max(src[iy * w + ix]);
-                        }
-                    }
-                    dst[oy * ow + ox] = best;
-                }
-            }
-        }
+        max_pool_planes_into(input, c * batch, h, w, self.size, out);
         Ok(())
     }
 
@@ -207,23 +179,7 @@ impl MaxPool2d {
                 actual: vec![out.len()],
             });
         }
-        for plane_idx in 0..c * batch {
-            let src = &input[plane_idx * h * w..][..h * w];
-            let dst = &mut out[plane_idx * oh * ow..][..oh * ow];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = i8::MIN;
-                    for dy in 0..self.size {
-                        for dx in 0..self.size {
-                            let iy = oy * self.size + dy;
-                            let ix = ox * self.size + dx;
-                            best = best.max(src[iy * w + ix]);
-                        }
-                    }
-                    dst[oy * ow + ox] = best;
-                }
-            }
-        }
+        max_pool_planes_i8_into(input, c * batch, h, w, self.size, out);
         Ok(())
     }
 

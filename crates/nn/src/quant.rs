@@ -34,8 +34,9 @@ use crate::plan::buffer_requirements;
 use crate::spec::{LayerSpecKind, MultiExitArchitecture};
 use crate::{Conv2d, Dense, Layer, MultiExitNetwork, NnError, Result};
 use ie_tensor::{
-    dequant_acc, gemm_i16t_into, im2col_quant_select_batch_into, transpose_widen_into, weight_code,
-    QuantParams, Tensor, MADD_DEPTH_ALIGN,
+    dequant_acc, dequant_rows_slice_into, dequant_slice_into, gemm_i16t_into,
+    im2col_quant_select_batch_into, requant_rows_slice_into, requant_slice_into,
+    transpose_widen_into, weight_code, QuantParams, Tensor, MADD_DEPTH_ALIGN,
 };
 
 /// Which integer kernel a quantized layer runs.
@@ -132,8 +133,10 @@ pub(crate) struct QuantizedLayer {
     pub(crate) cols: usize,
     /// Padded depth (`cols` rounded up to the madd alignment; pads are 0).
     pub(crate) kp: usize,
-    /// Per-row sums of the weight codes (for the zero-point correction).
-    pub(crate) row_sum: Vec<i32>,
+    /// Precomputed per-row zero-point corrections
+    /// (`input.zero_point() · Σ_k w_code[row][k]`), so the epilogues can
+    /// stream them through the vectorized per-row kernels.
+    pub(crate) corr: Vec<i32>,
     /// Combined dequantization scale `input.scale · weight_scale`.
     pub(crate) combined_scale: f32,
     /// Input activation quantization.
@@ -160,7 +163,7 @@ impl QuantizedLayer {
 
     /// Zero-point correction of one output row: `zp_in · Σ_k w_code[row][k]`.
     pub(crate) fn correction(&self, row: usize) -> i32 {
-        self.input.zero_point().wrapping_mul(self.row_sum[row])
+        self.corr[row]
     }
 }
 
@@ -174,35 +177,47 @@ fn pack_blocks(
     channels: usize,
     block: usize,
     cfg: &LayerQuantConfig,
+    recycle: Option<QuantizedLayer>,
 ) -> QuantizedLayer {
     let kernel =
         QuantKernel::for_weight_bits(cfg.weight_bits).expect("caller validated weight_bits <= 16");
     let full_cols = channels * block;
-    let mut kept: Vec<usize> = (0..channels)
-        .filter(|&c| {
-            (0..rows).any(|row| {
-                weights[row * full_cols + c * block..row * full_cols + (c + 1) * block]
-                    .iter()
-                    .any(|&v| weight_code(v, cfg.weight_scale, cfg.weight_bits) != 0)
-            })
+    // Reuse a previous policy's packed buffers when offered (the quantized
+    // plan pool hands back the old layer): all four vectors are grow-only
+    // across repacks, so a warmed pool packs without heap allocation.
+    let (mut w, mut kept, mut corr, mut bias) = match recycle {
+        Some(old) => (old.w, old.kept, old.corr, old.bias),
+        None => Default::default(),
+    };
+    kept.clear();
+    kept.extend((0..channels).filter(|&c| {
+        (0..rows).any(|row| {
+            weights[row * full_cols + c * block..row * full_cols + (c + 1) * block]
+                .iter()
+                .any(|&v| weight_code(v, cfg.weight_scale, cfg.weight_bits) != 0)
         })
-        .collect();
+    }));
     if kept.is_empty() {
         kept.push(0);
     }
     let cols = kept.len() * block;
     let kp = cols.next_multiple_of(MADD_DEPTH_ALIGN);
-    let mut w = vec![0i16; rows * kp];
-    let mut row_sum = vec![0i32; rows];
+    w.clear();
+    w.resize(rows * kp, 0i16);
+    corr.clear();
+    bias.clear();
+    let zp = cfg.input.zero_point();
     for (row, dst) in w.chunks_exact_mut(kp).enumerate() {
         let src = &weights[row * full_cols..(row + 1) * full_cols];
+        let mut row_sum = 0i32;
         for (ci, &chan) in kept.iter().enumerate() {
             for offset in 0..block {
                 let c = weight_code(src[chan * block + offset], cfg.weight_scale, cfg.weight_bits);
-                row_sum[row] = row_sum[row].wrapping_add(c);
+                row_sum = row_sum.wrapping_add(c);
                 dst[ci * block + offset] = c as i16;
             }
         }
+        corr.push(zp.wrapping_mul(row_sum));
     }
     QuantizedLayer {
         kernel,
@@ -212,12 +227,34 @@ fn pack_blocks(
         block,
         cols,
         kp,
-        row_sum,
+        corr,
         combined_scale: cfg.input.scale() * cfg.weight_scale,
         input: cfg.input,
         out: None,
-        bias: Vec::new(),
+        bias,
     }
+}
+
+/// Validates a whole config against `net` — the exact error surface of
+/// [`QuantizedModel::for_network`] (entry count + per-entry ranges), exposed
+/// so [`crate::BatchPlan::repack_quantized`] can pre-validate *before*
+/// surrendering its old model's buffers to the recycling constructor (which
+/// consumes them; an error after that point would otherwise destroy the
+/// plan's quantized state).
+pub(crate) fn validate_config(net: &MultiExitNetwork, config: &QuantConfig) -> Result<()> {
+    let expected = net.architecture().compressible_layers().len();
+    if config.len() != expected {
+        return Err(NnError::InvalidSpec(format!(
+            "quant config covers {} layers, network has {expected} compressible layers",
+            config.len()
+        )));
+    }
+    for (index, entry) in config.layers().iter().enumerate() {
+        if let Some(cfg) = entry {
+            validate_entry(index, cfg)?;
+        }
+    }
+    Ok(())
 }
 
 fn validate_entry(index: usize, cfg: &LayerQuantConfig) -> Result<()> {
@@ -263,6 +300,20 @@ impl QuantizedModel {
     /// (weight bits outside 1..=16, activation codes outside `i8`, or
     /// non-positive scales).
     pub fn for_network(net: &MultiExitNetwork, config: &QuantConfig) -> Result<QuantizedModel> {
+        QuantizedModel::for_network_recycling(net, config, None)
+    }
+
+    /// [`QuantizedModel::for_network`] that additionally **recycles** the
+    /// buffers of a previous model (typically one packed for an earlier
+    /// candidate policy of the same architecture): each layer's packed weight
+    /// codes, kept-channel list, correction and bias vectors are reused
+    /// grow-only, so a warmed [`crate::train::QuantPlanPool`] re-packs a new
+    /// policy's weights without re-allocating them.
+    pub(crate) fn for_network_recycling(
+        net: &MultiExitNetwork,
+        config: &QuantConfig,
+        recycle: Option<QuantizedModel>,
+    ) -> Result<QuantizedModel> {
         let expected = net.architecture().compressible_layers().len();
         if config.len() != expected {
             return Err(NnError::InvalidSpec(format!(
@@ -270,14 +321,26 @@ impl QuantizedModel {
                 config.len()
             )));
         }
+        // Flatten the old model into per-(exit, part) recycled lists; a
+        // structural mismatch simply yields `None` recycle entries.
+        let (mut old_segments, mut old_branches) = match recycle {
+            Some(model) => (model.segments, model.branches),
+            None => (Vec::new(), Vec::new()),
+        };
         let mut index = 0usize;
         let mut segments = Vec::with_capacity(net.segments().len());
         let mut branches = Vec::with_capacity(net.branches().len());
         for exit in 0..net.num_exits() {
             for part in [true, false] {
                 let layers = if part { &net.segments()[exit] } else { &net.branches()[exit] };
+                let old = if part { &mut old_segments } else { &mut old_branches };
+                let mut old_list =
+                    if exit < old.len() { std::mem::take(&mut old[exit]) } else { Vec::new() };
+                let mut recycle_at = |i: usize| -> Option<QuantizedLayer> {
+                    old_list.get_mut(i).and_then(Option::take)
+                };
                 let mut list: Vec<Option<QuantizedLayer>> = Vec::with_capacity(layers.len());
-                for layer in layers {
+                for (li, layer) in layers.iter().enumerate() {
                     let entry = match layer {
                         Layer::Conv2d(conv) => {
                             let cfg = config.layers()[index];
@@ -291,8 +354,9 @@ impl QuantizedModel {
                                     geom.in_channels,
                                     geom.kernel * geom.kernel,
                                     &cfg,
+                                    recycle_at(li),
                                 );
-                                ql.bias = conv.bias().as_slice().to_vec();
+                                ql.bias.extend_from_slice(conv.bias().as_slice());
                                 Ok(ql)
                             })
                             .transpose()?
@@ -308,8 +372,9 @@ impl QuantizedModel {
                                     dense.in_features(),
                                     1,
                                     &cfg,
+                                    recycle_at(li),
                                 );
-                                ql.bias = dense.bias().as_slice().to_vec();
+                                ql.bias.extend_from_slice(dense.bias().as_slice());
                                 Ok(ql)
                             })
                             .transpose()?
@@ -409,26 +474,34 @@ pub(crate) struct QuantBuffers {
     pub(crate) acc: Vec<i32>,
 }
 
+/// Per-unit-batch element counts of the integer scratch a quantized plan
+/// needs for `arch`: `(rows16, xs16)` — the transposed conv patch buffer
+/// (`out positions · padded depth`) and the widened dense input row.
+fn integer_scratch_requirements(arch: &MultiExitArchitecture) -> (usize, usize) {
+    let mut rows16 = 0usize;
+    let mut xs16 = 0usize;
+    for spec in arch.all_layers() {
+        match &spec.kind {
+            LayerSpecKind::Conv { in_channels, kernel, .. } => {
+                let kp = (in_channels * kernel * kernel).next_multiple_of(MADD_DEPTH_ALIGN);
+                let cols = spec.output_dims[1] * spec.output_dims[2];
+                rows16 = rows16.max(cols * kp);
+            }
+            LayerSpecKind::Dense { in_features, .. } => {
+                xs16 = xs16.max(in_features.next_multiple_of(MADD_DEPTH_ALIGN));
+            }
+            _ => {}
+        }
+    }
+    (rows16, xs16)
+}
+
 impl QuantBuffers {
     /// Buffers sized for `arch` with up to `max_batch` samples per pass.
     pub(crate) fn for_architecture(arch: &MultiExitArchitecture, max_batch: usize) -> Self {
         let mb = max_batch.max(1);
         let (max_act, max_col) = buffer_requirements(arch);
-        let mut rows16 = 0usize;
-        let mut xs16 = 0usize;
-        for spec in arch.all_layers() {
-            match &spec.kind {
-                LayerSpecKind::Conv { in_channels, kernel, .. } => {
-                    let kp = (in_channels * kernel * kernel).next_multiple_of(MADD_DEPTH_ALIGN);
-                    let cols = spec.output_dims[1] * spec.output_dims[2];
-                    rows16 = rows16.max(cols * kp);
-                }
-                LayerSpecKind::Dense { in_features, .. } => {
-                    xs16 = xs16.max(in_features.next_multiple_of(MADD_DEPTH_ALIGN));
-                }
-                _ => {}
-            }
-        }
+        let (rows16, xs16) = integer_scratch_requirements(arch);
         QuantBuffers {
             codes: [vec![0i8; max_act * mb], vec![0i8; max_act * mb]],
             col8: vec![0i8; max_col * mb],
@@ -436,6 +509,24 @@ impl QuantBuffers {
             xs16: vec![0i16; xs16 * mb],
             acc: vec![0i32; max_act * mb],
         }
+    }
+
+    /// Returns `true` when these buffers can hold `arch` with `max_batch`
+    /// samples per pass. The `f32`-side act/col capacities are checked by the
+    /// plan itself; this covers the **integer** scratch, whose requirements
+    /// (padded conv depth × output positions, widened dense rows) do not
+    /// follow from the `f32` ones — a repack that skipped this check could
+    /// pass the plan compatibility test and still overrun `rows16`/`xs16`
+    /// mid-forward.
+    pub(crate) fn fits(&self, arch: &MultiExitArchitecture, max_batch: usize) -> bool {
+        let mb = max_batch.max(1);
+        let (max_act, max_col) = buffer_requirements(arch);
+        let (rows16, xs16) = integer_scratch_requirements(arch);
+        self.codes.iter().all(|c| c.len() >= max_act * mb)
+            && self.col8.len() >= max_col * mb
+            && self.rows16.len() >= rows16 * mb
+            && self.xs16.len() >= xs16 * mb
+            && self.acc.len() >= max_act * mb
     }
 }
 
@@ -477,10 +568,9 @@ pub(crate) fn code_pair(codes: &mut [Vec<i8>; 2], slot: usize) -> (&mut Vec<i8>,
 
 /// Quantizes an `f32` activation slice into codes (elementwise; layout-
 /// preserving, so it works for both the single and the wide batched layout).
+/// Routed through the dispatched [`QuantParams::quantize_slice_into`] kernel.
 pub(crate) fn quantize_slice(src: &[f32], p: &QuantParams, dst: &mut [i8]) {
-    for (d, &v) in dst.iter_mut().zip(src) {
-        *d = p.quantize(v) as i8;
-    }
+    p.quantize_slice_into(src, dst);
 }
 
 /// Where a quantized layer's epilogue writes its output.
@@ -505,12 +595,14 @@ fn epilogue_rows(
             for (row, (acc_row, out_row)) in
                 acc.chunks_exact(row_len).zip(out.chunks_exact_mut(row_len)).enumerate()
             {
-                let corr = ql.correction(row);
-                let bias = ql.bias[row];
-                for (o, &a) in out_row.iter_mut().zip(acc_row) {
-                    let f = dequant_acc(a, corr, ql.combined_scale, bias);
-                    *o = if fuse_relu { f.max(0.0) } else { f };
-                }
+                dequant_slice_into(
+                    acc_row,
+                    ql.correction(row),
+                    ql.combined_scale,
+                    ql.bias[row],
+                    fuse_relu,
+                    out_row,
+                );
             }
         }
         QuantDst::Codes(out) => {
@@ -519,12 +611,15 @@ fn epilogue_rows(
             for (row, (acc_row, out_row)) in
                 acc.chunks_exact(row_len).zip(out.chunks_exact_mut(row_len)).enumerate()
             {
-                let corr = ql.correction(row);
-                let bias = ql.bias[row];
-                for (o, &a) in out_row.iter_mut().zip(acc_row) {
-                    let f = dequant_acc(a, corr, ql.combined_scale, bias);
-                    *o = p.quantize(f).max(floor) as i8;
-                }
+                requant_slice_into(
+                    acc_row,
+                    ql.correction(row),
+                    ql.combined_scale,
+                    ql.bias[row],
+                    &p,
+                    floor,
+                    out_row,
+                );
             }
         }
     }
@@ -542,20 +637,29 @@ fn epilogue_samples(
     match dst {
         QuantDst::F32(out) => {
             for (acc_row, out_row) in acc.chunks_exact(rows).zip(out.chunks_exact_mut(rows)) {
-                for (o, (&a, row)) in out_row.iter_mut().zip(acc_row.iter().zip(0..rows)) {
-                    let f = dequant_acc(a, ql.correction(row), ql.combined_scale, ql.bias[row]);
-                    *o = if fuse_relu { f.max(0.0) } else { f };
-                }
+                dequant_rows_slice_into(
+                    acc_row,
+                    &ql.corr,
+                    &ql.bias,
+                    ql.combined_scale,
+                    fuse_relu,
+                    out_row,
+                );
             }
         }
         QuantDst::Codes(out) => {
             let p = ql.out.expect("code emission requires output params");
             let floor = if fuse_relu { p.zero_point() } else { p.lo() };
             for (acc_row, out_row) in acc.chunks_exact(rows).zip(out.chunks_exact_mut(rows)) {
-                for (o, (&a, row)) in out_row.iter_mut().zip(acc_row.iter().zip(0..rows)) {
-                    let f = dequant_acc(a, ql.correction(row), ql.combined_scale, ql.bias[row]);
-                    *o = p.quantize(f).max(floor) as i8;
-                }
+                requant_rows_slice_into(
+                    acc_row,
+                    &ql.corr,
+                    &ql.bias,
+                    ql.combined_scale,
+                    &p,
+                    floor,
+                    out_row,
+                );
             }
         }
     }
@@ -899,9 +1003,13 @@ mod tests {
         assert_eq!(conv.kernel, QuantKernel::I8);
         assert_eq!(conv.kp, conv.cols.next_multiple_of(MADD_DEPTH_ALIGN));
         assert_eq!(conv.w.len(), conv.rows * conv.kp);
-        assert_eq!(conv.row_sum.len(), conv.rows);
+        assert_eq!(conv.corr.len(), conv.rows);
         let sum0: i32 = conv.w[..conv.kp].iter().map(|&c| i32::from(c)).sum();
-        assert_eq!(conv.row_sum[0], sum0, "depth pads are zero, so they never shift the sum");
+        assert_eq!(
+            conv.corr[0],
+            conv.input.zero_point().wrapping_mul(sum0),
+            "depth pads are zero, so they never shift the correction"
+        );
     }
 
     #[test]

@@ -288,6 +288,63 @@ pub fn evaluate_batched_with_pool(
     evaluate_with_plans(network, samples, batch, plans)
 }
 
+/// A reusable pool of per-worker **quantized** [`BatchPlan`]s.
+///
+/// Quantized plans bake per-policy weight codes in, so unlike
+/// [`BatchPlanPool`] the pooled plans cannot be reused as-is — but their
+/// buffers can: [`BatchPlan::repack_quantized`] re-packs the next policy's
+/// codes into the previous policy's (grow-only) code matrices and keeps all
+/// integer scratch. A search loop scoring thousands of candidate policies
+/// through the integer backend therefore stops re-allocating the packed
+/// weights on every evaluation (the ROADMAP's "QuantizedModel pool").
+#[derive(Debug, Default)]
+pub struct QuantPlanPool {
+    plans: Vec<BatchPlan>,
+}
+
+impl QuantPlanPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        QuantPlanPool::default()
+    }
+
+    /// Number of plans currently pooled.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` when no plans are pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Hands out `count` quantized plans baked for `network` under `config`:
+    /// pooled plans are re-packed in place, missing ones are built fresh
+    /// (packing once and cloning the packed model, like the pool-less path).
+    fn ensure(
+        &mut self,
+        network: &MultiExitNetwork,
+        config: &QuantConfig,
+        batch: usize,
+        count: usize,
+    ) -> Result<&mut [BatchPlan]> {
+        self.plans.retain(|p| p.can_repack_quantized(network, batch));
+        self.plans.truncate(count);
+        for plan in &mut self.plans {
+            plan.repack_quantized(network, config)?;
+        }
+        if self.plans.len() < count {
+            let model = crate::quant::QuantizedModel::for_network(network, config)?;
+            let arch = network.architecture();
+            while self.plans.len() < count - 1 {
+                self.plans.push(BatchPlan::for_quantized_model(arch, model.clone(), batch));
+            }
+            self.plans.push(BatchPlan::for_quantized_model(arch, model, batch));
+        }
+        Ok(&mut self.plans[..count])
+    }
+}
+
 /// Evaluates the accuracy of every exit with the **integer** execution
 /// backend: each worker owns a quantized [`BatchPlan`] built from `network`
 /// and `config` (pre-quantized packed weights, i8/i16 GEMM + requantization
@@ -315,22 +372,40 @@ pub fn evaluate_quantized(
     batch: usize,
     threads: usize,
 ) -> Result<Vec<f32>> {
+    let mut pool = QuantPlanPool::new();
+    evaluate_quantized_with_pool(network, config, samples, batch, threads, &mut pool)
+}
+
+/// [`evaluate_quantized`] with caller-owned plans: per-worker quantized
+/// [`BatchPlan`]s are taken from (and kept warm in) `pool` across calls —
+/// each call re-packs the policy's weight codes into the pooled plans'
+/// existing buffers instead of re-allocating them (see [`QuantPlanPool`]).
+/// Results are identical to [`evaluate_quantized`] for every pool state.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::InvalidSpec`] when `config` does not match the
+/// network, and propagates layer shape errors from the workers.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_quantized_with_pool(
+    network: &MultiExitNetwork,
+    config: &QuantConfig,
+    samples: &[Sample],
+    batch: usize,
+    threads: usize,
+    pool: &mut QuantPlanPool,
+) -> Result<Vec<f32>> {
     let num_exits = network.num_exits();
     if samples.is_empty() {
         return Ok(vec![0.0; num_exits]);
     }
     let batch = batch.max(1);
     let threads = threads.clamp(1, samples.len());
-    // Pack the weight codes once; workers get clones of the packed model
-    // (a memcpy) instead of re-running the quantizer per thread.
-    let model = crate::quant::QuantizedModel::for_network(network, config)?;
-    let arch = network.architecture();
-    let mut plans = Vec::with_capacity(threads);
-    for _ in 0..threads - 1 {
-        plans.push(BatchPlan::for_quantized_model(arch, model.clone(), batch));
-    }
-    plans.push(BatchPlan::for_quantized_model(arch, model, batch));
-    evaluate_with_plans(network, samples, batch, &mut plans)
+    let plans = pool.ensure(network, config, batch, threads)?;
+    evaluate_with_plans(network, samples, batch, plans)
 }
 
 /// [`evaluate_batched`] with the default batch size and the environment-driven
@@ -449,6 +524,120 @@ mod tests {
             }
         }
         assert_eq!(evaluate_quantized(&net, &cfg, &[], 8, 4).unwrap(), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn pooled_quantized_evaluation_matches_fresh_and_reuses_code_buffers() {
+        use crate::quant::config_from_bits;
+        use ie_tensor::QuantParams;
+
+        let data = SyntheticDataset::generate(3, 8, 40, 0.1, 14);
+        let mut rng = StdRng::seed_from_u64(15);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let n = net.architecture().compressible_layers().len();
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 8);
+        let cfg_a = config_from_bits(
+            &net,
+            &(0..n).map(|i| Some((8, if i == 0 { first } else { act }))).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let cfg_b = config_from_bits(
+            &net,
+            &(0..n)
+                .map(|i| Some((if i % 2 == 0 { 4 } else { 12 }, if i == 0 { first } else { act })))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut pool = QuantPlanPool::new();
+        assert!(pool.is_empty());
+        for cfg in [&cfg_a, &cfg_b, &cfg_a] {
+            let fresh = evaluate_quantized(&net, cfg, data.test(), 4, 2).unwrap();
+            let pooled =
+                evaluate_quantized_with_pool(&net, cfg, data.test(), 4, 2, &mut pool).unwrap();
+            assert_eq!(pooled, fresh, "pooled quantized evaluation must match the fresh path");
+            assert_eq!(pool.len(), 2, "both worker plans stay pooled across policies");
+        }
+        // Buffer reuse: repacking the same-shape policy into a warmed plan
+        // keeps the packed weight-code allocation in place.
+        let mut plan = pool.plans.pop().unwrap();
+        let before = plan.quantized_model().unwrap().segment(0).iter().flatten().next().unwrap().w
+            [..1]
+            .as_ptr();
+        plan.repack_quantized(&net, &cfg_a).unwrap();
+        let after = plan.quantized_model().unwrap().segment(0).iter().flatten().next().unwrap().w
+            [..1]
+            .as_ptr();
+        assert_eq!(before, after, "repacking must reuse the packed code buffer");
+        // A plan for a different architecture is rejected, not repacked.
+        let other = MultiExitNetwork::from_architecture(&tiny_multi_exit(4), &mut rng).unwrap();
+        assert!(!plan.can_repack_quantized(&other, 4));
+        assert!(plan.repack_quantized(&other, &cfg_a).is_err());
+    }
+
+    #[test]
+    fn repack_guards_integer_scratch_capacity_and_survives_invalid_configs() {
+        use crate::quant::config_from_bits;
+        use crate::spec::ArchitectureBuilder;
+        use ie_tensor::QuantParams;
+
+        // Arch A: conv depth 18 (padded 32) over 4x4 positions -> patch
+        // scratch 512; act capacity 128, col capacity 288.
+        let arch_a = ArchitectureBuilder::new([2, 6, 6], 3)
+            .conv("c", 8, 3, 1, 0)
+            .relu()
+            .begin_branch()
+            .flatten()
+            .dense("d", 3)
+            .end_exit()
+            .build()
+            .unwrap();
+        // Arch B: conv depth 8 (padded 16) over 6x6 positions -> patch
+        // scratch 576 (> A's 512) while act (108) and col (288) both fit A's
+        // f32 capacities — exactly the case the f32-side compatibility check
+        // cannot see.
+        let arch_b = ArchitectureBuilder::new([2, 7, 7], 3)
+            .conv("c", 3, 2, 1, 0)
+            .relu()
+            .begin_branch()
+            .flatten()
+            .dense("d", 3)
+            .end_exit()
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(16);
+        let net_a = MultiExitNetwork::from_architecture(&arch_a, &mut rng).unwrap();
+        let net_b = MultiExitNetwork::from_architecture(&arch_b, &mut rng).unwrap();
+        let quant_cfg = |net: &MultiExitNetwork| {
+            let n = net.architecture().compressible_layers().len();
+            let first = QuantParams::from_range(-3.0, 3.0, 8);
+            let act = QuantParams::from_range(0.0, 8.0, 8);
+            config_from_bits(
+                net,
+                &(0..n).map(|i| Some((8, if i == 0 { first } else { act }))).collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let cfg_a = quant_cfg(&net_a);
+        let mut plan = BatchPlan::for_network_quantized(&net_a, &cfg_a, 2).unwrap();
+        // The f32-side capacities of an A-sized plan do hold B...
+        assert!(BatchPlan::for_architecture(net_a.architecture(), 2).is_compatible(&net_b));
+        // ...but the integer patch scratch does not, so repacking must be
+        // refused instead of overrunning `rows16` mid-forward.
+        assert!(!plan.can_repack_quantized(&net_b, 2));
+        assert!(plan.repack_quantized(&net_b, &quant_cfg(&net_b)).is_err());
+
+        // An invalid config is rejected *without* destroying the plan's
+        // quantized state (a failed repack must not silently degrade the
+        // plan to the f32 engine).
+        assert!(plan.repack_quantized(&net_a, &crate::quant::QuantConfig::default()).is_err());
+        assert!(plan.quantized_model().is_some(), "failed repack kept the quantized state");
+        // The plan still runs the integer engine correctly afterwards.
+        let x = Tensor::ones(&[2, 6, 6]);
+        let out = net_a.forward_to_exit_batch_with(&mut plan, &[&x], 0).unwrap();
+        let model = crate::quant::QuantizedModel::for_network(&net_a, &cfg_a).unwrap();
+        let reference = crate::quant::fake_quant_logits(&net_a, &model, &x, 0).unwrap();
+        assert_eq!(out.logits(0), reference.as_slice());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Runtime ISA dispatch: one binary, the best kernel the machine can run.
+//!
+//! The hot kernels of this crate (GEMM, the sparse axpy, max-pool, softmax,
+//! the quantize/dequantize epilogues and the integer madd GEMM) each exist in
+//! up to three **tiers**:
+//!
+//! | tier | requires | what it buys |
+//! |------|----------|--------------|
+//! | [`IsaTier::Portable`] | nothing (baseline x86-64 / any arch) | safe Rust, LLVM autovectorization at the baseline width |
+//! | [`IsaTier::Avx2`] | AVX2 (+FMA present, unused — see below) | 8-lane `f32` / 16-lane `i16` kernels via explicit or recompiled-for-AVX2 code |
+//! | [`IsaTier::Vnni`] | AVX-512 F/BW/VL/VNNI | `vpdpwssd` for the i16 madd GEMM: fuses `vpmaddwd`'s multiply-add-pairs with the accumulate into one instruction, at 512-bit width (twice AVX2's lanes) |
+//!
+//! The running machine's best supported tier is detected once with `cpuid`
+//! (via `is_x86_feature_detected!`) and cached in a [`std::sync::OnceLock`];
+//! after the first call a dispatch decision is a single atomic load. The
+//! historical alternative — a static `-C target-feature=+avx2` in
+//! `.cargo/config.toml` — produced an illegal-instruction trap on pre-AVX2
+//! machines and silently benchmarked baseline code everywhere the flag was
+//! not set; runtime dispatch replaces it.
+//!
+//! # Bit-identity across tiers
+//!
+//! Every tiered kernel produces **bit-identical** results on every tier (this
+//! is property-tested; see `tests/tier_equivalence.rs`):
+//!
+//! * integer kernels accumulate in wrapping `i32`, which is associative, so
+//!   any vector re-blocking is exact;
+//! * `f32` kernels fix one reduction order per output element (ascending
+//!   depth in the GEMMs, an 8-lane tree in the dot products and softmax
+//!   reductions) and every tier implements exactly that order;
+//! * elementwise `f32` steps (quantize, dequantize, relu, scale) round each
+//!   element through the same sequence of individually rounded operations —
+//!   in particular no tier contracts `mul + add` into an FMA, which would
+//!   change results;
+//! * max-style folds use the `vmaxps`/`vpmaxs*` select `if v > acc { v }`
+//!   in every tier, so NaN and `-0.0` ties resolve identically.
+//!
+//! # Overriding for tests and benchmarks
+//!
+//! The `IE_ISA` environment variable forces a *lower* tier: `portable`,
+//! `avx2` or `vnni` (values are case-insensitive; unknown values are
+//! ignored). The override never raises the tier above what the hardware
+//! supports — `IE_ISA=vnni` on an AVX2-only machine runs the AVX2 tier — so
+//! it is always safe to set. The CI portable-tier job runs the whole test
+//! suite under `IE_ISA=portable` to keep the fallback green, and in-process
+//! tests iterate [`supported_tiers`] through the explicit-tier kernel entry
+//! points instead.
+
+use std::sync::OnceLock;
+
+/// An instruction-set tier a kernel can be dispatched to, ordered from the
+/// universal baseline to the most capable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsaTier {
+    /// Safe Rust, no feature requirements beyond the compile target.
+    Portable,
+    /// AVX2 256-bit integer/float vectors (x86-64).
+    Avx2,
+    /// AVX-512 VNNI (`vpdpwssd`) on top of AVX-512 F/BW/VL (x86-64).
+    Vnni,
+}
+
+impl IsaTier {
+    /// Stable lower-case name of the tier (`portable` / `avx2` / `vnni`),
+    /// used by the `IE_ISA` override and reported in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaTier::Portable => "portable",
+            IsaTier::Avx2 => "avx2",
+            IsaTier::Vnni => "vnni",
+        }
+    }
+
+    /// Parses a tier name as accepted by the `IE_ISA` override.
+    pub fn parse(name: &str) -> Option<IsaTier> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "portable" | "scalar" => Some(IsaTier::Portable),
+            "avx2" => Some(IsaTier::Avx2),
+            "vnni" | "avx512vnni" | "avx512-vnni" => Some(IsaTier::Vnni),
+            _ => None,
+        }
+    }
+}
+
+/// Best tier the running machine supports, detected once via `cpuid`.
+#[cfg(target_arch = "x86_64")]
+fn detect() -> IsaTier {
+    if std::is_x86_feature_detected!("avx512f")
+        && std::is_x86_feature_detected!("avx512bw")
+        && std::is_x86_feature_detected!("avx512vl")
+        && std::is_x86_feature_detected!("avx512vnni")
+    {
+        IsaTier::Vnni
+    } else if std::is_x86_feature_detected!("avx2") {
+        IsaTier::Avx2
+    } else {
+        IsaTier::Portable
+    }
+}
+
+/// Non-x86-64 targets have exactly one tier.
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> IsaTier {
+    IsaTier::Portable
+}
+
+/// Best tier the running machine supports (cached; the `IE_ISA` override
+/// does **not** affect this).
+pub fn detected() -> IsaTier {
+    static DETECTED: OnceLock<IsaTier> = OnceLock::new();
+    *DETECTED.get_or_init(detect)
+}
+
+/// The tier the auto-dispatched kernels run: the detected tier, lowered by a
+/// valid `IE_ISA` override. Cached after the first call (the environment is
+/// read once per process), so a dispatch decision costs one atomic load.
+pub fn active() -> IsaTier {
+    static ACTIVE: OnceLock<IsaTier> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let hw = detected();
+        match std::env::var("IE_ISA").ok().as_deref().and_then(IsaTier::parse) {
+            Some(requested) => requested.min(hw),
+            None => hw,
+        }
+    })
+}
+
+/// Clamps an explicitly requested tier to what the hardware supports —
+/// running (say) an AVX2 kernel on a machine without AVX2 would be undefined
+/// behaviour, so every explicit-tier kernel entry point routes through this.
+pub(crate) fn clamp(tier: IsaTier) -> IsaTier {
+    tier.min(detected())
+}
+
+/// The tiers the running machine supports, lowest first — what the
+/// tier-equivalence tests iterate. `IE_ISA=vnni` on hardware without VNNI is
+/// thereby "skipped gracefully": the tier simply never appears here.
+pub fn supported_tiers() -> &'static [IsaTier] {
+    const ALL: [IsaTier; 3] = [IsaTier::Portable, IsaTier::Avx2, IsaTier::Vnni];
+    match detected() {
+        IsaTier::Portable => &ALL[..1],
+        IsaTier::Avx2 => &ALL[..2],
+        IsaTier::Vnni => &ALL[..3],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_round_trip_through_parse() {
+        for tier in [IsaTier::Portable, IsaTier::Avx2, IsaTier::Vnni] {
+            assert_eq!(IsaTier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(IsaTier::parse(" AVX2 "), Some(IsaTier::Avx2));
+        assert_eq!(IsaTier::parse("avx512-vnni"), Some(IsaTier::Vnni));
+        assert_eq!(IsaTier::parse("sse9"), None);
+    }
+
+    #[test]
+    fn active_tier_is_supported_and_respects_a_set_override() {
+        let active = active();
+        assert!(supported_tiers().contains(&active));
+        assert!(active <= detected());
+        // When the suite runs under an IE_ISA override (the CI portable-tier
+        // job), the cached active tier must honour it.
+        if let Some(requested) = std::env::var("IE_ISA").ok().as_deref().and_then(IsaTier::parse) {
+            assert_eq!(active, requested.min(detected()));
+        }
+    }
+
+    #[test]
+    fn supported_tiers_are_ordered_and_start_portable() {
+        let tiers = supported_tiers();
+        assert_eq!(tiers.first(), Some(&IsaTier::Portable));
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(tiers.last(), Some(&detected()));
+    }
+
+    #[test]
+    fn clamp_never_exceeds_the_hardware() {
+        assert!(clamp(IsaTier::Vnni) <= detected());
+        assert_eq!(clamp(IsaTier::Portable), IsaTier::Portable);
+    }
+}

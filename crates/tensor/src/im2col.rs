@@ -5,6 +5,13 @@
 //! the column matrix `[C·K·K, H_out·W_out]` produced by [`im2col`]. The
 //! backward pass uses [`col2im`] to scatter column gradients back into image
 //! layout.
+//!
+//! Unlike the arithmetic kernels, the lowerings deliberately have **no**
+//! runtime ISA tiers (see [`crate::dispatch`]): they move values without
+//! computing on them, and the hoisted-bounds hot region of every row is a
+//! single contiguous `copy_from_slice` (a `memcpy`) for the stride-1
+//! convolutions the backbone uses — explicit vector code could not beat it,
+//! and identical data movement on every tier is trivially bit-identical.
 
 use crate::{Result, Tensor, TensorError};
 

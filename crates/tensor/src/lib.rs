@@ -20,9 +20,14 @@
 //! # Ok::<(), ie_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed back in exactly three places:
+// the explicit-intrinsics ISA tier modules `linalg::x86`, `ops::x86` and
+// `quant::simd`, each of which documents its safety contract (the dispatcher
+// proves the required CPU features before calling in).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 mod error;
 mod im2col;
 mod linalg;
@@ -32,20 +37,51 @@ mod shape;
 mod tensor;
 mod workspace;
 
+pub use dispatch::IsaTier;
 pub use error::TensorError;
 pub use im2col::{
     col2im, col2im_into, im2col, im2col_batch_into, im2col_into, im2col_quant_batch_i16_into,
     im2col_quant_batch_into, im2col_quant_select_batch_into, Conv2dGeometry,
 };
 pub use linalg::{gemm_into, gemm_sparse_into, matvec_batch_into, matvec_into};
+pub use ops::{
+    add_bias_rows, add_bias_samples, max_pool_planes_i8_into, max_pool_planes_into,
+    relu_codes_floor, relu_slice, softmax_slice_into,
+};
 pub use quant::{
-    dequant_acc, gemm_i16_into, gemm_i16t_into, gemm_i8_into, matvec_i16_batch_into,
-    matvec_i16_into, matvec_i8_batch_into, matvec_i8_into, transpose_widen_into, weight_code,
-    QuantParams, MADD_DEPTH_ALIGN,
+    dequant_acc, dequant_rows_slice_into, dequant_slice_into, gemm_i16_into, gemm_i16t_into,
+    gemm_i8_into, matvec_i16_batch_into, matvec_i16_into, matvec_i8_batch_into, matvec_i8_into,
+    requant_rows_slice_into, requant_slice_into, transpose_widen_into, weight_code, QuantParams,
+    MADD_DEPTH_ALIGN,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::Workspace;
+
+/// Explicit-tier entry points of every dispatched kernel (each clamps the
+/// requested [`IsaTier`] to what the hardware supports). The unsuffixed
+/// kernels at the crate root select the active tier automatically; these
+/// exist for the tier-equivalence property tests and the per-kernel
+/// benchmarks, which need two tiers side by side in one process.
+pub mod tiered {
+    pub use crate::linalg::{
+        gemm_into_tier as gemm_into, gemm_sparse_into_tier as gemm_sparse_into,
+        matvec_batch_into_tier as matvec_batch_into, matvec_into_tier as matvec_into,
+    };
+    pub use crate::ops::{
+        add_bias_rows_tier as add_bias_rows, add_bias_samples_tier as add_bias_samples,
+        max_pool_planes_i8_into_tier as max_pool_planes_i8_into,
+        max_pool_planes_into_tier as max_pool_planes_into,
+        relu_codes_floor_tier as relu_codes_floor, relu_slice_tier as relu_slice,
+        softmax_slice_into_tier as softmax_slice_into,
+    };
+    pub use crate::quant::{
+        dequant_rows_slice_into_tier as dequant_rows_slice_into,
+        dequant_slice_into_tier as dequant_slice_into, gemm_i16t_into_tier as gemm_i16t_into,
+        requant_rows_slice_into_tier as requant_rows_slice_into,
+        requant_slice_into_tier as requant_slice_into,
+    };
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -10,17 +10,27 @@
 //!   once and delegate to the same kernels, so both paths produce bit-identical
 //!   results.
 //!
+//! Every kernel is routed through the runtime ISA dispatch
+//! ([`crate::dispatch`]): the portable tier is the safe-Rust implementation
+//! below, the AVX2 tier recompiles the same register-tiled bodies with AVX2
+//! enabled (8-lane `f32` vectors) — same scalar semantics, same accumulation
+//! order, so results are bit-identical across tiers — and the sparse GEMM's
+//! inner axpy additionally has an explicit-intrinsics AVX2 implementation
+//! (separate multiply and add; no FMA contraction on any tier).
+//!
 //! The dense GEMM is cache-blocked (column panels of `B`, depth blocks of the
-//! shared dimension) and register-tiled (4 rows of `A` per pass so each loaded
-//! `B` element feeds 4 independent multiply–accumulate streams). Per output
-//! element the contributions are still accumulated in ascending order of the
-//! shared dimension, exactly like the naive triple loop, so the blocking does
-//! not change a single bit of the result for finite inputs.
+//! shared dimension) and register-tiled (6 rows of `A` per pass so each loaded
+//! `B` element feeds 6 independent multiply–accumulate streams — 12 of the 16
+//! AVX2 `ymm` registers hold accumulators). Per output element the
+//! contributions are still accumulated in ascending order of the shared
+//! dimension, exactly like the naive triple loop, so neither the blocking nor
+//! the tile depth changes a single bit of the result for finite inputs.
 
+use crate::dispatch::{self, IsaTier};
 use crate::{Result, Tensor, TensorError};
 
 /// Rows of `A` processed together by the register-tiled micro-kernel.
-const GEMM_MR: usize = 4;
+const GEMM_MR: usize = 6;
 /// Columns of `B` covered by one register tile (two 8-lane vectors).
 const GEMM_NR: usize = 16;
 /// Depth (shared dimension) block size; bounds the `B` working set of one
@@ -33,7 +43,7 @@ fn check_gemm_lens(a: &[f32], b: &[f32], out: &[f32], m: usize, k: usize, n: usi
     assert_eq!(out.len(), m * n, "gemm: out buffer length {} != {m}x{n}", out.len());
 }
 
-/// 4×16 register micro-kernel: accumulates rows `i..i+4`, columns
+/// 6×16 register micro-kernel: accumulates rows `i..i+6`, columns
 /// `jb..jb+16` of the product over the depth range `kb..kend`.
 ///
 /// `panel` holds the `B` column panel for that range: depth index `p` reads
@@ -44,9 +54,9 @@ fn check_gemm_lens(a: &[f32], b: &[f32], out: &[f32], m: usize, k: usize, n: usi
 /// The accumulators are *loaded from* and *stored back to* `out`, so across
 /// depth blocks every output element still receives its contributions in
 /// ascending depth order — bit-identical to the naive triple loop.
-#[inline]
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn gemm_tile_4x16(
+fn gemm_tile_6x16(
     a: &[f32],
     panel: &[f32],
     panel_stride: usize,
@@ -65,19 +75,15 @@ fn gemm_tile_4x16(
             acc_row.copy_from_slice(&out[row..row + GEMM_NR]);
         }
     }
-    let a0 = &a[i * k..(i + 1) * k];
-    let a1 = &a[(i + 1) * k..(i + 2) * k];
-    let a2 = &a[(i + 2) * k..(i + 3) * k];
-    let a3 = &a[(i + 3) * k..(i + 4) * k];
+    let rows: [&[f32]; GEMM_MR] = core::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
     for p in kb..kend {
         let off = (p - kb) * panel_stride;
         let brow: &[f32; GEMM_NR] = panel[off..off + GEMM_NR].try_into().expect("tile width");
-        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-        for t in 0..GEMM_NR {
-            acc[0][t] += v0 * brow[t];
-            acc[1][t] += v1 * brow[t];
-            acc[2][t] += v2 * brow[t];
-            acc[3][t] += v3 * brow[t];
+        for (acc_row, arow) in acc.iter_mut().zip(&rows) {
+            let v = arow[p];
+            for t in 0..GEMM_NR {
+                acc_row[t] += v * brow[t];
+            }
         }
     }
     for (r, acc_row) in acc.iter().enumerate() {
@@ -86,9 +92,9 @@ fn gemm_tile_4x16(
     }
 }
 
-/// 1×16 register micro-kernel for the row remainder (`m % 4` rows); `panel`
-/// addresses `B` exactly as in [`gemm_tile_4x16`].
-#[inline]
+/// 1×16 register micro-kernel for the row remainder (`m % 6` rows); `panel`
+/// addresses `B` exactly as in [`gemm_tile_6x16`].
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn gemm_tile_1x16(
     a: &[f32],
@@ -122,7 +128,14 @@ fn gemm_tile_1x16(
 const GEMM_PACK_MIN_TILES: usize = 2;
 
 /// Accumulates `A·B` into `out`, which the caller must have zeroed.
-fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+///
+/// This body is compiled twice: once at the baseline feature level (the
+/// portable tier) and once inside an `#[target_feature(enable = "avx2")]`
+/// wrapper, where LLVM autovectorizes the same loops with 8-lane vectors.
+/// Identical source, identical per-element operation order — bit-identical
+/// output.
+#[inline(always)]
+fn gemm_accumulate_body(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     if m == 0 || k == 0 || n == 0 {
         return;
     }
@@ -152,7 +165,7 @@ fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
             };
             let mut i = 0;
             while i + GEMM_MR <= m {
-                gemm_tile_4x16(a, panel, panel_stride, out, i, jb, kb, kend, k, n);
+                gemm_tile_6x16(a, panel, panel_stride, out, i, jb, kb, kend, k, n);
                 i += GEMM_MR;
             }
             while i < m {
@@ -178,36 +191,9 @@ fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     }
 }
 
-/// Dense blocked GEMM: writes `A·B` into `out` without allocating.
-///
-/// `a` is `[m, k]`, `b` is `[k, n]` and `out` is `[m, n]`, all row-major.
-/// The inner loop is an unconditional multiply–accumulate — no per-element
-/// zero test — which is what dense (unpruned) weights want.
-///
-/// # Panics
-///
-/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
-pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    check_gemm_lens(a, b, out, m, k, n);
-    out.fill(0.0);
-    gemm_accumulate(a, b, out, m, k, n);
-}
-
-/// Sparsity-aware GEMM: like [`gemm_into`] but skips the whole `B`-row
-/// contribution whenever the corresponding `A` element is exactly zero.
-///
-/// Channel pruning zeroes large contiguous runs of the filter matrix, so on
-/// pruned weights the skip pays for its branch many times over; on dense
-/// weights it is a pure branch-misprediction tax, which is why the dense path
-/// uses [`gemm_into`] instead. For finite inputs both kernels produce
-/// identical sums (a skipped term contributes exactly `±0.0`).
-///
-/// # Panics
-///
-/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
-pub fn gemm_sparse_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    check_gemm_lens(a, b, out, m, k, n);
-    out.fill(0.0);
+/// The portable body of the sparsity-aware GEMM (see [`gemm_sparse_into`]).
+#[inline(always)]
+fn gemm_sparse_body(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for p in 0..k {
             let av = a[i * k + p];
@@ -223,6 +209,293 @@ pub fn gemm_sparse_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     }
 }
 
+/// AVX2 tier implementations. The GEMM and matvec wrappers recompile the
+/// shared portable bodies with AVX2 enabled; the sparse axpy is written with
+/// explicit intrinsics (broadcast + separate multiply and add per 8-lane
+/// chunk — the exact scalar operation sequence, so results match bit for
+/// bit).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Runs the AVX2 dense accumulation when the clamped tier allows it;
+    /// returns `false` when the caller should take the portable path. Safe:
+    /// the feature check sits right next to the `unsafe` call it justifies.
+    pub(super) fn try_gemm_accumulate(
+        tier: IsaTier,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { gemm_accumulate_avx2(a, b, out, m, k, n) };
+        true
+    }
+
+    /// AVX2 sparse GEMM attempt; see [`try_gemm_accumulate`].
+    pub(super) fn try_gemm_sparse(
+        tier: IsaTier,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { gemm_sparse_avx2(a, b, out, m, k, n) };
+        true
+    }
+
+    /// AVX2 matvec attempt; see [`try_gemm_accumulate`].
+    pub(super) fn try_matvec(
+        tier: IsaTier,
+        a: &[f32],
+        x: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { matvec_avx2(a, x, out, m, k) };
+        true
+    }
+
+    /// AVX2 batched matvec attempt; see [`try_gemm_accumulate`].
+    pub(super) fn try_matvec_batch(
+        tier: IsaTier,
+        a: &[f32],
+        xs: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        batch: usize,
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { matvec_batch_f32_avx2(a, xs, out, m, k, batch) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_accumulate_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        gemm_accumulate_body(a, b, out, m, k, n);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn matvec_avx2(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+        matvec_body(a, x, out, m, k);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn matvec_batch_f32_avx2(
+        a: &[f32],
+        xs: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        batch: usize,
+    ) {
+        matvec_batch_body(a, xs, out, m, k, batch);
+    }
+
+    /// Sparsity-aware GEMM with the inner axpy in explicit 8-lane AVX2:
+    /// `orow[j] += av · brow[j]` as a broadcast, a multiply and an add —
+    /// two individually rounded operations per element, exactly like the
+    /// scalar kernel (no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported. Buffer lengths are validated by
+    /// the dispatching wrapper.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_sparse_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // Four independent 8-lane streams per step (32 floats): matches the
+        // unroll depth LLVM picks for the portable body, so the explicit
+        // kernel never falls behind it.
+        let blocks = n / 32;
+        let chunks = n / 8;
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let vav = _mm256_set1_ps(av);
+                // SAFETY: block t covers [32t, 32t+32) and chunk c covers
+                // [8c, 8c+8), both bounded by n — in bounds of `brow` and
+                // `orow` (each n long).
+                unsafe {
+                    for t in 0..blocks {
+                        let bp = brow.as_ptr().add(t * 32);
+                        let op = orow.as_mut_ptr().add(t * 32);
+                        let p0 = _mm256_mul_ps(vav, _mm256_loadu_ps(bp));
+                        let p1 = _mm256_mul_ps(vav, _mm256_loadu_ps(bp.add(8)));
+                        let p2 = _mm256_mul_ps(vav, _mm256_loadu_ps(bp.add(16)));
+                        let p3 = _mm256_mul_ps(vav, _mm256_loadu_ps(bp.add(24)));
+                        _mm256_storeu_ps(op, _mm256_add_ps(_mm256_loadu_ps(op), p0));
+                        _mm256_storeu_ps(op.add(8), _mm256_add_ps(_mm256_loadu_ps(op.add(8)), p1));
+                        _mm256_storeu_ps(
+                            op.add(16),
+                            _mm256_add_ps(_mm256_loadu_ps(op.add(16)), p2),
+                        );
+                        _mm256_storeu_ps(
+                            op.add(24),
+                            _mm256_add_ps(_mm256_loadu_ps(op.add(24)), p3),
+                        );
+                    }
+                    for c in blocks * 4..chunks {
+                        let bp = brow.as_ptr().add(c * 8);
+                        let op = orow.as_mut_ptr().add(c * 8);
+                        let prod = _mm256_mul_ps(vav, _mm256_loadu_ps(bp));
+                        _mm256_storeu_ps(op, _mm256_add_ps(_mm256_loadu_ps(op), prod));
+                    }
+                }
+                for j in chunks * 8..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches the dense accumulation to the requested (hardware-clamped)
+/// tier. The VNNI tier has no dedicated `f32` GEMM — it runs the AVX2 one.
+fn gemm_accumulate_tier(
+    tier: IsaTier,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_gemm_accumulate(tier, a, b, out, m, k, n) {
+        return;
+    }
+    let _ = tier;
+    gemm_accumulate_body(a, b, out, m, k, n);
+}
+
+/// Dense blocked GEMM: writes `A·B` into `out` without allocating.
+///
+/// `a` is `[m, k]`, `b` is `[k, n]` and `out` is `[m, n]`, all row-major.
+/// The inner loop is an unconditional multiply–accumulate — no per-element
+/// zero test — which is what dense (unpruned) weights want. Dispatched to the
+/// active ISA tier; every tier is bit-identical (see [`crate::dispatch`]).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_into_tier(dispatch::active(), a, b, out, m, k, n);
+}
+
+/// [`gemm_into`] on an explicitly chosen ISA tier (clamped to the hardware) —
+/// the entry point the tier-equivalence tests and kernel benchmarks drive.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_into_tier(
+    tier: IsaTier,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm_lens(a, b, out, m, k, n);
+    out.fill(0.0);
+    gemm_accumulate_tier(tier, a, b, out, m, k, n);
+}
+
+/// Sparsity-aware GEMM: like [`gemm_into`] but skips the whole `B`-row
+/// contribution whenever the corresponding `A` element is exactly zero.
+///
+/// Channel pruning zeroes large contiguous runs of the filter matrix, so on
+/// pruned weights the skip pays for its branch many times over; on dense
+/// weights it is a pure branch-misprediction tax, which is why the dense path
+/// uses [`gemm_into`] instead. For finite inputs both kernels produce
+/// identical sums (a skipped term contributes exactly `±0.0`). The surviving
+/// rows' axpy runs 8 lanes wide on the AVX2 tier (explicit intrinsics,
+/// bit-identical to the portable loop).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_sparse_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_sparse_into_tier(dispatch::active(), a, b, out, m, k, n);
+}
+
+/// [`gemm_sparse_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`k`/`n` dimensions.
+pub fn gemm_sparse_into_tier(
+    tier: IsaTier,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm_lens(a, b, out, m, k, n);
+    out.fill(0.0);
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_gemm_sparse(tier, a, b, out, m, k, n) {
+        return;
+    }
+    let _ = tier;
+    gemm_sparse_body(a, b, out, m, k, n);
+}
+
 /// Lanes of the vectorised dot product.
 const DOT_LANES: usize = 8;
 
@@ -230,7 +503,8 @@ const DOT_LANES: usize = 8;
 /// tree. The lane split lets LLVM vectorise the reduction (a strictly
 /// sequential float sum cannot be vectorised without reassociation); the
 /// reduction order is a deterministic function of the length only, so results
-/// are reproducible across runs and identical for every caller.
+/// are reproducible across runs and identical for every caller and tier.
+#[inline(always)]
 fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     let chunks = a.len() / DOT_LANES;
     let mut acc = [0.0f32; DOT_LANES];
@@ -250,6 +524,25 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Portable body of [`matvec_into`] (recompiled for AVX2 by the dispatcher).
+#[inline(always)]
+fn matvec_body(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    let _ = m;
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
+        *o = dot_lanes(row, x);
+    }
+}
+
+/// Portable body of [`matvec_batch_into`].
+#[inline(always)]
+fn matvec_batch_body(a: &[f32], xs: &[f32], out: &mut [f32], m: usize, k: usize, batch: usize) {
+    for (i, row) in a.chunks_exact(k).enumerate() {
+        for s in 0..batch {
+            out[s * m + i] = dot_lanes(row, &xs[s * k..(s + 1) * k]);
+        }
+    }
+}
+
 /// Matrix–vector product into a caller-provided buffer: `a` is `[m, k]`, `x`
 /// has `k` elements, `out` has `m` elements. Never allocates.
 ///
@@ -260,6 +553,16 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics when a buffer length does not match its dimensions.
 pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    matvec_into_tier(dispatch::active(), a, x, out, m, k);
+}
+
+/// [`matvec_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_into_tier(tier: IsaTier, a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
     assert_eq!(a.len(), m * k, "matvec: matrix buffer length {} != {m}x{k}", a.len());
     assert_eq!(x.len(), k, "matvec: vector length {} != {k}", x.len());
     assert_eq!(out.len(), m, "matvec: out length {} != {m}", out.len());
@@ -267,9 +570,12 @@ pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
         out.fill(0.0);
         return;
     }
-    for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
-        *o = dot_lanes(row, x);
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_matvec(tier, a, x, out, m, k) {
+        return;
     }
+    let _ = tier;
+    matvec_body(a, x, out, m, k);
 }
 
 /// Batched matrix–vector product: one shared `[m, k]` matrix against `batch`
@@ -286,6 +592,24 @@ pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
 ///
 /// Panics when a buffer length does not match its dimensions.
 pub fn matvec_batch_into(a: &[f32], xs: &[f32], out: &mut [f32], m: usize, k: usize, batch: usize) {
+    matvec_batch_into_tier(dispatch::active(), a, xs, out, m, k, batch);
+}
+
+/// [`matvec_batch_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_batch_into_tier(
+    tier: IsaTier,
+    a: &[f32],
+    xs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    batch: usize,
+) {
     assert_eq!(a.len(), m * k, "matvec_batch: matrix buffer length {} != {m}x{k}", a.len());
     assert_eq!(xs.len(), batch * k, "matvec_batch: vectors length {} != {batch}x{k}", xs.len());
     assert_eq!(out.len(), batch * m, "matvec_batch: out length {} != {batch}x{m}", out.len());
@@ -293,11 +617,12 @@ pub fn matvec_batch_into(a: &[f32], xs: &[f32], out: &mut [f32], m: usize, k: us
         out.fill(0.0);
         return;
     }
-    for (i, row) in a.chunks_exact(k).enumerate() {
-        for s in 0..batch {
-            out[s * m + i] = dot_lanes(row, &xs[s * k..(s + 1) * k]);
-        }
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_matvec_batch(tier, a, xs, out, m, k, batch) {
+        return;
     }
+    let _ = tier;
+    matvec_batch_body(a, xs, out, m, k, batch);
 }
 
 impl Tensor {
@@ -329,7 +654,15 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.check_matmul(other)?;
         let mut out = vec![0.0f32; m * n];
-        gemm_accumulate(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        gemm_accumulate_tier(
+            dispatch::active(),
+            self.as_slice(),
+            other.as_slice(),
+            &mut out,
+            m,
+            k,
+            n,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -506,9 +839,18 @@ mod tests {
 
     #[test]
     fn blocked_gemm_handles_sizes_around_the_block_boundaries() {
-        // Exercise the register-tile remainder (m % 4 != 0) and panel edges.
+        // Exercise the register-tile remainder (m % 6 != 0) and panel edges.
         let mut rng = StdRng::seed_from_u64(7);
-        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 128, 256), (5, 129, 257), (8, 260, 300)] {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 128, 256),
+            (5, 129, 257),
+            (6, 64, 64),
+            (7, 33, 48),
+            (8, 260, 300),
+            (13, 70, 100),
+        ] {
             let a = Tensor::randn(&mut rng, &[m, k], 0.0, 1.0);
             let b = Tensor::randn(&mut rng, &[k, n], 0.0, 1.0);
             let blocked = a.matmul(&b).unwrap();

@@ -39,6 +39,8 @@
 //! depths, in which case it wraps identically in the kernel and in the
 //! reference — deterministic on every platform, never undefined behaviour.
 
+use crate::dispatch::{self, IsaTier};
+
 /// Affine quantization parameters of one activation tensor.
 ///
 /// Codes live in the signed range `[lo, hi]` (always within `i8` because
@@ -173,6 +175,36 @@ impl QuantParams {
     pub fn dequantize(&self, code: i32) -> f32 {
         (code - self.zero_point) as f32 * self.scale
     }
+
+    /// Quantizes a whole `f32` slice into `i8` codes — the float→int
+    /// boundary of the integer engine, dispatched to the active ISA tier.
+    /// Element-for-element identical to calling [`QuantParams::quantize`]
+    /// (including NaN → zero point), on every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ.
+    pub fn quantize_slice_into(&self, src: &[f32], dst: &mut [i8]) {
+        self.quantize_slice_into_tier(dispatch::active(), src, dst);
+    }
+
+    /// [`QuantParams::quantize_slice_into`] on an explicitly chosen ISA tier
+    /// (clamped to the hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ.
+    pub fn quantize_slice_into_tier(&self, tier: IsaTier, src: &[f32], dst: &mut [i8]) {
+        assert_eq!(src.len(), dst.len(), "quantize: length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if simd::try_quantize_slice(tier, self, src, dst) {
+            return;
+        }
+        let _ = tier;
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = self.quantize(v) as i8;
+        }
+    }
 }
 
 /// Symmetric signed weight quantizer: the integer code of weight `w` at the
@@ -213,6 +245,207 @@ pub fn weight_code(w: f32, scale: f32, bits: u8) -> i32 {
 #[inline]
 pub fn dequant_acc(acc: i32, corr: i32, scale: f32, bias: f32) -> f32 {
     acc.wrapping_sub(corr) as f32 * scale + bias
+}
+
+/// The fused-ReLU select of the epilogues: `f` if strictly positive, else
+/// `+0.0` — exactly `vmaxps(f, 0)` on every tier (NaN and `-0.0` map to 0).
+#[inline(always)]
+fn relu_sel(f: f32, relu: bool) -> f32 {
+    if !relu || f > 0.0 {
+        f
+    } else {
+        0.0
+    }
+}
+
+/// Requantization epilogue over a slice with one shared zero-point
+/// correction and bias (the convolution layout: the caller runs it once per
+/// output-channel row): `out[i] = relu?([`dequant_acc`])` for every
+/// accumulator. Dispatched to the active ISA tier; bit-identical across
+/// tiers (subtract, convert, multiply, add — individually rounded, no FMA).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn dequant_slice_into(
+    acc: &[i32],
+    corr: i32,
+    scale: f32,
+    bias: f32,
+    relu: bool,
+    out: &mut [f32],
+) {
+    dequant_slice_into_tier(dispatch::active(), acc, corr, scale, bias, relu, out);
+}
+
+/// [`dequant_slice_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn dequant_slice_into_tier(
+    tier: IsaTier,
+    acc: &[i32],
+    corr: i32,
+    scale: f32,
+    bias: f32,
+    relu: bool,
+    out: &mut [f32],
+) {
+    assert_eq!(acc.len(), out.len(), "dequant: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::try_dequant_slice(tier, acc, corr, scale, bias, relu, out) {
+        return;
+    }
+    let _ = tier;
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = relu_sel(dequant_acc(a, corr, scale, bias), relu);
+    }
+}
+
+/// Requantization epilogue emitting the next quantized layer's input codes:
+/// `out[i] = max(p.quantize(dequant_acc(acc[i], corr, scale, bias)), floor)`
+/// with one shared correction and bias. `floor` is the consumer's zero point
+/// when a ReLU is fused (clamping codes below real zero) or its `lo` bound
+/// otherwise. Dispatched; bit-identical across tiers.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn requant_slice_into(
+    acc: &[i32],
+    corr: i32,
+    scale: f32,
+    bias: f32,
+    p: &QuantParams,
+    floor: i32,
+    out: &mut [i8],
+) {
+    requant_slice_into_tier(dispatch::active(), acc, corr, scale, bias, p, floor, out);
+}
+
+/// [`requant_slice_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[allow(clippy::too_many_arguments)]
+pub fn requant_slice_into_tier(
+    tier: IsaTier,
+    acc: &[i32],
+    corr: i32,
+    scale: f32,
+    bias: f32,
+    p: &QuantParams,
+    floor: i32,
+    out: &mut [i8],
+) {
+    assert_eq!(acc.len(), out.len(), "requant: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::try_requant_slice(tier, acc, corr, scale, bias, p, floor, out) {
+        return;
+    }
+    let _ = tier;
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = p.quantize(dequant_acc(a, corr, scale, bias)).max(floor) as i8;
+    }
+}
+
+/// Requantization epilogue over a sample-major accumulator row where the
+/// output-row index varies **along** the slice (the dense layout): element
+/// `i` uses `corrs[i]` and `biases[i]` with the shared `scale`. Dispatched;
+/// bit-identical across tiers.
+///
+/// # Panics
+///
+/// Panics when any slice length differs from `out.len()`.
+pub fn dequant_rows_slice_into(
+    acc: &[i32],
+    corrs: &[i32],
+    biases: &[f32],
+    scale: f32,
+    relu: bool,
+    out: &mut [f32],
+) {
+    dequant_rows_slice_into_tier(dispatch::active(), acc, corrs, biases, scale, relu, out);
+}
+
+/// [`dequant_rows_slice_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics when any slice length differs from `out.len()`.
+pub fn dequant_rows_slice_into_tier(
+    tier: IsaTier,
+    acc: &[i32],
+    corrs: &[i32],
+    biases: &[f32],
+    scale: f32,
+    relu: bool,
+    out: &mut [f32],
+) {
+    assert_eq!(acc.len(), out.len(), "dequant rows: acc length mismatch");
+    assert_eq!(corrs.len(), out.len(), "dequant rows: corr length mismatch");
+    assert_eq!(biases.len(), out.len(), "dequant rows: bias length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::try_dequant_rows(tier, acc, corrs, biases, scale, relu, out) {
+        return;
+    }
+    let _ = tier;
+    for (o, ((&a, &corr), &bias)) in out.iter_mut().zip(acc.iter().zip(corrs).zip(biases)) {
+        *o = relu_sel(dequant_acc(a, corr, scale, bias), relu);
+    }
+}
+
+/// Code-emitting counterpart of [`dequant_rows_slice_into`] (dense layout,
+/// per-element correction/bias). Dispatched; bit-identical across tiers.
+///
+/// # Panics
+///
+/// Panics when any slice length differs from `out.len()`.
+pub fn requant_rows_slice_into(
+    acc: &[i32],
+    corrs: &[i32],
+    biases: &[f32],
+    scale: f32,
+    p: &QuantParams,
+    floor: i32,
+    out: &mut [i8],
+) {
+    requant_rows_slice_into_tier(dispatch::active(), acc, corrs, biases, scale, p, floor, out);
+}
+
+/// [`requant_rows_slice_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics when any slice length differs from `out.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn requant_rows_slice_into_tier(
+    tier: IsaTier,
+    acc: &[i32],
+    corrs: &[i32],
+    biases: &[f32],
+    scale: f32,
+    p: &QuantParams,
+    floor: i32,
+    out: &mut [i8],
+) {
+    assert_eq!(acc.len(), out.len(), "requant rows: acc length mismatch");
+    assert_eq!(corrs.len(), out.len(), "requant rows: corr length mismatch");
+    assert_eq!(biases.len(), out.len(), "requant rows: bias length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::try_requant_rows(tier, acc, corrs, biases, scale, p, floor, out) {
+        return;
+    }
+    let _ = tier;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = p.quantize(dequant_acc(acc[i], corrs[i], scale, biases[i])).max(floor) as i8;
+    }
 }
 
 /// Rows of `A` processed together by the integer register-tiled micro-kernel.
@@ -403,8 +636,12 @@ pub const MADD_DEPTH_ALIGN: usize = 16;
 /// twice the multiply throughput of `f32` FMA at equal register width, and
 /// the entire reason the quantized engine beats the float kernels on wide
 /// layers. Any blocking/interleaving of this loop breaks the pattern match
-/// (measured: 2–3× slower), which is why the transposed GEMM below calls the
-/// plain dot instead of register-tiling like the `f32` kernel.
+/// (measured: 2–3× slower), which is why the transposed GEMM calls the
+/// plain dot instead of register-tiling like the `f32` kernel. On the
+/// portable tier LLVM emits the 128-bit `pmaddwd` (SSE2 baseline); the AVX2
+/// tier uses the 256-bit form explicitly and the VNNI tier fuses the
+/// multiply-add-pairs *and* the accumulation into one 512-bit `vpdpwssd`.
+/// Integer addition is associative, so all tiers are bit-identical.
 #[inline]
 fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
     let mut sum = 0i32;
@@ -489,6 +726,24 @@ pub fn transpose_widen_into(cols: &[i8], k: usize, n: usize, kp: usize, out: &mu
 ///
 /// Panics when a buffer length does not match its `m`/`kp`/`n` dimensions.
 pub fn gemm_i16t_into(a: &[i16], bt: &[i16], out: &mut [i32], m: usize, kp: usize, n: usize) {
+    gemm_i16t_into_tier(dispatch::active(), a, bt, out, m, kp, n);
+}
+
+/// [`gemm_i16t_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its `m`/`kp`/`n` dimensions.
+pub fn gemm_i16t_into_tier(
+    tier: IsaTier,
+    a: &[i16],
+    bt: &[i16],
+    out: &mut [i32],
+    m: usize,
+    kp: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * kp, "gemm_t: lhs buffer length {} != {m}x{kp}", a.len());
     assert_eq!(bt.len(), n * kp, "gemm_t: rhs buffer length {} != {n}x{kp}", bt.len());
     assert_eq!(out.len(), m * n, "gemm_t: out buffer length {} != {m}x{n}", out.len());
@@ -496,9 +751,461 @@ pub fn gemm_i16t_into(a: &[i16], bt: &[i16], out: &mut [i32], m: usize, kp: usiz
         out.fill(0);
         return;
     }
+    #[cfg(target_arch = "x86_64")]
+    if simd::try_gemm_i16t(tier, a, bt, out, m, kp, n) {
+        return;
+    }
+    let _ = tier;
     for (j, brow) in bt.chunks_exact(kp).enumerate() {
         for (i, arow) in a.chunks_exact(kp).enumerate() {
             out[i * n + j] = dot_i16(arow, brow);
+        }
+    }
+}
+
+/// AVX2 / AVX-512-VNNI tier implementations of the integer kernels (explicit
+/// `core::arch` intrinsics). All integer accumulation is wrapping and
+/// associative, so any vector re-blocking is bit-identical to the portable
+/// loops; the `f32` steps of the quantize/dequantize kernels replicate the
+/// scalar operation sequence exactly (no FMA).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Runs the AVX2 or VNNI madd GEMM when the clamped tier allows it;
+    /// returns `false` when the caller should take the portable path. Safe:
+    /// the feature check sits right next to the `unsafe` calls it justifies.
+    pub(super) fn try_gemm_i16t(
+        tier: IsaTier,
+        a: &[i16],
+        bt: &[i16],
+        out: &mut [i32],
+        m: usize,
+        kp: usize,
+        n: usize,
+    ) -> bool {
+        match dispatch::clamp(tier) {
+            // SAFETY: `clamp` never returns a tier above the detected
+            // features, so the required instruction sets are present.
+            IsaTier::Vnni => unsafe { gemm_i16t_vnni(a, bt, out, m, kp, n) },
+            IsaTier::Avx2 => unsafe { gemm_i16t_avx2(a, bt, out, m, kp, n) },
+            IsaTier::Portable => return false,
+        }
+        true
+    }
+
+    /// AVX2 activation-quantization attempt; see [`try_gemm_i16t`].
+    pub(super) fn try_quantize_slice(
+        tier: IsaTier,
+        p: &QuantParams,
+        src: &[f32],
+        dst: &mut [i8],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { quantize_slice_avx2(p, src, dst) };
+        true
+    }
+
+    /// AVX2 dequantization-epilogue attempt; see [`try_gemm_i16t`].
+    pub(super) fn try_dequant_slice(
+        tier: IsaTier,
+        acc: &[i32],
+        corr: i32,
+        scale: f32,
+        bias: f32,
+        relu: bool,
+        out: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { dequant_slice_avx2(acc, corr, scale, bias, relu, out) };
+        true
+    }
+
+    /// AVX2 requantization-epilogue attempt; see [`try_gemm_i16t`].
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn try_requant_slice(
+        tier: IsaTier,
+        acc: &[i32],
+        corr: i32,
+        scale: f32,
+        bias: f32,
+        p: &QuantParams,
+        floor: i32,
+        out: &mut [i8],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { requant_slice_avx2(acc, corr, scale, bias, p, floor, out) };
+        true
+    }
+
+    /// AVX2 per-row dequantization attempt; see [`try_gemm_i16t`].
+    pub(super) fn try_dequant_rows(
+        tier: IsaTier,
+        acc: &[i32],
+        corrs: &[i32],
+        biases: &[f32],
+        scale: f32,
+        relu: bool,
+        out: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { dequant_rows_avx2(acc, corrs, biases, scale, relu, out) };
+        true
+    }
+
+    /// AVX2 per-row requantization attempt; see [`try_gemm_i16t`].
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn try_requant_rows(
+        tier: IsaTier,
+        acc: &[i32],
+        corrs: &[i32],
+        biases: &[f32],
+        scale: f32,
+        p: &QuantParams,
+        floor: i32,
+        out: &mut [i8],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { requant_rows_avx2(acc, corrs, biases, scale, p, floor, out) };
+        true
+    }
+
+    /// 256-bit `vpmaddwd` dot product (16 i16 per step).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i16_avx2(a: &[i16], b: &[i16]) -> i32 {
+        let chunks = a.len() / 16;
+        let mut acc = _mm256_setzero_si256();
+        // SAFETY: chunk c reads 16 i16 at 16c with 16c + 16 <= len from both
+        // equally long slices.
+        unsafe {
+            for c in 0..chunks {
+                let va = _mm256_loadu_si256(a.as_ptr().add(c * 16).cast());
+                let vb = _mm256_loadu_si256(b.as_ptr().add(c * 16).cast());
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+            }
+        }
+        let mut lanes = [0i32; 8];
+        // SAFETY: `lanes` is exactly 32 bytes.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc) };
+        let mut sum = lanes.iter().fold(0i32, |s, &l| s.wrapping_add(l));
+        for i in chunks * 16..a.len() {
+            sum = sum.wrapping_add(i32::from(a[i]) * i32::from(b[i]));
+        }
+        sum
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported; buffer lengths are validated by
+    /// the dispatching wrapper.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_i16t_avx2(
+        a: &[i16],
+        bt: &[i16],
+        out: &mut [i32],
+        _m: usize,
+        kp: usize,
+        n: usize,
+    ) {
+        for (j, brow) in bt.chunks_exact(kp).enumerate() {
+            for (i, arow) in a.chunks_exact(kp).enumerate() {
+                // SAFETY: AVX2 is in effect in this function.
+                out[i * n + j] = unsafe { dot_i16_avx2(arow, brow) };
+            }
+        }
+    }
+
+    /// 512-bit `vpdpwssd` dot product (32 i16 per step, multiply-add-pairs
+    /// and accumulate in one instruction), with a 256-bit `vpdpwssd` step for
+    /// a 16-element remainder — the common case for depth padded to
+    /// [`MADD_DEPTH_ALIGN`] but not to 32.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512 F/BW/VL/VNNI are supported.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vl,avx512vnni")]
+    unsafe fn dot_i16_vnni(a: &[i16], b: &[i16]) -> i32 {
+        let chunks = a.len() / 32;
+        let mut acc = _mm512_setzero_si512();
+        // SAFETY: chunk c reads 32 i16 at 32c with 32c + 32 <= len from both
+        // equally long slices; the remainder step reads 16 more only when
+        // they exist.
+        unsafe {
+            for c in 0..chunks {
+                let va = _mm512_loadu_si512(a.as_ptr().add(c * 32).cast());
+                let vb = _mm512_loadu_si512(b.as_ptr().add(c * 32).cast());
+                acc = _mm512_dpwssd_epi32(acc, va, vb);
+            }
+        }
+        let mut sum = _mm512_reduce_add_epi32(acc);
+        let mut done = chunks * 32;
+        if a.len() - done >= 16 {
+            // SAFETY: 16 i16 remain at `done` in both slices.
+            unsafe {
+                let va = _mm256_loadu_si256(a.as_ptr().add(done).cast());
+                let vb = _mm256_loadu_si256(b.as_ptr().add(done).cast());
+                let part = _mm256_dpwssd_epi32(_mm256_setzero_si256(), va, vb);
+                let mut lanes = [0i32; 8];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast(), part);
+                sum = lanes.iter().fold(sum, |s, &l| s.wrapping_add(l));
+            }
+            done += 16;
+        }
+        for i in done..a.len() {
+            sum = sum.wrapping_add(i32::from(a[i]) * i32::from(b[i]));
+        }
+        sum
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512 F/BW/VL/VNNI are supported; buffer lengths
+    /// are validated by the dispatching wrapper.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vl,avx512vnni")]
+    unsafe fn gemm_i16t_vnni(
+        a: &[i16],
+        bt: &[i16],
+        out: &mut [i32],
+        _m: usize,
+        kp: usize,
+        n: usize,
+    ) {
+        for (j, brow) in bt.chunks_exact(kp).enumerate() {
+            for (i, arow) in a.chunks_exact(kp).enumerate() {
+                // SAFETY: the required features are in effect here.
+                out[i * n + j] = unsafe { dot_i16_vnni(arow, brow) };
+            }
+        }
+    }
+
+    /// Quantizes 8 lanes: multiply by the cached reciprocal scale, round to
+    /// nearest-even, clamp in the `f32` domain, force NaN lanes to the zero
+    /// code, convert and add the zero point — the scalar
+    /// [`QuantParams::quantize`] chain, lane for lane.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize8(p: &QuantParams, x: __m256) -> __m256i {
+        let q = _mm256_mul_ps(x, _mm256_set1_ps(p.inv_scale));
+        let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(q);
+        // vmaxps/vminps return the second operand on NaN, so a NaN lane comes
+        // out as qlo here; the unordered-compare blend puts it back to 0.0
+        // (→ the zero point), matching the scalar NaN → zero-point mapping.
+        let clamped = _mm256_min_ps(_mm256_max_ps(r, _mm256_set1_ps(p.qlo)), _mm256_set1_ps(p.qhi));
+        let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(r, r);
+        let fixed = _mm256_blendv_ps(clamped, _mm256_setzero_ps(), nan);
+        _mm256_add_epi32(_mm256_cvtps_epi32(fixed), _mm256_set1_epi32(p.zero_point))
+    }
+
+    /// Packs two 8-lane i32 code vectors (values within `i8`) into 16 `i8`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and `dst` has at least 16 bytes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store16_i8(q0: __m256i, q1: __m256i, dst: *mut i8) {
+        let p16 = _mm256_packs_epi32(q0, q1);
+        let p16 = _mm256_permute4x64_epi64::<0b11_01_10_00>(p16);
+        let p8 = _mm256_packs_epi16(p16, p16);
+        let p8 = _mm256_permute4x64_epi64::<0b00_00_10_00>(p8);
+        // SAFETY: caller guarantees 16 writable bytes at `dst`.
+        unsafe { _mm_storeu_si128(dst.cast(), _mm256_castsi256_si128(p8)) };
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and the slices are equally long.
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_slice_avx2(p: &QuantParams, src: &[f32], dst: &mut [i8]) {
+        let blocks = src.len() / 16;
+        // SAFETY: block b covers [16b, 16b+16) with 16b+16 <= len of both
+        // slices.
+        unsafe {
+            for b in 0..blocks {
+                let x0 = _mm256_loadu_ps(src.as_ptr().add(16 * b));
+                let x1 = _mm256_loadu_ps(src.as_ptr().add(16 * b + 8));
+                store16_i8(quantize8(p, x0), quantize8(p, x1), dst.as_mut_ptr().add(16 * b));
+            }
+        }
+        for (d, &v) in dst[blocks * 16..].iter_mut().zip(&src[blocks * 16..]) {
+            *d = p.quantize(v) as i8;
+        }
+    }
+
+    /// Dequantizes 8 lanes: wrapping subtract, exact int→float convert, then
+    /// separate multiply and add (two rounded ops, like the scalar
+    /// [`dequant_acc`]).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequant8(acc: __m256i, corr: __m256i, scale: __m256, bias: __m256) -> __m256 {
+        let v = _mm256_cvtepi32_ps(_mm256_sub_epi32(acc, corr));
+        _mm256_add_ps(_mm256_mul_ps(v, scale), bias)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and the slices are equally long.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequant_slice_avx2(
+        acc: &[i32],
+        corr: i32,
+        scale: f32,
+        bias: f32,
+        relu: bool,
+        out: &mut [f32],
+    ) {
+        let vcorr = _mm256_set1_epi32(corr);
+        let vscale = _mm256_set1_ps(scale);
+        let vbias = _mm256_set1_ps(bias);
+        let zero = _mm256_setzero_ps();
+        let chunks = acc.len() / 8;
+        // SAFETY: chunk c covers [8c, 8c+8) with 8c+8 <= len of both slices.
+        unsafe {
+            for c in 0..chunks {
+                let a = _mm256_loadu_si256(acc.as_ptr().add(c * 8).cast());
+                let mut f = dequant8(a, vcorr, vscale, vbias);
+                if relu {
+                    f = _mm256_max_ps(f, zero);
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(c * 8), f);
+            }
+        }
+        for (o, &a) in out[chunks * 8..].iter_mut().zip(&acc[chunks * 8..]) {
+            *o = relu_sel(dequant_acc(a, corr, scale, bias), relu);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and the slices are equally long.
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_slice_avx2(
+        acc: &[i32],
+        corr: i32,
+        scale: f32,
+        bias: f32,
+        p: &QuantParams,
+        floor: i32,
+        out: &mut [i8],
+    ) {
+        let vcorr = _mm256_set1_epi32(corr);
+        let vscale = _mm256_set1_ps(scale);
+        let vbias = _mm256_set1_ps(bias);
+        let vfloor = _mm256_set1_epi32(floor);
+        let blocks = acc.len() / 16;
+        // SAFETY: block b covers [16b, 16b+16) with 16b+16 <= len of both
+        // slices.
+        unsafe {
+            for b in 0..blocks {
+                let a0 = _mm256_loadu_si256(acc.as_ptr().add(16 * b).cast());
+                let a1 = _mm256_loadu_si256(acc.as_ptr().add(16 * b + 8).cast());
+                let q0 = _mm256_max_epi32(quantize8(p, dequant8(a0, vcorr, vscale, vbias)), vfloor);
+                let q1 = _mm256_max_epi32(quantize8(p, dequant8(a1, vcorr, vscale, vbias)), vfloor);
+                store16_i8(q0, q1, out.as_mut_ptr().add(16 * b));
+            }
+        }
+        for (o, &a) in out[blocks * 16..].iter_mut().zip(&acc[blocks * 16..]) {
+            *o = p.quantize(dequant_acc(a, corr, scale, bias)).max(floor) as i8;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and all slices are equally long.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequant_rows_avx2(
+        acc: &[i32],
+        corrs: &[i32],
+        biases: &[f32],
+        scale: f32,
+        relu: bool,
+        out: &mut [f32],
+    ) {
+        let vscale = _mm256_set1_ps(scale);
+        let zero = _mm256_setzero_ps();
+        let chunks = acc.len() / 8;
+        // SAFETY: chunk c covers [8c, 8c+8) with 8c+8 <= len of all slices.
+        unsafe {
+            for c in 0..chunks {
+                let a = _mm256_loadu_si256(acc.as_ptr().add(c * 8).cast());
+                let vcorr = _mm256_loadu_si256(corrs.as_ptr().add(c * 8).cast());
+                let vbias = _mm256_loadu_ps(biases.as_ptr().add(c * 8));
+                let mut f = dequant8(a, vcorr, vscale, vbias);
+                if relu {
+                    f = _mm256_max_ps(f, zero);
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(c * 8), f);
+            }
+        }
+        for i in chunks * 8..out.len() {
+            out[i] = relu_sel(dequant_acc(acc[i], corrs[i], scale, biases[i]), relu);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported and all slices are equally long.
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_rows_avx2(
+        acc: &[i32],
+        corrs: &[i32],
+        biases: &[f32],
+        scale: f32,
+        p: &QuantParams,
+        floor: i32,
+        out: &mut [i8],
+    ) {
+        let vscale = _mm256_set1_ps(scale);
+        let vfloor = _mm256_set1_epi32(floor);
+        let blocks = acc.len() / 16;
+        // SAFETY: block b covers [16b, 16b+16) with 16b+16 <= len of all
+        // slices.
+        unsafe {
+            for b in 0..blocks {
+                let a0 = _mm256_loadu_si256(acc.as_ptr().add(16 * b).cast());
+                let a1 = _mm256_loadu_si256(acc.as_ptr().add(16 * b + 8).cast());
+                let c0 = _mm256_loadu_si256(corrs.as_ptr().add(16 * b).cast());
+                let c1 = _mm256_loadu_si256(corrs.as_ptr().add(16 * b + 8).cast());
+                let b0 = _mm256_loadu_ps(biases.as_ptr().add(16 * b));
+                let b1 = _mm256_loadu_ps(biases.as_ptr().add(16 * b + 8));
+                let q0 = _mm256_max_epi32(quantize8(p, dequant8(a0, c0, vscale, b0)), vfloor);
+                let q1 = _mm256_max_epi32(quantize8(p, dequant8(a1, c1, vscale, b1)), vfloor);
+                store16_i8(q0, q1, out.as_mut_ptr().add(16 * b));
+            }
+        }
+        for i in blocks * 16..out.len() {
+            out[i] = p.quantize(dequant_acc(acc[i], corrs[i], scale, biases[i])).max(floor) as i8;
         }
     }
 }

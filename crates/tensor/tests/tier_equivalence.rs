@@ -1,0 +1,327 @@
+//! Tier-equivalence property tests: every dispatched kernel must be
+//! **bit-identical** on every ISA tier the running machine supports.
+//!
+//! The tests iterate [`ie_tensor::dispatch::supported_tiers`] through the
+//! explicit-tier entry points (`ie_tensor::tiered::*`), comparing each
+//! higher tier against the portable baseline bit for bit. On hardware
+//! without AVX-512 VNNI the VNNI tier simply never appears in the list —
+//! the `IE_ISA=vnni` override degrades the same way — so the suite passes
+//! (with less coverage) everywhere. The CI portable-tier job additionally
+//! runs the *whole* workspace suite under `IE_ISA=portable`, which pins the
+//! auto-dispatched kernels to the baseline and must change no test outcome.
+
+use ie_tensor::dispatch::{supported_tiers, IsaTier};
+use ie_tensor::{tiered, QuantParams};
+use proptest::prelude::*;
+
+fn bits_f32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dense GEMM (the MR=6 register tile): all tiers bit-identical, across
+    /// tile/panel remainders.
+    #[test]
+    fn gemm_tiers_are_bit_identical(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let data = mulberry(seed, m * k + k * n);
+        let (a, b) = data.split_at(m * k);
+        let mut base = vec![0.0f32; m * n];
+        tiered::gemm_into(IsaTier::Portable, a, b, &mut base, m, k, n);
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0.0f32; m * n];
+            tiered::gemm_into(tier, a, b, &mut out, m, k, n);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "tier {:?} {}x{}x{}", tier, m, k, n);
+        }
+    }
+
+    /// Sparse-aware GEMM (explicit AVX2 axpy) on pruned-looking operands.
+    #[test]
+    fn sparse_gemm_tiers_are_bit_identical(
+        m in 1usize..12,
+        k in 1usize..30,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut data = mulberry(seed, m * k + k * n);
+        // Zero whole blocks of the left operand, like channel pruning does.
+        for (i, v) in data[..m * k].iter_mut().enumerate() {
+            if (i / 3) % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let (a, b) = data.split_at(m * k);
+        let mut base = vec![0.0f32; m * n];
+        tiered::gemm_sparse_into(IsaTier::Portable, a, b, &mut base, m, k, n);
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0.0f32; m * n];
+            tiered::gemm_sparse_into(tier, a, b, &mut out, m, k, n);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "tier {:?}", tier);
+        }
+    }
+
+    /// Matrix–vector products (single and batched lane-parallel dot).
+    #[test]
+    fn matvec_tiers_are_bit_identical(
+        m in 1usize..24,
+        k in 1usize..50,
+        batch in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data = mulberry(seed, m * k + batch * k);
+        let (a, xs) = data.split_at(m * k);
+        let mut base_single = vec![0.0f32; m];
+        tiered::matvec_into(IsaTier::Portable, a, &xs[..k], &mut base_single, m, k);
+        let mut base_batch = vec![0.0f32; batch * m];
+        tiered::matvec_batch_into(IsaTier::Portable, a, xs, &mut base_batch, m, k, batch);
+        for &tier in &supported_tiers()[1..] {
+            let mut single = vec![0.0f32; m];
+            tiered::matvec_into(tier, a, &xs[..k], &mut single, m, k);
+            prop_assert_eq!(bits_f32(&base_single), bits_f32(&single), "tier {:?}", tier);
+            let mut batched = vec![0.0f32; batch * m];
+            tiered::matvec_batch_into(tier, a, xs, &mut batched, m, k, batch);
+            prop_assert_eq!(bits_f32(&base_batch), bits_f32(&batched), "tier {:?}", tier);
+        }
+    }
+
+    /// Max pooling, `f32` and code domain, across window sizes (2 exercises
+    /// the explicit AVX2 kernel, 1 and 3 the shared portable path) and plane
+    /// widths around the 8/16-output vector blocks.
+    #[test]
+    fn max_pool_tiers_are_bit_identical(
+        planes in 1usize..4,
+        oh in 1usize..6,
+        ow in 1usize..24,
+        size in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (h, w) = (oh * size, ow * size);
+        let src = mulberry(seed, planes * h * w);
+        let codes: Vec<i8> = src.iter().map(|&v| (v * 6.0) as i8).collect();
+        let mut base = vec![0.0f32; planes * oh * ow];
+        tiered::max_pool_planes_into(IsaTier::Portable, &src, planes, h, w, size, &mut base);
+        let mut base_codes = vec![0i8; planes * oh * ow];
+        tiered::max_pool_planes_i8_into(
+            IsaTier::Portable, &codes, planes, h, w, size, &mut base_codes,
+        );
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0.0f32; planes * oh * ow];
+            tiered::max_pool_planes_into(tier, &src, planes, h, w, size, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "tier {:?} size {}", tier, size);
+            let mut out_codes = vec![0i8; planes * oh * ow];
+            tiered::max_pool_planes_i8_into(tier, &codes, planes, h, w, size, &mut out_codes);
+            prop_assert_eq!(&base_codes, &out_codes, "codes tier {:?} size {}", tier, size);
+        }
+    }
+
+    /// ReLU sweeps (`f32` and code floor) and the fused bias epilogues.
+    #[test]
+    fn relu_and_bias_tiers_are_bit_identical(
+        rows in 1usize..6,
+        plane in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let src = mulberry(seed, rows * plane);
+        let bias = mulberry(seed ^ 0x5a5a, rows);
+        let codes_src: Vec<i8> = src.iter().map(|&v| (v * 6.0) as i8).collect();
+        for &tier in &supported_tiers()[1..] {
+            let mut base = src.clone();
+            tiered::relu_slice(IsaTier::Portable, &mut base);
+            let mut out = src.clone();
+            tiered::relu_slice(tier, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "relu tier {:?}", tier);
+
+            let mut base_codes = codes_src.clone();
+            tiered::relu_codes_floor(IsaTier::Portable, &mut base_codes, -5);
+            let mut out_codes = codes_src.clone();
+            tiered::relu_codes_floor(tier, &mut out_codes, -5);
+            prop_assert_eq!(&base_codes, &out_codes, "relu codes tier {:?}", tier);
+
+            for relu in [false, true] {
+                let mut base_rows = src.clone();
+                tiered::add_bias_rows(IsaTier::Portable, &mut base_rows, plane, &bias, relu);
+                let mut out_rows = src.clone();
+                tiered::add_bias_rows(tier, &mut out_rows, plane, &bias, relu);
+                prop_assert_eq!(bits_f32(&base_rows), bits_f32(&out_rows), "bias tier {:?}", tier);
+
+                // Sample-major: reuse `src` as [plane, rows] with `bias` per row.
+                let mut base_s = src.clone();
+                tiered::add_bias_samples(IsaTier::Portable, &mut base_s, &bias, relu);
+                let mut out_s = src.clone();
+                tiered::add_bias_samples(tier, &mut out_s, &bias, relu);
+                prop_assert_eq!(bits_f32(&base_s), bits_f32(&out_s), "bias samples {:?}", tier);
+            }
+        }
+    }
+
+    /// Softmax: fixed reduction trees plus the shared polynomial exponential.
+    #[test]
+    fn softmax_tiers_are_bit_identical(len in 1usize..64, seed in 0u64..1000) {
+        let logits = mulberry(seed, len);
+        let mut base = vec![0.0f32; len];
+        tiered::softmax_slice_into(IsaTier::Portable, &logits, &mut base);
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0.0f32; len];
+            tiered::softmax_slice_into(tier, &logits, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "tier {:?} len {}", tier, len);
+        }
+    }
+
+    /// The transposed madd GEMM: `vpmaddwd` (AVX2) and `vpdpwssd` (VNNI)
+    /// tiers against the portable dot, including depths that exercise the
+    /// 32/16-element chunking and the scalar tail.
+    #[test]
+    fn madd_gemm_tiers_are_bit_identical(
+        m in 1usize..10,
+        kp in 1usize..80,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let data = mulberry(seed, m * kp + n * kp);
+        let codes: Vec<i16> = data.iter().map(|&v| (v * 2048.0) as i16).collect();
+        let (a, bt) = codes.split_at(m * kp);
+        let mut base = vec![0i32; m * n];
+        tiered::gemm_i16t_into(IsaTier::Portable, a, bt, &mut base, m, kp, n);
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0i32; m * n];
+            tiered::gemm_i16t_into(tier, a, bt, &mut out, m, kp, n);
+            prop_assert_eq!(&base, &out, "tier {:?} {}x{}x{}", tier, m, kp, n);
+        }
+    }
+
+    /// Activation quantization and both requantization epilogue layouts.
+    #[test]
+    fn quantize_and_requant_tiers_are_bit_identical(
+        len in 1usize..80,
+        bits in 2u8..=8,
+        seed in 0u64..1000,
+    ) {
+        let p = QuantParams::from_range(0.0, 9.5, bits);
+        let signed = QuantParams::from_range(-4.0, 4.0, bits);
+        let src = mulberry(seed, len);
+        let accs: Vec<i32> = src.iter().map(|&v| (v * 100_000.0) as i32).collect();
+        let corrs: Vec<i32> = mulberry(seed ^ 0x77, len).iter().map(|&v| (v * 50.0) as i32).collect();
+        let biases = mulberry(seed ^ 0x99, len);
+        let (scale, corr, bias) = (3.1e-3f32, 17i32, 0.37f32);
+        for &tier in &supported_tiers()[1..] {
+            for params in [&p, &signed] {
+                let mut base = vec![0i8; len];
+                params.quantize_slice_into_tier(IsaTier::Portable, &src, &mut base);
+                let mut out = vec![0i8; len];
+                params.quantize_slice_into_tier(tier, &src, &mut out);
+                prop_assert_eq!(&base, &out, "quantize tier {:?}", tier);
+
+                for relu in [false, true] {
+                    let mut base_f = vec![0.0f32; len];
+                    tiered::dequant_slice_into(
+                        IsaTier::Portable, &accs, corr, scale, bias, relu, &mut base_f,
+                    );
+                    let mut out_f = vec![0.0f32; len];
+                    tiered::dequant_slice_into(tier, &accs, corr, scale, bias, relu, &mut out_f);
+                    prop_assert_eq!(bits_f32(&base_f), bits_f32(&out_f), "dequant {:?}", tier);
+
+                    let mut base_r = vec![0.0f32; len];
+                    tiered::dequant_rows_slice_into(
+                        IsaTier::Portable, &accs, &corrs, &biases, scale, relu, &mut base_r,
+                    );
+                    let mut out_r = vec![0.0f32; len];
+                    tiered::dequant_rows_slice_into(
+                        tier, &accs, &corrs, &biases, scale, relu, &mut out_r,
+                    );
+                    prop_assert_eq!(bits_f32(&base_r), bits_f32(&out_r), "dequant rows {:?}", tier);
+
+                    let floor = if relu { params.zero_point() } else { params.lo() };
+                    let mut base_c = vec![0i8; len];
+                    tiered::requant_slice_into(
+                        IsaTier::Portable, &accs, corr, scale, bias, params, floor, &mut base_c,
+                    );
+                    let mut out_c = vec![0i8; len];
+                    tiered::requant_slice_into(
+                        tier, &accs, corr, scale, bias, params, floor, &mut out_c,
+                    );
+                    prop_assert_eq!(&base_c, &out_c, "requant tier {:?}", tier);
+
+                    let mut base_rc = vec![0i8; len];
+                    tiered::requant_rows_slice_into(
+                        IsaTier::Portable, &accs, &corrs, &biases, scale, params, floor,
+                        &mut base_rc,
+                    );
+                    let mut out_rc = vec![0i8; len];
+                    tiered::requant_rows_slice_into(
+                        tier, &accs, &corrs, &biases, scale, params, floor, &mut out_rc,
+                    );
+                    prop_assert_eq!(&base_rc, &out_rc, "requant rows tier {:?}", tier);
+                }
+            }
+        }
+    }
+
+    /// Edge values — NaN, infinities, signed zeros, exact ties — resolve
+    /// identically on every tier (the `vmaxps` select semantics).
+    #[test]
+    fn edge_values_resolve_identically_across_tiers(seed in 0u64..200) {
+        let mut src = mulberry(seed, 64);
+        let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0, 1.0, -1.0];
+        for (i, v) in src.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = specials[i % specials.len()];
+            }
+        }
+        for &tier in &supported_tiers()[1..] {
+            let mut base = src.clone();
+            tiered::relu_slice(IsaTier::Portable, &mut base);
+            let mut out = src.clone();
+            tiered::relu_slice(tier, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "relu specials {:?}", tier);
+
+            let mut base_p = vec![0.0f32; 16];
+            tiered::max_pool_planes_into(IsaTier::Portable, &src, 1, 4, 16, 2, &mut base_p);
+            let mut out_p = vec![0.0f32; 16];
+            tiered::max_pool_planes_into(tier, &src, 1, 4, 16, 2, &mut out_p);
+            prop_assert_eq!(bits_f32(&base_p), bits_f32(&out_p), "pool specials {:?}", tier);
+
+            let p = QuantParams::from_range(0.0, 4.0, 8);
+            let mut base_q = vec![0i8; 64];
+            p.quantize_slice_into_tier(IsaTier::Portable, &src, &mut base_q);
+            let mut out_q = vec![0i8; 64];
+            p.quantize_slice_into_tier(tier, &src, &mut out_q);
+            prop_assert_eq!(&base_q, &out_q, "quantize specials {:?}", tier);
+
+            let mut base_s = vec![0.0f32; 64];
+            tiered::softmax_slice_into(IsaTier::Portable, &src, &mut base_s);
+            let mut out_s = vec![0.0f32; 64];
+            tiered::softmax_slice_into(tier, &src, &mut out_s);
+            prop_assert_eq!(bits_f32(&base_s), bits_f32(&out_s), "softmax specials {:?}", tier);
+        }
+    }
+}
+
+/// Deterministic pseudo-random `f32` generator (mulberry32) so every shape
+/// gets stable, seed-addressable data without pulling a full RNG strategy
+/// through `prop_flat_map`.
+fn mulberry(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map to roughly [-8, 8) with plenty of fractional variety.
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 16.0 - 8.0) as f32
+        })
+        .collect()
+}
+
+/// The dispatch override contract: `active()` never exceeds the hardware and
+/// honours `IE_ISA` when set (the CI portable job relies on this).
+#[test]
+fn active_tier_is_always_supported() {
+    let active = ie_tensor::dispatch::active();
+    assert!(supported_tiers().contains(&active));
+}
