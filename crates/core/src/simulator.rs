@@ -71,6 +71,12 @@ impl EventLoopSimulator {
     /// A window of 1 reproduces [`Self::run`] exactly: every event is drained
     /// at its own arrival time with zero wait.
     ///
+    /// A window of 0 is meaningless (a batch that can never hold an event)
+    /// and is rejected up front rather than silently treated as 1 — the same
+    /// contract the serving layer's `WindowConfig` enforces for its
+    /// `max_batch`, so a zero window can never loop forever or drop events
+    /// in either batching path.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for an invalid configuration or a

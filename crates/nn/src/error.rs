@@ -43,6 +43,20 @@ pub enum NnError {
     /// A planned continuation was requested before any planned forward pass
     /// populated the execution plan's cached trunk state.
     MissingPlannedState,
+    /// A sharded-evaluation worker thread panicked. Instead of aborting the
+    /// whole process on join, the panic is surfaced as an error naming the
+    /// worker and its sample shard so long-running callers (the serving
+    /// loop) can degrade gracefully.
+    WorkerPanic {
+        /// Index of the panicking worker (= shard index).
+        worker: usize,
+        /// First sample index of the worker's shard.
+        shard_start: usize,
+        /// Number of samples in the worker's shard.
+        shard_len: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -67,6 +81,12 @@ impl fmt::Display for NnError {
             NnError::MissingPlannedState => write!(
                 f,
                 "continue_to_exit_with called on an execution plan with no cached forward state"
+            ),
+            NnError::WorkerPanic { worker, shard_start, shard_len, message } => write!(
+                f,
+                "evaluation worker {worker} panicked on samples \
+                 {shard_start}..{} ({shard_len} samples): {message}",
+                shard_start + shard_len
             ),
         }
     }
@@ -104,6 +124,12 @@ mod tests {
             NnError::NonMonotonicExit { current: 2, requested: 1 },
             NnError::InvalidLabel { label: 12, classes: 10 },
             NnError::InvalidSpec("exit after missing layer".into()),
+            NnError::WorkerPanic {
+                worker: 1,
+                shard_start: 30,
+                shard_len: 30,
+                message: "boom".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

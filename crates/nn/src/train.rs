@@ -3,7 +3,7 @@
 
 use crate::dataset::Sample;
 use crate::quant::QuantConfig;
-use crate::{BatchPlan, MultiExitNetwork, Result, Sgd};
+use crate::{BatchPlan, MultiExitNetwork, NnError, Result, Sgd};
 use ie_tensor::Tensor;
 
 /// Configuration of a multi-exit training run.
@@ -113,20 +113,72 @@ pub fn evaluate(network: &MultiExitNetwork, samples: &[Sample]) -> Result<Vec<f3
 /// Default batch size of the batched evaluators (8 samples per widened pass).
 pub const DEFAULT_EVAL_BATCH: usize = 8;
 
-/// Parses a thread-count override, accepting only positive integers.
-fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+/// Classification of a thread-count override read from the environment
+/// (see [`classify_thread_override`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadOverride {
+    /// The variable is not set — use the default.
+    Unset,
+    /// A valid positive-integer override.
+    Threads(usize),
+    /// The variable is set but unusable. Callers fall back to the default
+    /// and should surface the problem once instead of swallowing it.
+    Invalid {
+        /// The raw value found in the environment.
+        value: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
+/// Classifies a thread-count override: `None` is [`ThreadOverride::Unset`],
+/// a positive integer is [`ThreadOverride::Threads`], and anything else —
+/// including an explicit `0`, which would deadlock a sharded evaluation —
+/// is [`ThreadOverride::Invalid`] with the reason.
+pub fn classify_thread_override(value: Option<&str>) -> ThreadOverride {
+    let Some(raw) = value else { return ThreadOverride::Unset };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => ThreadOverride::Invalid {
+            value: raw.to_string(),
+            reason: "thread count must be at least 1",
+        },
+        Ok(n) => ThreadOverride::Threads(n),
+        Err(_) => {
+            ThreadOverride::Invalid { value: raw.to_string(), reason: "not a positive integer" }
+        }
+    }
+}
+
+/// Default worker-thread count when no override is set: the machine's
+/// available parallelism capped at 4.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
+}
+
+static EVAL_THREADS_WARNING: std::sync::Once = std::sync::Once::new();
+
 /// Worker-thread count for sharded evaluation: the `IE_EVAL_THREADS`
-/// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism capped at 4. The thread count never
-/// changes results — the sharded reduction is deterministic — so this is a
-/// pure throughput knob (and what the CI thread-matrix job varies).
+/// environment variable when set to a positive integer, otherwise
+/// [`default_threads`]. A set-but-invalid value (including `0`) falls back
+/// to the default and emits a one-time warning on stderr instead of being
+/// silently swallowed. The thread count never changes results — the sharded
+/// reduction is deterministic — so this is a pure throughput knob (and what
+/// the CI thread-matrix job varies).
 pub fn eval_threads() -> usize {
-    parse_threads(std::env::var("IE_EVAL_THREADS").ok().as_deref()).unwrap_or_else(|| {
-        std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
-    })
+    match classify_thread_override(std::env::var("IE_EVAL_THREADS").ok().as_deref()) {
+        ThreadOverride::Threads(n) => n,
+        ThreadOverride::Unset => default_threads(),
+        ThreadOverride::Invalid { value, reason } => {
+            let fallback = default_threads();
+            EVAL_THREADS_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: ignoring IE_EVAL_THREADS={value:?} ({reason}); \
+                     falling back to {fallback} worker threads"
+                );
+            });
+            fallback
+        }
+    }
 }
 
 /// A reusable pool of per-worker [`BatchPlan`]s for the sharded evaluators.
@@ -176,6 +228,23 @@ impl BatchPlanPool {
         }
         &mut self.plans[..count]
     }
+
+    /// Hands one warmed plan compatible with `network` and `batch` out of the
+    /// pool, building a fresh one when nothing pooled fits. Ownership moves
+    /// to the caller — this is the serve-worker handoff: each worker takes a
+    /// plan at startup, owns it for its lifetime, and [`BatchPlanPool::put`]s
+    /// it back on shutdown.
+    pub fn take(&mut self, network: &MultiExitNetwork, batch: usize) -> BatchPlan {
+        match self.plans.iter().position(|p| p.is_compatible(network) && p.max_batch() >= batch) {
+            Some(i) => self.plans.swap_remove(i),
+            None => BatchPlan::for_architecture(network.architecture(), batch),
+        }
+    }
+
+    /// Returns a plan to the pool for later reuse.
+    pub fn put(&mut self, plan: BatchPlan) {
+        self.plans.push(plan);
+    }
 }
 
 /// The shared shard/reduce skeleton of the batched evaluators: splits the
@@ -207,16 +276,7 @@ fn evaluate_with_plans(
     let counts: Vec<Result<Vec<usize>>> = if threads == 1 {
         vec![eval_shard(samples, &mut plans[0])]
     } else {
-        let shard_len = samples.len().div_ceil(threads);
-        let eval_shard = &eval_shard;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(shard_len)
-                .zip(plans.iter_mut())
-                .map(|(shard, plan)| scope.spawn(move || eval_shard(shard, plan)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
-        })
+        join_sharded(samples, plans, eval_shard)
     };
     let mut total = vec![0usize; num_exits];
     for shard_counts in counts {
@@ -225,6 +285,56 @@ fn evaluate_with_plans(
         }
     }
     Ok(total.iter().map(|&c| c as f32 / samples.len() as f32).collect())
+}
+
+/// The scoped-thread shard/join skeleton: one contiguous shard per plan,
+/// results collected in shard order. A panicking worker is caught at join
+/// and surfaced as [`NnError::WorkerPanic`] naming the worker and its shard
+/// instead of aborting the whole process — a serving loop that shares this
+/// path must degrade gracefully, not die.
+fn join_sharded<F>(
+    samples: &[Sample],
+    plans: &mut [BatchPlan],
+    eval_shard: F,
+) -> Vec<Result<Vec<usize>>>
+where
+    F: Fn(&[Sample], &mut BatchPlan) -> Result<Vec<usize>> + Sync,
+{
+    let shard_len = samples.len().div_ceil(plans.len());
+    let eval_shard = &eval_shard;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = samples
+            .chunks(shard_len)
+            .zip(plans.iter_mut())
+            .enumerate()
+            .map(|(worker, (shard, plan))| {
+                (worker, shard.len(), scope.spawn(move || eval_shard(shard, plan)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(worker, len, handle)| match handle.join() {
+                Ok(result) => result,
+                Err(payload) => Err(NnError::WorkerPanic {
+                    worker,
+                    shard_start: worker * shard_len,
+                    shard_len: len,
+                    message: panic_message(payload.as_ref()),
+                }),
+            })
+            .collect()
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Evaluates the accuracy of every exit on the given samples using batched
@@ -244,10 +354,8 @@ fn evaluate_with_plans(
 /// # Errors
 ///
 /// Propagates layer shape errors from the workers (first shard's error wins).
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// A panicking worker is caught at join and surfaced as
+/// [`NnError::WorkerPanic`] naming the worker and its shard.
 pub fn evaluate_batched(
     network: &MultiExitNetwork,
     samples: &[Sample],
@@ -267,10 +375,8 @@ pub fn evaluate_batched(
 /// # Errors
 ///
 /// Propagates layer shape errors from the workers (first shard's error wins).
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// A panicking worker is caught at join and surfaced as
+/// [`NnError::WorkerPanic`] naming the worker and its shard.
 pub fn evaluate_batched_with_pool(
     network: &MultiExitNetwork,
     samples: &[Sample],
@@ -343,6 +449,39 @@ impl QuantPlanPool {
         }
         Ok(&mut self.plans[..count])
     }
+
+    /// Hands one quantized plan baked for `network` under `config` out of
+    /// the pool: a repackable pooled plan is re-packed in place and moved to
+    /// the caller, otherwise a fresh plan is built. The serve-worker
+    /// counterpart of [`BatchPlanPool::take`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::InvalidSpec`] when `config` does not match
+    /// the network.
+    pub fn take(
+        &mut self,
+        network: &MultiExitNetwork,
+        config: &QuantConfig,
+        batch: usize,
+    ) -> Result<BatchPlan> {
+        match self.plans.iter().position(|p| p.can_repack_quantized(network, batch)) {
+            Some(i) => {
+                let mut plan = self.plans.swap_remove(i);
+                plan.repack_quantized(network, config)?;
+                Ok(plan)
+            }
+            None => {
+                let model = crate::quant::QuantizedModel::for_network(network, config)?;
+                Ok(BatchPlan::for_quantized_model(network.architecture(), model, batch))
+            }
+        }
+    }
+
+    /// Returns a plan to the pool for later repacking and reuse.
+    pub fn put(&mut self, plan: BatchPlan) {
+        self.plans.push(plan);
+    }
 }
 
 /// Evaluates the accuracy of every exit with the **integer** execution
@@ -361,10 +500,8 @@ impl QuantPlanPool {
 ///
 /// Returns [`crate::NnError::InvalidSpec`] when `config` does not match the
 /// network, and propagates layer shape errors from the workers.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// A panicking worker is caught at join and surfaced as
+/// [`NnError::WorkerPanic`] naming the worker and its shard.
 pub fn evaluate_quantized(
     network: &MultiExitNetwork,
     config: &QuantConfig,
@@ -386,10 +523,8 @@ pub fn evaluate_quantized(
 ///
 /// Returns [`crate::NnError::InvalidSpec`] when `config` does not match the
 /// network, and propagates layer shape errors from the workers.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// A panicking worker is caught at join and surfaced as
+/// [`NnError::WorkerPanic`] naming the worker and its shard.
 pub fn evaluate_quantized_with_pool(
     network: &MultiExitNetwork,
     config: &QuantConfig,
@@ -648,13 +783,114 @@ mod tests {
     }
 
     #[test]
-    fn thread_override_parses_only_positive_integers() {
-        assert_eq!(super::parse_threads(Some("4")), Some(4));
-        assert_eq!(super::parse_threads(Some(" 2 ")), Some(2));
-        assert_eq!(super::parse_threads(Some("0")), None);
-        assert_eq!(super::parse_threads(Some("-1")), None);
-        assert_eq!(super::parse_threads(Some("lots")), None);
-        assert_eq!(super::parse_threads(None), None);
+    fn thread_override_classifies_values_instead_of_swallowing_them() {
+        assert_eq!(classify_thread_override(Some("4")), ThreadOverride::Threads(4));
+        assert_eq!(classify_thread_override(Some(" 2 ")), ThreadOverride::Threads(2));
+        assert_eq!(classify_thread_override(None), ThreadOverride::Unset);
+        // `0` is rejected explicitly, with its own reason — a zero-thread
+        // evaluation cannot make progress.
+        assert_eq!(
+            classify_thread_override(Some("0")),
+            ThreadOverride::Invalid {
+                value: "0".into(),
+                reason: "thread count must be at least 1"
+            }
+        );
+        for bad in ["-1", "lots", "", "4.5"] {
+            assert!(
+                matches!(
+                    classify_thread_override(Some(bad)),
+                    ThreadOverride::Invalid { ref value, reason: "not a positive integer" }
+                        if value == bad
+                ),
+                "{bad:?} must classify as invalid"
+            );
+        }
         assert!(eval_threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_an_error_naming_the_shard() {
+        // Drive a panicking shard closure through the production join path:
+        // the panic must come back as `NnError::WorkerPanic`, not abort.
+        let data = SyntheticDataset::generate(2, 8, 20, 0.1, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(2), &mut rng).unwrap();
+        let mut pool = BatchPlanPool::new();
+        let plans = pool.ensure(&net, 4, 3);
+        let samples = &data.train()[..12];
+        let results = super::join_sharded(samples, plans, |shard, _plan| {
+            if std::ptr::eq(&shard[0], &samples[4]) {
+                panic!("injected shard failure");
+            }
+            Ok(vec![shard.len(), 0])
+        });
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok() && results[2].is_ok(), "healthy shards still report");
+        match &results[1] {
+            Err(NnError::WorkerPanic { worker, shard_start, shard_len, message }) => {
+                assert_eq!((*worker, *shard_start, *shard_len), (1, 4, 4));
+                assert!(message.contains("injected shard failure"));
+                let text = results[1].as_ref().unwrap_err().to_string();
+                assert!(text.contains("worker 1") && text.contains("4..8"), "{text}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_handoff_reuses_warmed_plans() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let mut pool = BatchPlanPool::new();
+        // Taking from an empty pool builds; putting back pools it.
+        let plan = pool.take(&net, 4);
+        assert!(plan.is_compatible(&net) && plan.max_batch() >= 4);
+        assert!(pool.is_empty());
+        pool.put(plan);
+        assert_eq!(pool.len(), 1);
+        // A compatible request reuses the pooled plan instead of building.
+        let again = pool.take(&net, 4);
+        assert!(pool.is_empty(), "the pooled plan was handed back out");
+        pool.put(again);
+        // An incompatible request leaves the pooled plan alone.
+        let other = MultiExitNetwork::from_architecture(&tiny_multi_exit(4), &mut rng).unwrap();
+        let fresh = pool.take(&other, 4);
+        assert!(fresh.is_compatible(&other));
+        assert_eq!(pool.len(), 1, "the incompatible pooled plan stays put");
+    }
+
+    #[test]
+    fn quant_pool_handoff_repacks_warmed_plans() {
+        use crate::quant::config_from_bits;
+        use ie_tensor::QuantParams;
+
+        let data = SyntheticDataset::generate(3, 8, 24, 0.1, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let n = net.architecture().compressible_layers().len();
+        let first = QuantParams::from_range(-3.0, 3.0, 8);
+        let act = QuantParams::from_range(0.0, 8.0, 8);
+        let cfg = config_from_bits(
+            &net,
+            &(0..n).map(|i| Some((8, if i == 0 { first } else { act }))).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut pool = QuantPlanPool::new();
+        let mut plan = pool.take(&net, &cfg, 4).unwrap();
+        assert!(pool.is_empty());
+        // The handed-out plan runs the integer engine and matches the
+        // pool-less quantized evaluation.
+        let reference = evaluate_quantized(&net, &cfg, data.test(), 4, 1).unwrap();
+        let pooled =
+            evaluate_with_plans(&net, data.test(), 4, std::slice::from_mut(&mut plan)).unwrap();
+        assert_eq!(pooled, reference);
+        pool.put(plan);
+        assert_eq!(pool.len(), 1);
+        // Taking again repacks the pooled plan in place (same code buffers).
+        let warmed = pool.take(&net, &cfg, 4).unwrap();
+        assert!(pool.is_empty(), "the pooled plan was repacked and handed out");
+        assert!(warmed.quantized_model().is_some());
     }
 }

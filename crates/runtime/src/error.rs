@@ -9,6 +9,9 @@ pub enum RuntimeError {
     NoEpisodes,
     /// A discretisation was configured with zero bins.
     InvalidDiscretization(String),
+    /// A latency-admission adapter was configured with an invalid cost or
+    /// accuracy table.
+    InvalidAdmission(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -18,6 +21,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoEpisodes => write!(f, "runtime adaptation needs at least one episode"),
             RuntimeError::InvalidDiscretization(msg) => {
                 write!(f, "invalid state discretisation: {msg}")
+            }
+            RuntimeError::InvalidAdmission(msg) => {
+                write!(f, "invalid latency admission table: {msg}")
             }
         }
     }
@@ -48,6 +54,7 @@ mod tests {
             ie_core::CoreError::InvalidConfig("x".into()).into(),
             RuntimeError::NoEpisodes,
             RuntimeError::InvalidDiscretization("zero bins".into()),
+            RuntimeError::InvalidAdmission("empty cost table".into()),
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());

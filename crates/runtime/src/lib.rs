@@ -18,6 +18,12 @@
 //! Fig. 7, and [`RuntimeAdaptation`] runs the repeated learning episodes that
 //! generate the Fig. 7(a) learning curve and the Fig. 7(b) exit histogram.
 //!
+//! [`LatencyAdmission`] re-reads either policy as **admission control** for
+//! the inference server (`ie_serve`): the per-exit energy costs become
+//! per-exit latency costs and the stored energy becomes a request's latency
+//! budget, so the same tables that pick exits on the harvesting device pick
+//! exits (or shed load) under a latency SLO.
+//!
 //! # Example
 //!
 //! ```
@@ -36,12 +42,14 @@
 #![warn(missing_docs)]
 
 mod adaptation;
+mod admission;
 mod error;
 mod qpolicy;
 mod state;
 mod static_lut;
 
 pub use adaptation::{AdaptationConfig, AdaptationOutcome, RuntimeAdaptation};
+pub use admission::LatencyAdmission;
 pub use error::RuntimeError;
 pub use qpolicy::{QLearningConfig, QLearningExitPolicy};
 pub use state::StateDiscretizer;

@@ -18,11 +18,19 @@ pub struct StaticLutPolicy {
 impl StaticLutPolicy {
     /// Builds the LUT for a deployed model and storage capacity.
     pub fn build(model: &DeployedModel, capacity_mj: f64, discretizer: StateDiscretizer) -> Self {
-        let exit_energy = model.exit_energies_mj();
+        StaticLutPolicy::from_costs(&model.exit_energies_mj(), capacity_mj, discretizer)
+    }
+
+    /// Builds the LUT directly from a per-exit cost table and a capacity in
+    /// the same unit. The paper's deployment uses energy costs (mJ); the
+    /// serving loop reuses the identical structure over latency costs
+    /// (seconds) for budget-based admission control
+    /// (see [`crate::LatencyAdmission`]).
+    pub fn from_costs(exit_cost: &[f64], capacity: f64, discretizer: StateDiscretizer) -> Self {
         let table = (0..discretizer.energy_bins())
             .map(|bin| {
-                let budget = discretizer.energy_bin_midpoint(bin) * capacity_mj;
-                exit_energy
+                let budget = discretizer.energy_bin_midpoint(bin) * capacity;
+                exit_cost
                     .iter()
                     .enumerate()
                     .filter(|(_, &cost)| cost <= budget)
@@ -30,7 +38,7 @@ impl StaticLutPolicy {
                     .next_back()
             })
             .collect();
-        StaticLutPolicy { discretizer, table, capacity_mj }
+        StaticLutPolicy { discretizer, table, capacity_mj: capacity }
     }
 
     /// The lookup table (index = energy bin).

@@ -1,0 +1,105 @@
+//! Demo of the open-loop serving path: calibrates per-exit latency costs,
+//! builds the static-LUT admission table, replays a synthetic request
+//! stream through the dynamic batching window and prints the report.
+//!
+//! Knobs (all environment variables):
+//! * `IE_SERVE_THREADS` — worker threads (default: machine parallelism, ≤4)
+//! * `IE_SERVE_WINDOW` — max requests per batch (default 8)
+//! * `IE_SERVE_DEADLINE_MS` — window deadline in milliseconds (default 2)
+//! * `IE_SERVE_REQUESTS` — number of requests to replay (default 512)
+
+use ie_nn::dataset::SyntheticDataset;
+use ie_nn::spec::tiny_multi_exit;
+use ie_nn::train::BatchPlanPool;
+use ie_nn::MultiExitNetwork;
+use ie_runtime::{LatencyAdmission, StateDiscretizer};
+use ie_serve::{serve_threads, Request, ServeConfig, Server, WindowConfig};
+use std::time::Instant;
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Measures each exit's single-input latency (seconds) on the planned path.
+fn calibrate(network: &MultiExitNetwork, probe: &ie_tensor::Tensor) -> Vec<f64> {
+    let mut plan = network.execution_plan();
+    let reps = 20;
+    (0..network.num_exits())
+        .map(|exit| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                network.forward_to_exit_with(&mut plan, probe, exit).expect("calibration pass");
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let threads = serve_threads();
+    let window = WindowConfig {
+        max_batch: env_usize("IE_SERVE_WINDOW", 8),
+        deadline_s: env_usize("IE_SERVE_DEADLINE_MS", 2) as f64 / 1000.0,
+    };
+    let total = env_usize("IE_SERVE_REQUESTS", 512);
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(42);
+    let network =
+        MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).expect("demo network");
+    let data = SyntheticDataset::generate(3, 8, total, 0.1, 7);
+    let samples: Vec<_> = data.train().iter().chain(data.test()).cloned().collect();
+
+    let costs = calibrate(&network, &samples[0].image);
+    println!(
+        "calibrated per-exit latency (us): {:?}",
+        costs.iter().map(|c| (c * 1e6).round()).collect::<Vec<_>>()
+    );
+    let accuracies = vec![0.6; network.num_exits()];
+    let mut admission =
+        LatencyAdmission::static_lut(costs.clone(), accuracies, StateDiscretizer::paper_default())
+            .expect("admission table");
+
+    // Open-loop stream: fixed inter-arrival, budgets sweeping from below the
+    // cheapest exit (shed) to beyond the deepest (full depth).
+    let gap_s = costs[0].max(1e-6);
+    let max_cost = costs.last().copied().unwrap_or(1e-3);
+    let requests: Vec<Request> = (0..total)
+        .map(|i| Request {
+            id: i as u64,
+            arrival_s: i as f64 * gap_s,
+            budget_s: (i % 10) as f64 / 6.0 * max_cost,
+            input: samples[i % samples.len()].image.clone(),
+        })
+        .collect();
+
+    let mut pool = BatchPlanPool::new();
+    let config = ServeConfig { window, threads };
+    let mut server = Server::new(&network, config, &mut pool).expect("server config");
+    let outcome = server.replay(&mut admission, &requests).expect("replay");
+    for plan in server.into_plans() {
+        pool.put(plan);
+    }
+
+    let r = &outcome.report;
+    println!("policy          : {}", admission.policy_name());
+    println!(
+        "threads x window: {threads} x {} (deadline {:.1} ms)",
+        window.max_batch,
+        window.deadline_s * 1e3
+    );
+    println!("served / shed   : {} / {}", r.served, r.rejected);
+    println!("batches (fill)  : {} ({:.2})", r.batches, r.mean_batch_fill);
+    println!(
+        "queue wait      : p50 {:.3} ms, p99 {:.3} ms",
+        r.wait_p50_s * 1e3,
+        r.wait_p99_s * 1e3
+    );
+    println!(
+        "latency         : p50 {:.3} ms, p99 {:.3} ms",
+        r.latency_p50_s * 1e3,
+        r.latency_p99_s * 1e3
+    );
+    println!("throughput      : {:.0} req/s", r.throughput_rps);
+}

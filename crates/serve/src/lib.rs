@@ -1,0 +1,42 @@
+//! `ie-serve` — the open-loop serving layer over the multi-exit inference
+//! engine.
+//!
+//! The paper's deployment answers one event at a time on a harvesting
+//! device; this crate answers a *stream* of requests on a server, reusing
+//! the same machinery end to end:
+//!
+//! * worker threads each own a warmed [`ie_nn::BatchPlan`] (f32 or
+//!   quantized), taken from the caller's plan pool — the handoff that keeps
+//!   serving allocation-free after startup;
+//! * a **dynamic batching window** ([`WindowConfig`], [`compose_batches`])
+//!   closes each batch at size `N` or deadline `T`, whichever comes first;
+//! * the runtime exit policies act as **admission control**
+//!   ([`ie_runtime::LatencyAdmission`]): per request, the deepest exit whose
+//!   predicted latency fits the request's budget — or load shedding when
+//!   none does — exactly the paper's energy rule with latency as the
+//!   resource;
+//! * responses carry only deterministic content, so a fixed request stream
+//!   produces **byte-identical responses** for any worker count, batch
+//!   composition and repeated run (see [`Server::replay`]).
+//!
+//! [`Server::replay`] serves a recorded stream on a virtual clock (tests,
+//! benches); [`Server::run_live`] runs real worker threads against the wall
+//! clock behind a [`LiveHandle`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod report;
+mod request;
+mod server;
+mod window;
+
+pub use error::ServeError;
+pub use report::{percentile, ServeReport};
+pub use request::{Request, Response, Verdict};
+pub use server::{serve_threads, LiveHandle, ServeConfig, ServeOutcome, Server};
+pub use window::{compose_batches, WindowBatch, WindowConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,76 @@
+//! Serving-run statistics: what the bench family reports and what the
+//! operator watches. Everything derived from the *virtual* clock (queue
+//! waits, batch fill) is deterministic for a fixed request stream; the
+//! latency percentiles and throughput fold in measured compute time and are
+//! machine-dependent by nature.
+
+/// Aggregate statistics of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests admitted and answered with a prediction.
+    pub served: usize,
+    /// Requests shed by admission control.
+    pub rejected: usize,
+    /// Number of closed batching windows.
+    pub batches: usize,
+    /// Mean requests per batch (0 when no batch closed).
+    pub mean_batch_fill: f64,
+    /// Median queue wait on the virtual clock (deterministic).
+    pub wait_p50_s: f64,
+    /// 99th-percentile queue wait on the virtual clock (deterministic).
+    pub wait_p99_s: f64,
+    /// Median request latency — queue wait plus compute, compute measured.
+    pub latency_p50_s: f64,
+    /// 99th-percentile request latency.
+    pub latency_p99_s: f64,
+    /// Served requests per second of modeled makespan.
+    pub throughput_rps: f64,
+    /// Total measured compute across all batches (seconds).
+    pub compute_s: f64,
+}
+
+impl ServeReport {
+    /// A report for a run that served nothing.
+    pub fn empty() -> Self {
+        ServeReport {
+            served: 0,
+            rejected: 0,
+            batches: 0,
+            mean_batch_fill: 0.0,
+            wait_p50_s: 0.0,
+            wait_p99_s: 0.0,
+            latency_p50_s: 0.0,
+            latency_p99_s: 0.0,
+            throughput_rps: 0.0,
+            compute_s: 0.0,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set (`q` in `0..=1`).
+/// Returns 0 for an empty set.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile over non-finite values"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0, "input need not be sorted");
+    }
+}

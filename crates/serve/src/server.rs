@@ -1,0 +1,573 @@
+//! The serving loop itself: worker threads own warmed [`BatchPlan`]s, a
+//! dynamic batching window groups admitted requests, and a runtime policy
+//! (via [`LatencyAdmission`]) picks each request's early exit — or sheds it —
+//! under its latency budget.
+//!
+//! Two execution modes share all decision logic:
+//!
+//! * **replay** ([`Server::replay`]) runs a pre-recorded request stream on a
+//!   virtual clock. Batch composition is the pure [`compose_batches`], so
+//!   the whole run — responses *and* queue waits — is deterministic for a
+//!   fixed stream, independent of worker count. This is what the tests and
+//!   the `serve_loop/*` bench family use.
+//! * **live** ([`Server::run_live`]) accepts requests pushed from a load
+//!   generator and closes windows against the wall clock. Response *content*
+//!   is still deterministic for a fixed submission order (admission runs in
+//!   submission order and batched inference is bit-identical per sample);
+//!   timing statistics are measured and machine-dependent.
+//!
+//! Admission happens strictly in arrival order before batching, and no
+//! outcome feedback reaches the policy, so batch composition can never
+//! change a decision — the key to byte-identical responses across thread
+//! counts.
+
+use crate::window::{compose_batches, WindowBatch, WindowConfig};
+use crate::{percentile, Request, Response, Result, ServeError, ServeReport, Verdict};
+use ie_nn::quant::QuantConfig;
+use ie_nn::train::{classify_thread_override, default_threads, ThreadOverride};
+use ie_nn::train::{BatchPlanPool, QuantPlanPool};
+use ie_nn::{BatchPlan, MultiExitNetwork};
+use ie_runtime::LatencyAdmission;
+use ie_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// The dynamic batching window (size-N / deadline-T close rule).
+    pub window: WindowConfig,
+    /// Worker threads; each owns one warmed [`BatchPlan`].
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// Validates the window and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero thread count or an
+    /// invalid window.
+    pub fn validate(&self) -> Result<()> {
+        self.window.validate()?;
+        if self.threads == 0 {
+            return Err(ServeError::InvalidConfig("server needs at least one worker".into()));
+        }
+        Ok(())
+    }
+}
+
+static SERVE_THREADS_WARNING: std::sync::Once = std::sync::Once::new();
+
+/// Worker-thread count for the server: the `IE_SERVE_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// [`default_threads`]. Like `IE_EVAL_THREADS`, a set-but-invalid value
+/// (including `0`) warns once on stderr and falls back to the default —
+/// thread count never changes response content, only throughput.
+pub fn serve_threads() -> usize {
+    match classify_thread_override(std::env::var("IE_SERVE_THREADS").ok().as_deref()) {
+        ThreadOverride::Threads(n) => n,
+        ThreadOverride::Unset => default_threads(),
+        ThreadOverride::Invalid { value, reason } => {
+            let fallback = default_threads();
+            SERVE_THREADS_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: ignoring IE_SERVE_THREADS={value:?} ({reason}); \
+                     falling back to {fallback} worker threads"
+                );
+            });
+            fallback
+        }
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// One response per request, in request order (replay) or id order
+    /// (live). Deterministic for a fixed stream.
+    pub responses: Vec<Response>,
+    /// Aggregate statistics; see [`ServeReport`] for what is deterministic.
+    pub report: ServeReport,
+}
+
+/// One replay worker's completed batches: `(batch index, per-request
+/// verdicts, measured compute seconds)`.
+type WorkerBatches = Vec<(usize, Vec<Verdict>, f64)>;
+
+/// An inference server over one multi-exit network. Worker plans are taken
+/// out of a caller-owned pool at construction (the warm handoff) and
+/// returned with [`Server::into_plans`].
+pub struct Server<'n> {
+    network: &'n MultiExitNetwork,
+    config: ServeConfig,
+    plans: Vec<BatchPlan>,
+}
+
+impl std::fmt::Debug for Server<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("workers", &self.plans.len())
+            .finish()
+    }
+}
+
+impl<'n> Server<'n> {
+    /// Builds an `f32` server: takes `config.threads` warmed plans sized for
+    /// the batching window out of `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid configuration.
+    pub fn new(
+        network: &'n MultiExitNetwork,
+        config: ServeConfig,
+        pool: &mut BatchPlanPool,
+    ) -> Result<Self> {
+        config.validate()?;
+        let plans =
+            (0..config.threads).map(|_| pool.take(network, config.window.max_batch)).collect();
+        Ok(Server { network, config, plans })
+    }
+
+    /// Builds a server running the **integer** engine: each worker plan is
+    /// a quantized [`BatchPlan`] baked (or repacked) for `quant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid configuration
+    /// and propagates quantization errors from plan building.
+    pub fn new_quantized(
+        network: &'n MultiExitNetwork,
+        quant: &QuantConfig,
+        config: ServeConfig,
+        pool: &mut QuantPlanPool,
+    ) -> Result<Self> {
+        config.validate()?;
+        let plans = (0..config.threads)
+            .map(|_| pool.take(network, quant, config.window.max_batch))
+            .collect::<std::result::Result<Vec<_>, ie_nn::NnError>>()
+            .map_err(ServeError::from)?;
+        Ok(Server { network, config, plans })
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Tears the server down, handing the worker plans back so the caller
+    /// can [`BatchPlanPool::put`] (or [`QuantPlanPool::put`]) them for the
+    /// next server.
+    pub fn into_plans(self) -> Vec<BatchPlan> {
+        self.plans
+    }
+
+    fn check_admission(&self, admission: &LatencyAdmission) -> Result<()> {
+        if admission.num_exits() != self.network.num_exits() {
+            return Err(ServeError::InvalidConfig(format!(
+                "admission table covers {} exits but the network has {}",
+                admission.num_exits(),
+                self.network.num_exits()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serves a pre-recorded, arrival-ordered request stream on the virtual
+    /// clock. Responses come back in request order and are byte-identical
+    /// across worker counts and repeated runs; queue-wait statistics in the
+    /// report are deterministic too, while latency percentiles and
+    /// throughput fold in measured compute time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for an unsorted stream,
+    /// [`ServeError::InvalidConfig`] for an admission table that does not
+    /// match the network, [`ServeError::WorkerLost`] when a worker dies, and
+    /// propagates inference errors.
+    pub fn replay(
+        &mut self,
+        admission: &mut LatencyAdmission,
+        requests: &[Request],
+    ) -> Result<ServeOutcome> {
+        self.check_admission(admission)?;
+        // 1. Admission control in strict arrival order, before any batching:
+        //    each decision depends only on the request's own budget.
+        let decisions: Vec<Option<usize>> =
+            requests.iter().map(|r| admission.admit(r.id, r.budget_s)).collect();
+        let admitted: Vec<usize> =
+            (0..requests.len()).filter(|&i| decisions[i].is_some()).collect();
+        let arrivals: Vec<f64> = admitted.iter().map(|&i| requests[i].arrival_s).collect();
+        // 2. Pure batch composition over the admitted sub-stream.
+        let batches = compose_batches(&arrivals, &self.config.window)?;
+        // 3. Workers pull batches from a shared counter; each owns its plan.
+        //    Pull order is racy but content is not: per-sample results are
+        //    bit-identical whatever the grouping of the *same* batch, and
+        //    batch composition was fixed in step 2.
+        let next = AtomicUsize::new(0);
+        let network = self.network;
+        let num_exits = network.num_exits();
+        let per_worker: Vec<Result<WorkerBatches>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .plans
+                .iter_mut()
+                .map(|plan| {
+                    let (next, batches, admitted, decisions) =
+                        (&next, &batches, &admitted, &decisions);
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= batches.len() {
+                                return Ok(done);
+                            }
+                            let batch = &batches[b];
+                            let inputs: Vec<&Tensor> = batch
+                                .indices
+                                .iter()
+                                .map(|&p| &requests[admitted[p]].input)
+                                .collect();
+                            let exits: Vec<usize> = batch
+                                .indices
+                                .iter()
+                                .map(|&p| {
+                                    decisions[admitted[p]].expect("batched requests admitted")
+                                })
+                                .collect();
+                            debug_assert!(exits.iter().all(|&e| e < num_exits));
+                            let t0 = Instant::now();
+                            let verdicts = run_batch(network, plan, &inputs, &exits)?;
+                            done.push((b, verdicts, t0.elapsed().as_secs_f64()));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(worker, h)| match h.join() {
+                    Ok(result) => result,
+                    Err(_) => {
+                        Err(ServeError::WorkerLost(format!("serve worker {worker} panicked")))
+                    }
+                })
+                .collect()
+        });
+        // 4. Merge per-batch verdicts back into request order.
+        let mut batch_results: Vec<Option<(Vec<Verdict>, f64)>> = vec![None; batches.len()];
+        for worker in per_worker {
+            for (b, verdicts, compute_s) in worker? {
+                batch_results[b] = Some((verdicts, compute_s));
+            }
+        }
+        let mut responses: Vec<Response> =
+            requests.iter().map(|r| Response { id: r.id, verdict: Verdict::Rejected }).collect();
+        let mut waits = Vec::with_capacity(admitted.len());
+        let mut computes = Vec::with_capacity(batches.len());
+        for (batch, result) in batches.iter().zip(batch_results) {
+            let (verdicts, compute_s) = result.expect("every batch ran");
+            computes.push(compute_s);
+            for (&p, verdict) in batch.indices.iter().zip(verdicts) {
+                responses[admitted[p]].verdict = verdict;
+                waits.push(batch.wait_s(requests[admitted[p]].arrival_s));
+            }
+        }
+        // 5. Latency model: batches start at their (virtual) close time or
+        //    when a worker frees up, and run for their measured compute time.
+        let (latencies, last_done) =
+            model_latencies(&batches, &computes, &arrivals, self.config.threads);
+        let makespan_s = arrivals.first().map_or(0.0, |&first| last_done - first);
+        let report = build_report(
+            admitted.len(),
+            requests.len() - admitted.len(),
+            batches.len(),
+            &waits,
+            &latencies,
+            computes.iter().sum(),
+            makespan_s,
+        );
+        Ok(ServeOutcome { responses, report })
+    }
+
+    /// Runs the live server: spawns the workers, hands the load generator a
+    /// [`LiveHandle`] to push requests through, and shuts down (draining the
+    /// queue) when the generator returns. Response content is deterministic
+    /// for a fixed submission order; timing is wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a mismatched admission
+    /// table, [`ServeError::WorkerLost`] when a worker dies, and propagates
+    /// inference errors.
+    pub fn run_live<F>(&mut self, admission: &mut LatencyAdmission, load: F) -> Result<ServeOutcome>
+    where
+        F: FnOnce(&LiveHandle<'_>),
+    {
+        self.check_admission(admission)?;
+        let shared = LiveShared {
+            state: Mutex::new(LiveState { queue: VecDeque::new(), closed: false }),
+            cond: Condvar::new(),
+        };
+        let results = Mutex::new(LiveResults::default());
+        let started = Instant::now();
+        let network = self.network;
+        let window = self.config.window;
+        let joined: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .plans
+                .iter_mut()
+                .map(|plan| {
+                    let (shared, results) = (&shared, &results);
+                    scope.spawn(move || live_worker(network, plan, shared, results, &window))
+                })
+                .collect();
+            let handle =
+                LiveHandle { shared: &shared, admission: Mutex::new(admission), results: &results };
+            load(&handle);
+            shared.state.lock().expect("serve queue poisoned").closed = true;
+            shared.cond.notify_all();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(worker, h)| match h.join() {
+                    Ok(result) => result,
+                    Err(_) => {
+                        Err(ServeError::WorkerLost(format!("serve worker {worker} panicked")))
+                    }
+                })
+                .collect()
+        });
+        let makespan_s = started.elapsed().as_secs_f64();
+        for r in joined {
+            r?;
+        }
+        let mut res = results.into_inner().expect("serve results poisoned");
+        res.responses.sort_by_key(|r| r.id);
+        let report = build_report(
+            res.served,
+            res.rejected,
+            res.batches,
+            &res.waits,
+            &res.latencies,
+            res.compute_s,
+            makespan_s,
+        );
+        Ok(ServeOutcome { responses: res.responses, report })
+    }
+}
+
+/// Runs one batch to every exit its requests were admitted to, shallowest
+/// first: the first exit pays the shared trunk once, deeper exits continue
+/// incrementally from the cached state (the paper's incremental inference,
+/// batched). `exits[i]` is the target exit of `inputs[i]`.
+fn run_batch(
+    network: &MultiExitNetwork,
+    plan: &mut BatchPlan,
+    inputs: &[&Tensor],
+    exits: &[usize],
+) -> Result<Vec<Verdict>> {
+    let mut targets = exits.to_vec();
+    targets.sort_unstable();
+    targets.dedup();
+    let mut verdicts = vec![Verdict::Rejected; exits.len()];
+    let mut first = true;
+    for &exit in &targets {
+        let out = if first {
+            network.forward_to_exit_batch_with(plan, inputs, exit).map_err(ServeError::from)?
+        } else {
+            network.continue_to_exit_batch_with(plan, exit).map_err(ServeError::from)?
+        };
+        first = false;
+        for (i, &target) in exits.iter().enumerate() {
+            if target == exit {
+                verdicts[i] = Verdict::Served {
+                    exit,
+                    prediction: out.prediction(i),
+                    confidence: out.confidence(i),
+                };
+            }
+        }
+    }
+    Ok(verdicts)
+}
+
+/// Deterministic multi-server queueing model over the virtual clock: batch
+/// `b` starts at its close time or when one of `servers` workers frees up,
+/// whichever is later, and occupies that worker for its measured compute
+/// time. Returns one latency (completion − arrival) per admitted request in
+/// admitted order, plus the completion time of the last batch.
+fn model_latencies(
+    batches: &[WindowBatch],
+    computes: &[f64],
+    arrivals: &[f64],
+    servers: usize,
+) -> (Vec<f64>, f64) {
+    let mut free = vec![f64::NEG_INFINITY; servers.max(1)];
+    let mut latencies = vec![0.0; arrivals.len()];
+    let mut last_done = f64::NEG_INFINITY;
+    for (batch, &compute_s) in batches.iter().zip(computes) {
+        let (slot, &soonest) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite server times"))
+            .expect("at least one server");
+        let start = batch.close_s.max(soonest);
+        let done = start + compute_s;
+        free[slot] = done;
+        last_done = last_done.max(done);
+        for &p in &batch.indices {
+            latencies[p] = done - arrivals[p];
+        }
+    }
+    (latencies, last_done)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    served: usize,
+    rejected: usize,
+    batches: usize,
+    waits: &[f64],
+    latencies: &[f64],
+    compute_s: f64,
+    makespan_s: f64,
+) -> ServeReport {
+    ServeReport {
+        served,
+        rejected,
+        batches,
+        mean_batch_fill: if batches > 0 { served as f64 / batches as f64 } else { 0.0 },
+        wait_p50_s: percentile(waits, 0.50),
+        wait_p99_s: percentile(waits, 0.99),
+        latency_p50_s: percentile(latencies, 0.50),
+        latency_p99_s: percentile(latencies, 0.99),
+        throughput_rps: if makespan_s > 0.0 { served as f64 / makespan_s } else { 0.0 },
+        compute_s,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live mode plumbing
+// ---------------------------------------------------------------------------
+
+struct LiveRequest {
+    id: u64,
+    exit: usize,
+    input: Tensor,
+    arrival: Instant,
+}
+
+struct LiveState {
+    queue: VecDeque<LiveRequest>,
+    closed: bool,
+}
+
+struct LiveShared {
+    state: Mutex<LiveState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct LiveResults {
+    responses: Vec<Response>,
+    waits: Vec<f64>,
+    latencies: Vec<f64>,
+    compute_s: f64,
+    batches: usize,
+    served: usize,
+    rejected: usize,
+}
+
+/// The load generator's interface to a running live server.
+pub struct LiveHandle<'a> {
+    shared: &'a LiveShared,
+    admission: Mutex<&'a mut LatencyAdmission>,
+    results: &'a Mutex<LiveResults>,
+}
+
+impl LiveHandle<'_> {
+    /// Submits one request. Admission runs immediately, in submission order;
+    /// a shed request is answered right away, an admitted one is stamped
+    /// with its wall-clock arrival and queued for the next window.
+    pub fn submit(&self, id: u64, budget_s: f64, input: Tensor) {
+        let decision = self.admission.lock().expect("admission poisoned").admit(id, budget_s);
+        match decision {
+            None => {
+                let mut res = self.results.lock().expect("serve results poisoned");
+                res.rejected += 1;
+                res.responses.push(Response { id, verdict: Verdict::Rejected });
+            }
+            Some(exit) => {
+                let mut st = self.shared.state.lock().expect("serve queue poisoned");
+                st.queue.push_back(LiveRequest { id, exit, input, arrival: Instant::now() });
+                drop(st);
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+}
+
+/// One live worker: waits for the window to close (size-N, deadline-T or
+/// shutdown drain), claims up to `max_batch` requests, runs them on its own
+/// plan and records the responses.
+fn live_worker(
+    network: &MultiExitNetwork,
+    plan: &mut BatchPlan,
+    shared: &LiveShared,
+    results: &Mutex<LiveResults>,
+    window: &WindowConfig,
+) -> Result<()> {
+    let deadline = Duration::from_secs_f64(window.deadline_s);
+    loop {
+        let mut st = shared.state.lock().expect("serve queue poisoned");
+        // Wait for work (or shutdown with an empty queue).
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.closed {
+                return Ok(());
+            }
+            st = shared.cond.wait(st).expect("serve queue poisoned");
+        }
+        // Window phase: hold until filled, the deadline passes, or shutdown
+        // starts draining. The front's arrival opens the window.
+        while let Some(front) = st.queue.front() {
+            if st.queue.len() >= window.max_batch || st.closed {
+                break;
+            }
+            let elapsed = front.arrival.elapsed();
+            if elapsed >= deadline {
+                break;
+            }
+            let (guard, _) =
+                shared.cond.wait_timeout(st, deadline - elapsed).expect("serve queue poisoned");
+            st = guard;
+        }
+        if st.queue.is_empty() {
+            // Another worker claimed the window while this one slept.
+            continue;
+        }
+        let n = st.queue.len().min(window.max_batch);
+        let batch: Vec<LiveRequest> = st.queue.drain(..n).collect();
+        drop(st);
+        let close = Instant::now();
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let exits: Vec<usize> = batch.iter().map(|r| r.exit).collect();
+        let verdicts = run_batch(network, plan, &inputs, &exits)?;
+        let done = Instant::now();
+        let mut res = results.lock().expect("serve results poisoned");
+        res.batches += 1;
+        res.compute_s += (done - close).as_secs_f64();
+        for (req, verdict) in batch.iter().zip(verdicts) {
+            res.served += 1;
+            res.waits.push((close - req.arrival).as_secs_f64());
+            res.latencies.push((done - req.arrival).as_secs_f64());
+            res.responses.push(Response { id: req.id, verdict });
+        }
+    }
+}

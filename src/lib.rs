@@ -13,4 +13,5 @@ pub use ie_nn as nn;
 pub use ie_rl as rl;
 pub use ie_runtime as runtime;
 pub use ie_search as search;
+pub use ie_serve as serve;
 pub use ie_tensor as tensor;
