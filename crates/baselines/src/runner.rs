@@ -1,7 +1,7 @@
 use crate::{BaselineNetwork, Result};
-use ie_core::metrics::{EventOutcome, EventRecord, SimulationReport};
+use ie_core::metrics::{EventOutcome, EventRecord, RecoveryStats, SimulationReport};
 use ie_core::ExperimentConfig;
-use ie_mcu::{CostModel, IntermittentExecutor, NonvolatileMemory};
+use ie_mcu::{CostModel, FaultPlan, IntermittentExecutor, NonvolatileMemory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +65,14 @@ impl BaselineRunner {
         let mut sim = self.config.build_harvest_simulator();
         let mut nv = NonvolatileMemory::new(self.config.device.nonvolatile_bytes() as usize);
         let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
+        // One injector for the whole run: the cut schedule spans all events,
+        // and because every inference shares `nv`, checkpoint generations are
+        // monotone across the entire replay.
+        let mut injector = match &self.config.fault {
+            Some(f) => FaultPlan::random(f.seed, f.cut_probability, f.max_cuts).injector(),
+            None => FaultPlan::None.injector(),
+        };
+        let mut recovery = RecoveryStats::default();
         let events = self.config.build_events();
         let mut records = Vec::with_capacity(events.len());
         // Time until which the device is still occupied by the previous event.
@@ -83,7 +91,12 @@ impl BaselineRunner {
                 continue;
             }
             sim.advance_to(event.time_s);
-            let report = executor.execute(&graph, &mut sim, &mut nv)?;
+            let report = executor.execute_with_faults(&graph, &mut sim, &mut nv, &mut injector)?;
+            recovery.absorb(&RecoveryStats {
+                recovered_boots: report.recovered_boots,
+                torn_writes: report.torn_writes,
+                wasted_reexecution_mj: report.wasted_reexecution_mj,
+            });
             busy_until_s = sim.now_s();
             if report.completed {
                 let correct = rng.gen::<f64>() < network.accuracy();
@@ -109,7 +122,7 @@ impl BaselineRunner {
 
         sim.advance_to(self.config.trace_duration_s);
         let total_harvested = self.config.total_harvestable_mj();
-        Ok(SimulationReport::from_records(records, 1, total_harvested))
+        Ok(SimulationReport::from_records(records, 1, total_harvested).with_recovery(recovery))
     }
 }
 
@@ -154,6 +167,25 @@ mod tests {
         assert!(sonic.processed_events <= lenet.processed_events);
         assert!(sparse.ie_pmj() < sonic.ie_pmj());
         assert!(sonic.ie_pmj() <= lenet.ie_pmj());
+    }
+
+    #[test]
+    fn fault_injected_replay_is_deterministic_and_reports_recovery() {
+        let mut c = config();
+        c.fault = Some(ie_core::FaultConfig { seed: 9, cut_probability: 0.6, max_cuts: 48 });
+        let a = BaselineRunner::new(&c).run(&BaselineNetwork::sonic_net()).unwrap();
+        let b = BaselineRunner::new(&c).run(&BaselineNetwork::sonic_net()).unwrap();
+        assert_eq!(a, b, "fault-injected replays must be deterministic");
+        assert!(a.recovery.recovered_boots > 0, "p=0.6 across a full replay must cut something");
+        assert!(a.recovery.recovered_boots <= 48);
+        assert!(a.recovery.wasted_reexecution_mj >= 0.0);
+        assert_eq!(a.processed_events + a.missed_events, a.total_events);
+    }
+
+    #[test]
+    fn fault_free_replay_reports_zero_recovery() {
+        let report = BaselineRunner::new(&config()).run(&BaselineNetwork::sonic_net()).unwrap();
+        assert_eq!(report.recovery, RecoveryStats::default());
     }
 
     #[test]

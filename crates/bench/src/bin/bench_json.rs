@@ -33,6 +33,11 @@
 //!   assertion (the JSON records the active tier in `isa_tier`);
 //! * `sim_loop` — the `EventLoopSimulator` wake-window trace replay,
 //!   unbatched and with an 8-event window;
+//! * `checkpoint_loop` — the intermittent executor's reboot-and-recover path
+//!   (`ie_mcu`): one full task-graph execution under a seeded random fault
+//!   plan (power cuts between and inside tasks plus torn checkpoint writes)
+//!   against the fault-free execution of the same graph, with recovery
+//!   asserted bit-identical (output digest) before anything is timed;
 //! * `serve_loop` — the open-loop serving path (`ie_serve`): a fixed request
 //!   stream replayed through admission control and the dynamic batching
 //!   window at 1 and 4 workers, reported as ns/request plus the p50/p99
@@ -53,6 +58,7 @@ use ie_compress::{
 };
 use ie_core::policies::GreedyAffordablePolicy;
 use ie_core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
+use ie_mcu::{FaultPlan, IntermittentExecutor, McuDevice, NonvolatileMemory, TaskGraph};
 use ie_nn::dataset::{Sample, SyntheticDataset};
 use ie_nn::loss::{confidence, softmax};
 use ie_nn::quant::{fake_quant_logits, QuantizedModel};
@@ -294,6 +300,29 @@ struct SimLoopResult {
     case: String,
     run_ns: u64,
     run_batched8_ns: u64,
+}
+
+/// The intermittent executor's reboot-and-recover loop: one full task-graph
+/// execution under a seeded random fault plan (injected power cuts plus torn
+/// checkpoint writes) against the fault-free execution of the same graph in
+/// the same run — the machine-speed reference of the gate. The cut schedule
+/// is deterministic per seed, so the recovery/fault-free ratio measures the
+/// checkpoint + recovery machinery, not schedule luck.
+struct CheckpointLoopResult {
+    case: String,
+    /// ns per fault-free execution (the same-run reference).
+    fault_free_ns: u64,
+    /// ns per execution under the fault plan (the gated metric).
+    recovery_ns: u64,
+    /// Recovery work of one faulty execution (reported for context).
+    recovered_boots: u64,
+    torn_writes: u64,
+}
+
+impl CheckpointLoopResult {
+    fn overhead(&self) -> f64 {
+        self.recovery_ns as f64 / self.fault_free_ns.max(1) as f64
+    }
 }
 
 /// The open-loop serving path: a fixed request stream replayed end to end
@@ -623,6 +652,32 @@ fn main() {
     let sim_model =
         DeployedModel::uncompressed_reference(&sim_config).expect("small test config is valid");
     let simulator = EventLoopSimulator::new(&sim_config);
+
+    // Checkpoint-loop fixture: the SONIC-style intermittent executor on a
+    // 16-task MSP432 graph. The harvest is ample, so the timing covers
+    // compute + two-bank checkpoint commits + reboot recovery, never waiting
+    // for energy; the injected cuts replay identically per seed. Recovery
+    // must be bit-identical to the fault-free run before it is timed.
+    let ckpt_exec = IntermittentExecutor::new(ie_mcu::CostModel::for_device(&McuDevice::msp432()));
+    let ckpt_graph = TaskGraph::split_evenly("bench", 2_000_000, 16);
+    let ckpt_plan = FaultPlan::random(0xFA017, 0.25, 48);
+    let ckpt_run = |plan: &FaultPlan| {
+        let mut sim = ie_energy::HarvestSimulator::new(
+            Box::new(ie_energy::ConstantTrace::new(2.0, 10_000_000.0)),
+            ie_energy::EnergyStorage::new(200.0, 1.0).with_initial_level(100.0),
+        );
+        let mut nv = NonvolatileMemory::new(1024);
+        ckpt_exec
+            .execute_with_faults(&ckpt_graph, &mut sim, &mut nv, &mut plan.injector())
+            .expect("an ample harvest always completes")
+    };
+    let ckpt_reference = ckpt_run(&FaultPlan::None);
+    let ckpt_recovered = ckpt_run(&ckpt_plan);
+    assert!(ckpt_recovered.recovered_boots > 0, "the bench fault plan must cut something");
+    assert_eq!(
+        ckpt_recovered.output_digest, ckpt_reference.output_digest,
+        "recovery diverged from the fault-free run"
+    );
 
     // Serving-loop fixture: a fixed open-loop request stream on the tiny
     // backbone, admitted through the static-LUT table over a fixed per-exit
@@ -1033,6 +1088,30 @@ fn main() {
         });
         let sim_loop = SimLoopResult { case: "small_env".to_string(), run_ns, run_batched8_ns };
 
+        // Checkpoint/recovery loop: one full task-graph execution per rep,
+        // fault-free vs under the deterministic fault plan (a fresh injector
+        // per execution replays the identical cut schedule). Micro-scale, so
+        // each timed sample covers several executions and the minimum is
+        // reported.
+        const CKPT_REPS: usize = 4;
+        let fault_free_ns = min_ns(warmup, samples * 2, || {
+            for _ in 0..CKPT_REPS {
+                black_box(ckpt_run(&FaultPlan::None).checkpoints);
+            }
+        }) / CKPT_REPS as u64;
+        let recovery_ns = min_ns(warmup, samples * 2, || {
+            for _ in 0..CKPT_REPS {
+                black_box(ckpt_run(&ckpt_plan).checkpoints);
+            }
+        }) / CKPT_REPS as u64;
+        let checkpoint_loop = CheckpointLoopResult {
+            case: "msp432_16task".to_string(),
+            fault_free_ns,
+            recovery_ns,
+            recovered_boots: ckpt_recovered.recovered_boots,
+            torn_writes: ckpt_recovered.torn_writes,
+        };
+
         // Serving loop: the fixed stream replayed end to end, against the
         // same admitted requests run one at a time on the planned path.
         let serve_planned_total = median_ns(eval_warmup, eval_samples, || {
@@ -1073,6 +1152,7 @@ fn main() {
             search_loop,
             simd_results,
             sim_loop,
+            checkpoint_loop,
             serve_loop,
         )
     };
@@ -1085,6 +1165,7 @@ fn main() {
         search_loop,
         simd_results,
         sim_loop,
+        checkpoint_loop,
         serve_loop,
     ) = measure_all();
 
@@ -1161,6 +1242,22 @@ fn main() {
     println!("\n# sim_loop — median ns/trace replay\n");
     println!("{:<20} {:>14} {:>18}", sim_loop.case, sim_loop.run_ns, sim_loop.run_batched8_ns);
     println!(
+        "\n# checkpoint_loop — min ns/execution ({} recovered boots, {} torn writes per faulty \
+         run)\n",
+        checkpoint_loop.recovered_boots, checkpoint_loop.torn_writes
+    );
+    println!(
+        "{:<20} {:>14} {:>14} {:>24}",
+        "case", "fault_free", "recovery", "recovery vs fault-free"
+    );
+    println!(
+        "{:<20} {:>14} {:>14} {:>23.2}x",
+        checkpoint_loop.case,
+        checkpoint_loop.fault_free_ns,
+        checkpoint_loop.recovery_ns,
+        checkpoint_loop.overhead()
+    );
+    println!(
         "\n# serve_loop — median ns/request over {} requests ({} served)\n",
         serve_loop.requests, serve_loop.served
     );
@@ -1232,6 +1329,14 @@ fn main() {
     json_cases.push(format!(
         "    {{\n      \"case\": \"sim_loop/{}\",\n      \"run_ns\": {},\n      \"run_batched8_ns\": {}\n    }}",
         sim_loop.case, sim_loop.run_ns, sim_loop.run_batched8_ns
+    ));
+    json_cases.push(format!(
+        "    {{\n      \"case\": \"checkpoint_loop/{}\",\n      \"statistic\": \"min\",\n      \"fault_free_ns\": {},\n      \"recovery_ns\": {},\n      \"recovered_boots\": {},\n      \"torn_writes\": {}\n    }}",
+        checkpoint_loop.case,
+        checkpoint_loop.fault_free_ns,
+        checkpoint_loop.recovery_ns,
+        checkpoint_loop.recovered_boots,
+        checkpoint_loop.torn_writes
     ));
     json_cases.push(format!(
         "    {{\n      \"case\": \"serve_loop/{}\",\n      \"requests\": {},\n      \"served\": {},\n      \"planned_single_ns\": {},\n      \"serve1_ns\": {},\n      \"serve4_ns\": {},\n      \"latency_p50_ns\": {},\n      \"latency_p99_ns\": {},\n      \"throughput_rps\": {}\n    }}",
@@ -1314,6 +1419,7 @@ fn main() {
                      search_loop: &SearchLoopResult,
                      simd_results: &[SimdKernelResult],
                      sim_loop: &SimLoopResult,
+                     checkpoint_loop: &CheckpointLoopResult,
                      serve_loop: &ServeLoopResult| {
             // The pre-PR replica (unchanged historical code) is the
             // machine-speed canary of the planned cases; the batched cases
@@ -1383,6 +1489,18 @@ fn main() {
                 current_ref: sim_loop.run_ns,
                 tier_sensitive: false,
             });
+            // The faulty execution normalizes against the fault-free
+            // execution of the same graph in the same run: the gated ratio
+            // is the checkpoint + recovery overhead itself, and the cut
+            // schedule is deterministic per seed.
+            metrics.push(GatedMetric {
+                case: format!("checkpoint_loop/{}", checkpoint_loop.case),
+                key: "recovery_ns",
+                current: checkpoint_loop.recovery_ns,
+                ref_key: "fault_free_ns",
+                current_ref: checkpoint_loop.fault_free_ns,
+                tier_sensitive: false,
+            });
             // The 1-worker serving replay normalizes against the admitted
             // requests run one at a time on the planned path in the same
             // run; the 4-worker numbers stay ungated (runner core counts
@@ -1405,6 +1523,7 @@ fn main() {
             &search_loop,
             &simd_results,
             &sim_loop,
+            &checkpoint_loop,
             &serve_loop,
         );
         println!("\n# --check against {path} (15 % tolerance)\n");
@@ -1420,10 +1539,10 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, q2, p2, s2, k2, l2, v2) = measure_all();
+            let (r2, b2, q2, p2, s2, k2, l2, c2, v2) = measure_all();
             let confirmed = check_against_baseline(
                 &baseline,
-                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &v2),
+                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2),
                 1.15,
             );
             // Keep only metrics that regressed again, carrying the freshest

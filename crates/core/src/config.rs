@@ -48,6 +48,36 @@ pub struct ExperimentConfig {
     pub incremental_enabled: bool,
     /// Seed for the event-loop simulator's stochastic correctness draws.
     pub simulation_seed: u64,
+    /// Optional power-cut fault injection; `None` (the default) reproduces
+    /// the paper's fault-free environment bit-for-bit.
+    pub fault: Option<FaultConfig>,
+}
+
+/// Deterministic power-cut fault injection for the deployed-system paths.
+///
+/// The analytic [`crate::EventLoopSimulator`] interprets this as a
+/// per-event cut probability; the task-level baseline runner turns it into an
+/// `ie_mcu::FaultPlan::Random` whose cuts strike between tasks, mid-task and
+/// inside checkpoint writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed of the fault schedule (harnesses may override it from the
+    /// `IE_FAULT_SEED` env knob, see `ie_mcu::fault_seed_from_env`).
+    pub seed: u64,
+    /// Probability that a power cut strikes any given crash opportunity,
+    /// in `[0, 1]`.
+    pub cut_probability: f64,
+    /// Hard bound on injected cuts over the whole run, so every schedule
+    /// terminates.
+    pub max_cuts: u64,
+}
+
+impl FaultConfig {
+    /// A moderate default schedule: 10% of opportunities are struck, at most
+    /// 64 cuts over the run.
+    pub fn from_seed(seed: u64) -> Self {
+        FaultConfig { seed, cut_probability: 0.1, max_cuts: 64 }
+    }
 }
 
 impl ExperimentConfig {
@@ -70,6 +100,7 @@ impl ExperimentConfig {
             confidence_threshold: 0.55,
             incremental_enabled: true,
             simulation_seed: 7,
+            fault: None,
         }
     }
 
@@ -106,6 +137,13 @@ impl ExperimentConfig {
         }
         if !(0.0..=1.0).contains(&self.charge_efficiency) || self.charge_efficiency == 0.0 {
             return Err(CoreError::InvalidConfig("charge efficiency must be in (0, 1]".into()));
+        }
+        if let Some(fault) = &self.fault {
+            if !(0.0..=1.0).contains(&fault.cut_probability) {
+                return Err(CoreError::InvalidConfig(
+                    "fault cut probability must be in [0, 1]".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -179,6 +217,11 @@ mod tests {
         let mut c = ExperimentConfig::paper_default();
         c.charge_efficiency = 0.0;
         assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::paper_default();
+        c.fault = Some(FaultConfig { seed: 1, cut_probability: 1.5, max_cuts: 4 });
+        assert!(c.validate().is_err());
+        c.fault = Some(FaultConfig::from_seed(1));
+        c.validate().unwrap();
     }
 
     #[test]

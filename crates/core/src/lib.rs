@@ -43,10 +43,10 @@ pub mod policies;
 mod policy;
 mod simulator;
 
-pub use config::ExperimentConfig;
+pub use config::{ExperimentConfig, FaultConfig};
 pub use deployed::DeployedModel;
 pub use error::CoreError;
-pub use metrics::{EventOutcome, EventRecord, SimulationReport};
+pub use metrics::{EventOutcome, EventRecord, RecoveryStats, SimulationReport};
 pub use policy::{ContinueContext, EventContext, EventFeedback, ExitChoice, ExitPolicy};
 pub use simulator::EventLoopSimulator;
 

@@ -52,6 +52,30 @@ pub struct EventRecord {
     pub flops: u64,
 }
 
+/// Crash-recovery statistics aggregated over a run.
+///
+/// All-zero for fault-free runs; populated when the configuration enables
+/// power-cut injection ([`crate::FaultConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Boots that recovered volatile state from NV after an injected cut.
+    pub recovered_boots: u64,
+    /// Checkpoint NV writes torn mid-write by a power cut.
+    pub torn_writes: u64,
+    /// Energy spent on work a cut destroyed and that had to re-execute,
+    /// millijoules.
+    pub wasted_reexecution_mj: f64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another set of stats (e.g. one per event) into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.recovered_boots += other.recovered_boots;
+        self.torn_writes += other.torn_writes;
+        self.wasted_reexecution_mj += other.wasted_reexecution_mj;
+    }
+}
+
 /// Aggregated statistics of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
@@ -77,6 +101,8 @@ pub struct SimulationReport {
     pub total_flops: u64,
     /// Per-event records (in arrival order).
     pub records: Vec<EventRecord>,
+    /// Crash-recovery statistics (all-zero when fault injection is off).
+    pub recovery: RecoveryStats,
 }
 
 impl SimulationReport {
@@ -125,7 +151,14 @@ impl SimulationReport {
             total_latency_s: total_latency,
             total_flops,
             records,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Attaches crash-recovery statistics to the report.
+    pub fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Interesting events per millijoule of harvested energy (Eq. 1).
@@ -290,6 +323,27 @@ mod tests {
         let lhs = r.ie_pmj();
         let rhs = r.total_events as f64 / r.total_harvested_mj * r.accuracy_all_events();
         assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_stats_default_zero_and_absorb() {
+        let r = sample_report();
+        assert_eq!(r.recovery, RecoveryStats::default());
+        let mut total = RecoveryStats::default();
+        total.absorb(&RecoveryStats {
+            recovered_boots: 2,
+            torn_writes: 1,
+            wasted_reexecution_mj: 0.5,
+        });
+        total.absorb(&RecoveryStats {
+            recovered_boots: 3,
+            torn_writes: 0,
+            wasted_reexecution_mj: 0.25,
+        });
+        let r = sample_report().with_recovery(total);
+        assert_eq!(r.recovery.recovered_boots, 5);
+        assert_eq!(r.recovery.torn_writes, 1);
+        assert!((r.recovery.wasted_reexecution_mj - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,33 @@
-use crate::metrics::{EventOutcome, EventRecord, SimulationReport};
+use crate::metrics::{EventOutcome, EventRecord, RecoveryStats, SimulationReport};
 use crate::{
     ContinueContext, CoreError, DeployedModel, EventContext, EventFeedback, ExitChoice, ExitPolicy,
     ExperimentConfig, Result,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Volatile state of the analytic fault injector: its own RNG stream (so
+/// enabling faults never perturbs the correctness/confidence draws), the cut
+/// budget, and the recovery statistics accumulated so far.
+struct FaultState {
+    rng: StdRng,
+    cut_probability: f64,
+    max_cuts: u64,
+    cuts: u64,
+    stats: RecoveryStats,
+}
+
+impl FaultState {
+    /// Draws whether a power cut strikes the current inference and, if so, at
+    /// which fraction of its progress.
+    fn draw_cut(&mut self) -> Option<f64> {
+        if self.cuts >= self.max_cuts || !self.rng.gen_bool(self.cut_probability) {
+            return None;
+        }
+        self.cuts += 1;
+        Some(self.rng.gen::<f64>())
+    }
+}
 
 /// Replays the configured event sequence over the configured power trace,
 /// letting an [`ExitPolicy`] decide how each event is handled, and produces a
@@ -93,6 +116,13 @@ impl EventLoopSimulator {
         }
         self.config.validate()?;
         let mut rng = StdRng::seed_from_u64(self.config.simulation_seed);
+        let mut faults = self.config.fault.map(|f| FaultState {
+            rng: StdRng::seed_from_u64(f.seed),
+            cut_probability: f.cut_probability,
+            max_cuts: f.max_cuts,
+            cuts: 0,
+            stats: RecoveryStats::default(),
+        });
         let mut sim = self.config.build_harvest_simulator();
         let events = self.config.build_events();
         let num_exits = model.num_exits();
@@ -126,7 +156,7 @@ impl EventLoopSimulator {
                 let choice = policy.choose_exit(&ctx);
 
                 let (record, feedback) = match choice {
-                    ExitChoice::Skip => self.miss(event.id, event.time_s, None),
+                    ExitChoice::Skip => self.miss(event.id, event.time_s, None, 0.0),
                     ExitChoice::Exit(exit) => {
                         if exit >= num_exits {
                             return Err(CoreError::UnknownExit {
@@ -135,7 +165,7 @@ impl EventLoopSimulator {
                             });
                         }
                         if !sim.storage().can_supply(exit_energy[exit]) {
-                            self.miss(event.id, event.time_s, Some(exit))
+                            self.miss(event.id, event.time_s, Some(exit), 0.0)
                         } else {
                             self.process(
                                 event.id,
@@ -146,6 +176,7 @@ impl EventLoopSimulator {
                                 policy,
                                 &mut sim,
                                 &mut rng,
+                                &mut faults,
                             )?
                         }
                     }
@@ -159,7 +190,9 @@ impl EventLoopSimulator {
         // energy budget of the environment.
         sim.advance_to(self.config.trace_duration_s);
         let total_harvested = self.config.total_harvestable_mj();
-        Ok(SimulationReport::from_records(records, num_exits, total_harvested))
+        let recovery = faults.map(|f| f.stats).unwrap_or_default();
+        Ok(SimulationReport::from_records(records, num_exits, total_harvested)
+            .with_recovery(recovery))
     }
 
     fn miss(
@@ -167,6 +200,7 @@ impl EventLoopSimulator {
         event_id: usize,
         time_s: f64,
         chosen: Option<usize>,
+        energy_mj: f64,
     ) -> (EventRecord, EventFeedback) {
         (
             EventRecord {
@@ -174,7 +208,7 @@ impl EventLoopSimulator {
                 time_s,
                 outcome: EventOutcome::Missed,
                 latency_s: 0.0,
-                energy_mj: 0.0,
+                energy_mj,
                 flops: 0,
             },
             EventFeedback {
@@ -183,7 +217,7 @@ impl EventLoopSimulator {
                 final_exit: None,
                 expected_accuracy: 0.0,
                 correct: false,
-                energy_spent_mj: 0.0,
+                energy_spent_mj: energy_mj,
                 missed: true,
             },
         )
@@ -200,6 +234,7 @@ impl EventLoopSimulator {
         policy: &mut dyn ExitPolicy,
         sim: &mut ie_energy::HarvestSimulator,
         rng: &mut StdRng,
+        faults: &mut Option<FaultState>,
     ) -> Result<(EventRecord, EventFeedback)> {
         let mut final_exit = exit;
         let mut energy = model.exit_energy_mj(exit);
@@ -210,7 +245,28 @@ impl EventLoopSimulator {
         let inference_latency = model.exit_latency_s(exit);
         let mut latency = wait_s + inference_latency;
         let mut flops = model.exit_flops(exit);
-        sim.consume(energy)?;
+
+        // Injected power cut: the analytic path models whole-inference
+        // retries (per-task recovery lives in `ie_mcu`'s executor) — the
+        // partial work is lost, the device reboots, and the inference
+        // restarts from scratch if the remaining charge still affords it.
+        if let Some(fs) = faults.as_mut() {
+            if let Some(fraction) = fs.draw_cut() {
+                let partial = fraction * model.exit_energy_mj(exit);
+                sim.consume(partial)?;
+                sim.advance_by(fraction * inference_latency);
+                fs.stats.recovered_boots += 1;
+                fs.stats.wasted_reexecution_mj += partial;
+                if !sim.storage().can_supply(model.exit_energy_mj(exit)) {
+                    // The retry is unaffordable: the event is missed, with
+                    // the destroyed partial work on its energy ledger.
+                    return Ok(self.miss(event_id, time_s, Some(exit), partial));
+                }
+                energy += partial;
+                latency += fraction * inference_latency;
+            }
+        }
+        sim.consume(model.exit_energy_mj(exit))?;
         sim.advance_by(inference_latency);
         let mut correct = rng.gen::<f64>() < model.exit_accuracy(exit);
         let mut incremental = false;
@@ -407,6 +463,62 @@ mod tests {
             .run_batched(&model, &mut GreedyAffordablePolicy::new(), 0)
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_accounted() {
+        let mut c = config();
+        c.fault = Some(crate::FaultConfig { seed: 11, cut_probability: 0.5, max_cuts: 40 });
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let a =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let b =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        assert_eq!(a, b, "faulted runs must be deterministic per seed");
+        assert!(a.recovery.recovered_boots > 0, "p=0.5 over 60 events must cut something");
+        assert!(a.recovery.recovered_boots <= 40);
+        assert!(a.recovery.wasted_reexecution_mj >= 0.0);
+        assert_eq!(a.total_events, c.num_events);
+        assert_eq!(a.processed_events + a.missed_events, a.total_events);
+        assert!(a.total_consumed_mj <= a.total_harvested_mj + c.initial_energy_mj + 1e-6);
+    }
+
+    #[test]
+    fn fault_injection_never_perturbs_the_fault_free_stream() {
+        // The cut RNG is separate from the correctness RNG, so a zero-cut
+        // fault config must reproduce the fault-free run bit-for-bit.
+        let c = config();
+        let mut zero_cut = config();
+        zero_cut.fault = Some(crate::FaultConfig { seed: 3, cut_probability: 0.0, max_cuts: 64 });
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let free =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let zero = EventLoopSimulator::new(&zero_cut)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        assert_eq!(free, zero);
+        assert_eq!(free.recovery, crate::RecoveryStats::default());
+    }
+
+    #[test]
+    fn injected_cuts_cost_energy_or_events() {
+        let c = config();
+        let mut faulty = config();
+        faulty.fault = Some(crate::FaultConfig { seed: 5, cut_probability: 0.8, max_cuts: 200 });
+        let model = DeployedModel::uncompressed_reference(&c).unwrap();
+        let free =
+            EventLoopSimulator::new(&c).run(&model, &mut GreedyAffordablePolicy::new()).unwrap();
+        let hit = EventLoopSimulator::new(&faulty)
+            .run(&model, &mut GreedyAffordablePolicy::new())
+            .unwrap();
+        assert!(hit.recovery.recovered_boots > 0);
+        // Re-execution burns budget: the faulted run can only do worse or
+        // equal on correct events, and its waste shows up somewhere — fewer
+        // correct events or more energy consumed.
+        assert!(
+            hit.correct_events <= free.correct_events
+                || hit.total_consumed_mj > free.total_consumed_mj
+        );
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   failures,
 //! * [`IntermittentExecutor`] — a SONIC-style task-based executor that runs a
 //!   [`TaskGraph`] across as many power cycles as the harvested energy
-//!   requires, checkpointing progress in non-volatile memory.
+//!   requires, checkpointing progress in non-volatile memory and recovering
+//!   from it after every reboot,
+//! * [`TwoBankCheckpoint`] — crash-consistent A/B checkpoint records (CRC-32,
+//!   monotonic generation counter) that survive torn NV writes,
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic power-cut injection:
+//!   between tasks, mid-task, or at a chosen byte offset inside the
+//!   checkpoint's NV write.
 //!
 //! # Example
 //!
@@ -28,16 +34,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod cost;
 mod device;
 mod error;
+mod fault;
 mod intermittent;
 mod nonvolatile;
 
+pub use checkpoint::{crc32, CheckpointRecord, TwoBankCheckpoint, RECORD_BYTES};
 pub use cost::CostModel;
 pub use device::McuDevice;
 pub use error::McuError;
-pub use intermittent::{ExecutionReport, IntermittentExecutor, Task, TaskGraph};
+pub use fault::{fault_seed_from_env, FaultInjector, FaultPlan, ScheduledCut, TaskCut};
+pub use intermittent::{
+    task_digest, ExecutionReport, IntermittentExecutor, Task, TaskGraph, DIGEST_INIT,
+};
 pub use nonvolatile::NonvolatileMemory;
 
 /// Crate-wide result alias.

@@ -25,6 +25,7 @@ pub struct NonvolatileMemory {
     entries: BTreeMap<String, Vec<u8>>,
     bytes_written: u64,
     power_failures: u64,
+    torn_writes: u64,
 }
 
 impl NonvolatileMemory {
@@ -51,6 +52,11 @@ impl NonvolatileMemory {
     /// Number of power failures the memory has survived.
     pub fn power_failures(&self) -> u64 {
         self.power_failures
+    }
+
+    /// Number of writes that were torn by a mid-write power cut.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
     }
 
     /// Writes (or overwrites) `key` with `data`.
@@ -80,6 +86,49 @@ impl NonvolatileMemory {
         } else {
             self.entries.insert(key.to_string(), data.to_vec());
         }
+        Ok(())
+    }
+
+    /// Writes `key` but tears the write after `committed` bytes, modelling a
+    /// power cut striking the FRAM write partway through.
+    ///
+    /// The cell is left with the first `committed` bytes of `data`, the old
+    /// contents beyond that point (erased-cell `0xFF` where the entry grows),
+    /// and — when the tear lands strictly inside the value — the boundary
+    /// byte corrupted, as a partially programmed cell would read back.
+    /// `committed >= data.len()` is a complete, untorn write. Only the bytes
+    /// that reached the cell are metered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::NonvolatileFull`] under the same capacity rule as
+    /// [`Self::write`]; the previous value of `key` is kept in that case.
+    pub fn write_torn(&mut self, key: &str, data: &[u8], committed: usize) -> Result<()> {
+        let existing = self.entries.get(key).map(Vec::len).unwrap_or(0);
+        let used_without = self.used_bytes() - existing;
+        if used_without + data.len() > self.capacity_bytes {
+            return Err(McuError::NonvolatileFull {
+                requested: data.len(),
+                available: self.capacity_bytes - used_without,
+            });
+        }
+        let committed = committed.min(data.len());
+        self.bytes_written += committed as u64;
+        if committed == data.len() {
+            // The cut landed after the last byte: the write is durable.
+            if let Some(slot) = self.entries.get_mut(key) {
+                slot.clear();
+                slot.extend_from_slice(data);
+            } else {
+                self.entries.insert(key.to_string(), data.to_vec());
+            }
+            return Ok(());
+        }
+        self.torn_writes += 1;
+        let slot = self.entries.entry(key.to_string()).or_default();
+        slot.resize(data.len(), 0xFF);
+        slot[..committed].copy_from_slice(&data[..committed]);
+        slot[committed] ^= 0xA5;
         Ok(())
     }
 
@@ -130,6 +179,40 @@ mod tests {
         // Overwriting the same key with a size that fits after reclaiming is fine.
         nv.write("k", &[1; 8]).unwrap();
         assert_eq!(nv.read("k"), Some(&[1u8; 8][..]));
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_corrupt_boundary() {
+        let mut nv = NonvolatileMemory::new(64);
+        nv.write("k", &[0x11; 8]).unwrap();
+        nv.write_torn("k", &[0x22; 8], 3).unwrap();
+        let cell = nv.read("k").unwrap();
+        assert_eq!(&cell[..3], &[0x22; 3], "committed prefix holds new data");
+        assert_eq!(cell[3], 0x11 ^ 0xA5, "boundary byte is a partially programmed cell");
+        assert_eq!(&cell[4..], &[0x11; 4], "suffix still holds the old data");
+        assert_eq!(nv.torn_writes(), 1);
+        assert_eq!(nv.bytes_written(), 8 + 3, "only committed bytes are metered");
+
+        // A tear at or past the length is a complete write.
+        nv.write_torn("k", &[0x33; 8], 8).unwrap();
+        assert_eq!(nv.read("k"), Some(&[0x33; 8][..]));
+        assert_eq!(nv.torn_writes(), 1);
+
+        // A torn write into a fresh, longer cell reads erased 0xFF beyond the
+        // committed prefix (boundary byte corrupted).
+        nv.write_torn("fresh", &[0x44; 4], 2).unwrap();
+        assert_eq!(nv.read("fresh"), Some(&[0x44, 0x44, 0xFF ^ 0xA5, 0xFF][..]));
+    }
+
+    #[test]
+    fn torn_write_respects_capacity() {
+        let mut nv = NonvolatileMemory::new(8);
+        nv.write("k", &[9; 6]).unwrap();
+        let err = nv.write_torn("other", &[0; 4], 2).unwrap_err();
+        assert!(matches!(err, McuError::NonvolatileFull { .. }));
+        assert_eq!(nv.read("k"), Some(&[9; 6][..]));
+        assert_eq!(nv.read("other"), None);
+        assert!(nv.used_bytes() <= nv.capacity_bytes());
     }
 
     #[test]

@@ -328,7 +328,13 @@ impl<'n> Server<'n> {
             let handle =
                 LiveHandle { shared: &shared, admission: Mutex::new(admission), results: &results };
             load(&handle);
-            shared.state.lock().expect("serve queue poisoned").closed = true;
+            // Shutdown must reach the workers even if a panicking worker
+            // poisoned the queue — the state (a flag and a drainable queue)
+            // is still structurally sound, so recover it and close.
+            match shared.state.lock() {
+                Ok(mut st) => st.closed = true,
+                Err(p) => p.into_inner().closed = true,
+            }
             shared.cond.notify_all();
             handles
                 .into_iter()
@@ -345,7 +351,7 @@ impl<'n> Server<'n> {
         for r in joined {
             r?;
         }
-        let mut res = results.into_inner().expect("serve results poisoned");
+        let mut res = results.into_inner().map_err(|_| poisoned("serve results"))?;
         res.responses.sort_by_key(|r| r.id);
         let report = build_report(
             res.served,
@@ -454,6 +460,12 @@ fn build_report(
 // Live mode plumbing
 // ---------------------------------------------------------------------------
 
+/// A shared mutex poisoned by a panicking worker: degrade to a recoverable
+/// [`ServeError::WorkerLost`] instead of cascading the panic into the caller.
+fn poisoned(what: &str) -> ServeError {
+    ServeError::WorkerLost(format!("{what} mutex poisoned by a panicked worker"))
+}
+
 struct LiveRequest {
     id: u64,
     exit: usize,
@@ -493,21 +505,29 @@ impl LiveHandle<'_> {
     /// Submits one request. Admission runs immediately, in submission order;
     /// a shed request is answered right away, an admitted one is stamped
     /// with its wall-clock arrival and queued for the next window.
-    pub fn submit(&self, id: u64, budget_s: f64, input: Tensor) {
-        let decision = self.admission.lock().expect("admission poisoned").admit(id, budget_s);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] when a panicked worker poisoned the
+    /// shared queue or results — the load generator can stop submitting and
+    /// let `run_live` report the lost worker.
+    pub fn submit(&self, id: u64, budget_s: f64, input: Tensor) -> Result<()> {
+        let decision =
+            self.admission.lock().map_err(|_| poisoned("serve admission"))?.admit(id, budget_s);
         match decision {
             None => {
-                let mut res = self.results.lock().expect("serve results poisoned");
+                let mut res = self.results.lock().map_err(|_| poisoned("serve results"))?;
                 res.rejected += 1;
                 res.responses.push(Response { id, verdict: Verdict::Rejected });
             }
             Some(exit) => {
-                let mut st = self.shared.state.lock().expect("serve queue poisoned");
+                let mut st = self.shared.state.lock().map_err(|_| poisoned("serve queue"))?;
                 st.queue.push_back(LiveRequest { id, exit, input, arrival: Instant::now() });
                 drop(st);
                 self.shared.cond.notify_all();
             }
         }
+        Ok(())
     }
 }
 
@@ -523,7 +543,7 @@ fn live_worker(
 ) -> Result<()> {
     let deadline = Duration::from_secs_f64(window.deadline_s);
     loop {
-        let mut st = shared.state.lock().expect("serve queue poisoned");
+        let mut st = shared.state.lock().map_err(|_| poisoned("serve queue"))?;
         // Wait for work (or shutdown with an empty queue).
         loop {
             if !st.queue.is_empty() {
@@ -532,7 +552,7 @@ fn live_worker(
             if st.closed {
                 return Ok(());
             }
-            st = shared.cond.wait(st).expect("serve queue poisoned");
+            st = shared.cond.wait(st).map_err(|_| poisoned("serve queue"))?;
         }
         // Window phase: hold until filled, the deadline passes, or shutdown
         // starts draining. The front's arrival opens the window.
@@ -544,8 +564,10 @@ fn live_worker(
             if elapsed >= deadline {
                 break;
             }
-            let (guard, _) =
-                shared.cond.wait_timeout(st, deadline - elapsed).expect("serve queue poisoned");
+            let (guard, _) = shared
+                .cond
+                .wait_timeout(st, deadline - elapsed)
+                .map_err(|_| poisoned("serve queue"))?;
             st = guard;
         }
         if st.queue.is_empty() {
@@ -560,7 +582,7 @@ fn live_worker(
         let exits: Vec<usize> = batch.iter().map(|r| r.exit).collect();
         let verdicts = run_batch(network, plan, &inputs, &exits)?;
         let done = Instant::now();
-        let mut res = results.lock().expect("serve results poisoned");
+        let mut res = results.lock().map_err(|_| poisoned("serve results"))?;
         res.batches += 1;
         res.compute_s += (done - close).as_secs_f64();
         for (req, verdict) in batch.iter().zip(verdicts) {

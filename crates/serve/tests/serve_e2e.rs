@@ -156,7 +156,7 @@ fn live_mode_content_matches_replay_across_thread_counts() {
         let outcome = server
             .run_live(&mut adm, |handle| {
                 for r in &requests {
-                    handle.submit(r.id, r.budget_s, r.input.clone());
+                    handle.submit(r.id, r.budget_s, r.input.clone()).expect("live submit");
                 }
             })
             .unwrap();
