@@ -41,7 +41,12 @@
 //! * `serve_loop` — the open-loop serving path (`ie_serve`): a fixed request
 //!   stream replayed through admission control and the dynamic batching
 //!   window at 1 and 4 workers, reported as ns/request plus the p50/p99
-//!   latency and throughput of the queueing model.
+//!   latency and throughput of the queueing model;
+//! * `fleet_loop` — the fleet-scale intermittent loop (`ie_core::fleet`): a
+//!   mixed device population advanced end to end, reported as ns/device-step
+//!   for the sequential streaming loop, the 1-worker fleet and the 4-worker
+//!   fleet, with byte-identical aggregates asserted across worker counts
+//!   before anything is timed.
 //!
 //! Writes `BENCH_inference.json` (median ns/op per case, with the run `mode`
 //! and actual timed sample count recorded) into the current directory and
@@ -56,8 +61,9 @@ use ie_compress::apply::{apply_policy, apply_policy_quantized};
 use ie_compress::{
     CalibratedAccuracyModel, CompressionPolicy, EmpiricalAccuracyEstimator, PolicyEvaluator,
 };
+use ie_core::fleet::FleetAccumulator;
 use ie_core::policies::GreedyAffordablePolicy;
-use ie_core::{DeployedModel, EventLoopSimulator, ExperimentConfig};
+use ie_core::{DeployedModel, EventLoopSimulator, ExperimentConfig, FleetConfig, FleetSimulator};
 use ie_mcu::{FaultPlan, IntermittentExecutor, McuDevice, NonvolatileMemory, TaskGraph};
 use ie_nn::dataset::{Sample, SyntheticDataset};
 use ie_nn::loss::{confidence, softmax};
@@ -344,6 +350,24 @@ struct ServeLoopResult {
     latency_p50_ns: u64,
     latency_p99_ns: u64,
     throughput_rps: u64,
+}
+
+/// The fleet-scale intermittent loop (`ie_core::fleet`): a mixed population
+/// of devices advanced end to end. The same devices streamed sequentially
+/// through `simulate_device_into` — no worker scope — are the same-run
+/// machine-speed reference of the gate, so the gated ratio is the
+/// shard/spawn/merge overhead of the 1-worker fleet (≈1). The multi-worker
+/// replay is reported, not gated (runner core counts vary).
+struct FleetLoopResult {
+    case: String,
+    devices: u64,
+    device_steps: u64,
+    /// ns per device-step: sequential streaming loop (the reference).
+    sequential_ns: u64,
+    /// ns per device-step: `FleetSimulator::run` with 1 worker (gated).
+    fleet1_ns: u64,
+    /// ns per device-step: `FleetSimulator::run` with 4 workers (reported).
+    fleet4_ns: u64,
 }
 
 struct SearchLoopResult {
@@ -719,6 +743,27 @@ fn main() {
     let mut serve4 =
         Server::new(&tiny_net, ServeConfig { window: serve_window, threads: 4 }, &mut serve_pool)
             .expect("serve config is valid");
+
+    // Fleet-loop fixture: a mixed population (all three trace kinds, all
+    // three policy kinds, a quarter fault-exposed) advanced end to end on
+    // the small test model. Worker counts are pinned in the configs so the
+    // `IE_FLEET_THREADS` knob cannot skew the bench, and the determinism
+    // contract — byte-identical aggregates at any worker count — is asserted
+    // before anything is timed.
+    let fleet_devices: u64 = if fast { 96 } else { 256 };
+    let mut fleet_cfg = FleetConfig::new(fleet_devices, 0xF1EE7);
+    fleet_cfg.events_per_device = 8;
+    fleet_cfg.device_duration_s = 600.0;
+    fleet_cfg.threads = 1;
+    let fleet1_sim = FleetSimulator::new(&fleet_cfg);
+    fleet_cfg.threads = 4;
+    let fleet4_sim = FleetSimulator::new(&fleet_cfg);
+    assert_eq!(
+        fleet1_sim.run(&sim_model).expect("fleet fixture runs").metrics,
+        fleet4_sim.run(&sim_model).expect("fleet fixture runs").metrics,
+        "fleet aggregates diverged across worker counts"
+    );
+    let fleet_steps = fleet_devices * fleet_cfg.events_per_device as u64;
 
     // SIMD kernel fixtures: each dispatched kernel is timed on the active
     // tier against its own Portable tier in the same process, after a
@@ -1144,6 +1189,35 @@ fn main() {
             throughput_rps: serve_outcome.report.throughput_rps as u64,
         };
 
+        // Fleet loop: the same device population advanced three ways — the
+        // sequential streaming loop (the same-run reference), the 1-worker
+        // fleet (gated) and the 4-worker fleet (reported).
+        let fleet_sequential_total = median_ns(eval_warmup, eval_samples, || {
+            let mut acc = FleetAccumulator::default();
+            for id in 0..fleet_devices {
+                fleet1_sim.simulate_device_into(&sim_model, id, &mut acc).unwrap();
+            }
+            black_box(acc.processed_events);
+        });
+        let fleet1_total = median_ns(eval_warmup, eval_samples, || {
+            black_box(fleet1_sim.run(&sim_model).unwrap().metrics.processed_events);
+        });
+        let fleet4_total = median_ns(eval_warmup, eval_samples, || {
+            black_box(fleet4_sim.run(&sim_model).unwrap().metrics.processed_events);
+        });
+        // The case name is mode-independent (the device count is recorded in
+        // its own field) so the fast-mode CI gate matches the committed
+        // full-mode baseline: the gated ratio — fleet1 vs the sequential
+        // loop over the same devices — is population-size-invariant.
+        let fleet_loop = FleetLoopResult {
+            case: "mixed_pop".to_string(),
+            devices: fleet_devices,
+            device_steps: fleet_steps,
+            sequential_ns: fleet_sequential_total / fleet_steps,
+            fleet1_ns: fleet1_total / fleet_steps,
+            fleet4_ns: fleet4_total / fleet_steps,
+        };
+
         (
             results,
             batch_results,
@@ -1154,6 +1228,7 @@ fn main() {
             sim_loop,
             checkpoint_loop,
             serve_loop,
+            fleet_loop,
         )
     };
 
@@ -1167,6 +1242,7 @@ fn main() {
         sim_loop,
         checkpoint_loop,
         serve_loop,
+        fleet_loop,
     ) = measure_all();
 
     println!("# multi_exit_forward — median ns/op over {samples} samples ({mode} mode)\n");
@@ -1274,6 +1350,22 @@ fn main() {
         serve_loop.latency_p99_ns,
         serve_loop.throughput_rps
     );
+    println!(
+        "\n# fleet_loop — median ns/device-step over {} devices ({} device-steps)\n",
+        fleet_loop.devices, fleet_loop.device_steps
+    );
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>16}",
+        "case", "sequential", "fleet_t1", "fleet_t4", "device-steps/s"
+    );
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>16.0}",
+        fleet_loop.case,
+        fleet_loop.sequential_ns,
+        fleet_loop.fleet1_ns,
+        fleet_loop.fleet4_ns,
+        1e9 / fleet_loop.fleet1_ns.max(1) as f64
+    );
 
     let gate = results.last().expect("three cases benchmarked");
     let batch_gate = batch_results.last().expect("batch cases benchmarked");
@@ -1350,6 +1442,15 @@ fn main() {
         serve_loop.latency_p99_ns,
         serve_loop.throughput_rps
     ));
+    json_cases.push(format!(
+        "    {{\n      \"case\": \"fleet_loop/{}\",\n      \"devices\": {},\n      \"device_steps\": {},\n      \"sequential_ns\": {},\n      \"fleet1_ns\": {},\n      \"fleet4_ns\": {}\n    }}",
+        fleet_loop.case,
+        fleet_loop.devices,
+        fleet_loop.device_steps,
+        fleet_loop.sequential_ns,
+        fleet_loop.fleet1_ns,
+        fleet_loop.fleet4_ns
+    ));
     // Record the invocation that actually produced this file, so the artifact
     // is reproducible as-is (e.g. CI passes --fast), and the mode + timed
     // sample count so a fast smoke output can never masquerade as the
@@ -1420,7 +1521,8 @@ fn main() {
                      simd_results: &[SimdKernelResult],
                      sim_loop: &SimLoopResult,
                      checkpoint_loop: &CheckpointLoopResult,
-                     serve_loop: &ServeLoopResult| {
+                     serve_loop: &ServeLoopResult,
+                     fleet_loop: &FleetLoopResult| {
             // The pre-PR replica (unchanged historical code) is the
             // machine-speed canary of the planned cases; the batched cases
             // normalize against the planned path measured in the same run,
@@ -1513,6 +1615,18 @@ fn main() {
                 current_ref: serve_loop.planned_single_ns,
                 tier_sensitive: false,
             });
+            // The 1-worker fleet normalizes against the same devices
+            // streamed sequentially (no worker scope) in the same run — the
+            // gated ratio is the shard/spawn/merge overhead itself. The
+            // 4-worker replay stays ungated (runner core counts vary).
+            metrics.push(GatedMetric {
+                case: format!("fleet_loop/{}", fleet_loop.case),
+                key: "fleet1_ns",
+                current: fleet_loop.fleet1_ns,
+                ref_key: "sequential_ns",
+                current_ref: fleet_loop.sequential_ns,
+                tier_sensitive: false,
+            });
             metrics
         };
         let metrics = gated(
@@ -1525,6 +1639,7 @@ fn main() {
             &sim_loop,
             &checkpoint_loop,
             &serve_loop,
+            &fleet_loop,
         );
         println!("\n# --check against {path} (15 % tolerance)\n");
         let mut regressions = check_against_baseline(&baseline, &metrics, 1.15);
@@ -1539,10 +1654,10 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, q2, p2, s2, k2, l2, c2, v2) = measure_all();
+            let (r2, b2, q2, p2, s2, k2, l2, c2, v2, f2) = measure_all();
             let confirmed = check_against_baseline(
                 &baseline,
-                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2),
+                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2, &f2),
                 1.15,
             );
             // Keep only metrics that regressed again, carrying the freshest

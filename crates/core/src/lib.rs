@@ -12,6 +12,9 @@
 //!   live in [`policies`],
 //! * [`EventLoopSimulator`] — replays an event sequence against a power trace
 //!   and a policy and produces a [`SimulationReport`],
+//! * [`FleetSimulator`] — thousands-to-millions of heterogeneous virtual
+//!   devices advanced in parallel under one master seed, with byte-identical
+//!   aggregates at any worker count ([`fleet`]),
 //! * [`metrics`] — the IEpmJ figure of merit and the per-run statistics every
 //!   experiment in the paper reports,
 //! * [`ExperimentConfig`] — the Section V-A experimental setup (solar trace,
@@ -38,6 +41,7 @@
 mod config;
 mod deployed;
 mod error;
+pub mod fleet;
 pub mod metrics;
 pub mod policies;
 mod policy;
@@ -46,6 +50,7 @@ mod simulator;
 pub use config::{ExperimentConfig, FaultConfig};
 pub use deployed::DeployedModel;
 pub use error::CoreError;
+pub use fleet::{FleetAccumulator, FleetConfig, FleetReport, FleetSimulator};
 pub use metrics::{EventOutcome, EventRecord, RecoveryStats, SimulationReport};
 pub use policy::{ContinueContext, EventContext, EventFeedback, ExitChoice, ExitPolicy};
 pub use simulator::EventLoopSimulator;

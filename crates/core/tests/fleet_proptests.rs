@@ -1,0 +1,94 @@
+//! Property-based tests of the fleet simulator's determinism contract:
+//! aggregates are invariant under worker count and device-shard ordering,
+//! and single-device extraction replays bit-identically.
+
+use ie_core::fleet::{DeviceSpec, FleetAccumulator, FleetConfig, FleetSimulator};
+use ie_core::{DeployedModel, ExperimentConfig};
+use proptest::prelude::*;
+
+fn model() -> DeployedModel {
+    DeployedModel::uncompressed_reference(&ExperimentConfig::paper_default())
+        .expect("reference model builds")
+}
+
+/// A fleet small enough to simulate dozens of times under proptest but large
+/// enough to exercise every trace kind, policy kind and the fault plans.
+fn config(devices: u64, seed: u64, threads: usize) -> FleetConfig {
+    let mut c = FleetConfig::new(devices, seed);
+    c.events_per_device = 8;
+    c.device_duration_s = 600.0;
+    c.threads = threads;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The merged aggregate — including its serialized JSON — is byte-identical
+    /// for every worker count.
+    #[test]
+    fn aggregates_are_invariant_under_worker_count(
+        seed in any::<u64>(),
+        devices in 1u64..48,
+        threads in 2usize..9,
+    ) {
+        let m = model();
+        let single = FleetSimulator::new(&config(devices, seed, 1)).run(&m).unwrap();
+        let multi = FleetSimulator::new(&config(devices, seed, threads)).run(&m).unwrap();
+        prop_assert_eq!(&single.metrics, &multi.metrics);
+        prop_assert_eq!(single.metrics.to_json(), multi.metrics.to_json());
+    }
+
+    /// Streaming devices into an accumulator in any permuted order gives the
+    /// same aggregate as id order: the accumulator is order-invariant, not
+    /// merely thread-count-invariant.
+    #[test]
+    fn aggregates_are_invariant_under_device_order(
+        seed in any::<u64>(),
+        devices in 2u64..24,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let m = model();
+        let fleet = FleetSimulator::new(&config(devices, seed, 1));
+
+        let mut in_order = FleetAccumulator::default();
+        for id in 0..devices {
+            fleet.simulate_device_into(&m, id, &mut in_order).unwrap();
+        }
+
+        // A cheap seeded Fisher–Yates over the device ids.
+        let mut ids: Vec<u64> = (0..devices).collect();
+        let mut state = shuffle_seed | 1;
+        for i in (1..ids.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ids.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mut permuted = FleetAccumulator::default();
+        for id in ids {
+            fleet.simulate_device_into(&m, id, &mut permuted).unwrap();
+        }
+        prop_assert_eq!(in_order, permuted);
+    }
+
+    /// Any device extracted from any fleet replays bit-identically in
+    /// isolation, and its spec derivation is a pure function of
+    /// `(master seed, device id)`.
+    #[test]
+    fn extraction_replay_is_bit_identical(
+        seed in any::<u64>(),
+        devices in 1u64..32,
+        probe_fraction in 0.0f64..1.0,
+    ) {
+        let m = model();
+        let probe = ((devices - 1) as f64 * probe_fraction) as u64;
+        let mut c = config(devices, seed, 4);
+        c.probe_device = Some(probe);
+        let fleet = FleetSimulator::new(&c);
+        let report = fleet.run(&m).unwrap();
+        let in_fleet = report.probe.expect("probe captured");
+        let replayed = fleet.replay_device(&m, probe).unwrap();
+        prop_assert_eq!(in_fleet, replayed);
+        prop_assert_eq!(DeviceSpec::derive(&c, probe), DeviceSpec::derive(&c, probe));
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`EventGenerator`] — the random "interesting event" arrivals that trigger
 //!   inferences (the paper distributes 500 events over the trace),
 //! * [`HarvestSimulator`] — glues trace and storage together and exposes the
-//!   *charging-efficiency* observable the runtime RL state uses.
+//!   *charging-efficiency* observable the runtime RL state uses,
+//! * [`fork_seed`] / [`fork_rng`] — hierarchical path-based RNG stream
+//!   derivation, the reproducibility backbone of the fleet simulator.
 //!
 //! Units: time in **seconds**, power in **milliwatts**, energy in
 //! **millijoules** (so `power × time = energy` without conversion factors).
@@ -33,6 +35,7 @@
 
 mod error;
 mod events;
+mod seed;
 mod simulator;
 mod storage;
 pub mod test_support;
@@ -40,10 +43,12 @@ mod trace;
 
 pub use error::EnergyError;
 pub use events::{Event, EventDistribution, EventGenerator};
+pub use seed::{fork_rng, fork_seed};
 pub use simulator::HarvestSimulator;
 pub use storage::EnergyStorage;
 pub use trace::{
     ConstantTrace, KineticBurstTrace, PiecewiseTrace, PowerTrace, SolarTrace, SolarTraceBuilder,
+    StochasticArrivalTrace,
 };
 
 /// Crate-wide result alias.

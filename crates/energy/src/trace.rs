@@ -244,6 +244,75 @@ impl PowerTrace for KineticBurstTrace {
     }
 }
 
+/// A stochastic energy-arrival trace: discrete energy packets arrive as a
+/// Poisson process (exponential inter-arrival gaps) and each delivers a fixed
+/// power for a short hold time — the ambient-RF / wireless-power-transfer
+/// regime of "Energy-Aware Dynamic Neural Inference" (arXiv 2411.02471),
+/// where harvested energy shows up in bursts with memoryless timing rather
+/// than on a diurnal schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticArrivalTrace {
+    samples: Vec<f64>,
+    duration_s: f64,
+}
+
+impl StochasticArrivalTrace {
+    /// Creates a trace of the given duration where packets arrive with
+    /// exponential gaps of mean `mean_gap_s`, each delivering
+    /// `packet_power_mw` for `packet_hold_s` seconds (overlapping packets
+    /// stack). The trace is sampled per second like the other synthetic
+    /// generators, so the same seed always reproduces the same packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` or `packet_power_mw` is negative, or if
+    /// `mean_gap_s` is not positive.
+    pub fn new(
+        duration_s: f64,
+        mean_gap_s: f64,
+        packet_power_mw: f64,
+        packet_hold_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(duration_s >= 0.0 && packet_power_mw >= 0.0, "negative duration or power");
+        assert!(mean_gap_s > 0.0, "mean inter-arrival gap must be positive");
+        let n = duration_s.ceil() as usize + 1;
+        let mut samples = vec![0.0; n];
+        let hold = packet_hold_s.max(1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        loop {
+            // Inverse-CDF exponential draw; 1 - u keeps the log argument in
+            // (0, 1] so the gap is always finite and positive.
+            let u: f64 = rng.gen();
+            t += -mean_gap_s * (1.0 - u).ln();
+            if t >= duration_s {
+                break;
+            }
+            let start = t as usize;
+            let end = ((t + hold).ceil() as usize).min(n);
+            for sample in &mut samples[start..end] {
+                *sample += packet_power_mw;
+            }
+        }
+        StochasticArrivalTrace { samples, duration_s }
+    }
+}
+
+impl PowerTrace for StochasticArrivalTrace {
+    fn power_mw(&self, t_s: f64) -> f64 {
+        if self.samples.is_empty() || self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        let t = t_s.rem_euclid(self.duration_s);
+        self.samples[(t as usize).min(self.samples.len() - 1)]
+    }
+
+    fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+}
+
 /// A trace defined by explicit `(time_s, power_mw)` samples with
 /// piecewise-linear interpolation. Can be parsed from two-column CSV text, so
 /// real measured profiles (e.g. the NREL data) can be dropped in.
@@ -404,6 +473,36 @@ mod tests {
             let k2 = KineticBurstTrace::new(500.0, 0.2, 4.0, seed);
             assert_eq!(k1, k2);
         }
+    }
+
+    #[test]
+    fn stochastic_arrival_trace_is_reproducible_and_seed_sensitive() {
+        let a = StochasticArrivalTrace::new(600.0, 20.0, 3.0, 2.0, 9);
+        let b = StochasticArrivalTrace::new(600.0, 20.0, 3.0, 2.0, 9);
+        let c = StochasticArrivalTrace::new(600.0, 20.0, 3.0, 2.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stochastic_arrival_rate_matches_mean_gap() {
+        // ~duration / mean_gap packets, each hold_s × power_mw millijoules.
+        let t = StochasticArrivalTrace::new(20_000.0, 25.0, 4.0, 2.0, 3);
+        let expected = 20_000.0 / 25.0 * 4.0 * 2.0;
+        let total = t.energy_mj(0.0, t.duration_s());
+        assert!(
+            total > 0.5 * expected && total < 2.0 * expected,
+            "harvested {total} mJ vs expected ≈ {expected} mJ"
+        );
+        // Most seconds are dark: arrivals are sparse bursts, not a baseline.
+        let dark = (0..20_000).filter(|&s| t.power_mw(s as f64) == 0.0).count();
+        assert!(dark > 10_000, "only {dark} dark seconds");
+    }
+
+    #[test]
+    fn stochastic_arrival_trace_wraps_beyond_duration() {
+        let t = StochasticArrivalTrace::new(500.0, 10.0, 2.0, 1.0, 7);
+        assert_eq!(t.power_mw(500.0 + 42.0).to_bits(), t.power_mw(42.0).to_bits());
     }
 
     #[test]

@@ -155,30 +155,43 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
 }
 
-static EVAL_THREADS_WARNING: std::sync::Once = std::sync::Once::new();
-
-/// Worker-thread count for sharded evaluation: the `IE_EVAL_THREADS`
-/// environment variable when set to a positive integer, otherwise
-/// [`default_threads`]. A set-but-invalid value (including `0`) falls back
-/// to the default and emits a one-time warning on stderr instead of being
-/// silently swallowed. The thread count never changes results — the sharded
-/// reduction is deterministic — so this is a pure throughput knob (and what
-/// the CI thread-matrix job varies).
-pub fn eval_threads() -> usize {
-    match classify_thread_override(std::env::var("IE_EVAL_THREADS").ok().as_deref()) {
+/// Resolves a thread-count environment knob (`IE_EVAL_THREADS`,
+/// `IE_SERVE_THREADS`, `IE_FLEET_THREADS`, …): the variable's value when it
+/// is a positive integer, otherwise [`default_threads`]. A set-but-invalid
+/// value (including `0`, which would deadlock a sharded evaluation) falls
+/// back to the default and warns once *per variable* on stderr instead of
+/// being silently swallowed. Every consumer goes through this one helper so
+/// the knobs cannot drift in parsing or fallback behaviour; none of them
+/// ever changes results — the sharded reductions are deterministic — so
+/// these are pure throughput knobs.
+pub fn threads_from_env(var: &'static str) -> usize {
+    match classify_thread_override(std::env::var(var).ok().as_deref()) {
         ThreadOverride::Threads(n) => n,
         ThreadOverride::Unset => default_threads(),
         ThreadOverride::Invalid { value, reason } => {
             let fallback = default_threads();
-            EVAL_THREADS_WARNING.call_once(|| {
+            static WARNED: std::sync::OnceLock<std::sync::Mutex<Vec<&'static str>>> =
+                std::sync::OnceLock::new();
+            let mut warned = WARNED
+                .get_or_init(|| std::sync::Mutex::new(Vec::new()))
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if !warned.contains(&var) {
+                warned.push(var);
                 eprintln!(
-                    "warning: ignoring IE_EVAL_THREADS={value:?} ({reason}); \
+                    "warning: ignoring {var}={value:?} ({reason}); \
                      falling back to {fallback} worker threads"
                 );
-            });
+            }
             fallback
         }
     }
+}
+
+/// Worker-thread count for sharded evaluation: `IE_EVAL_THREADS` via
+/// [`threads_from_env`] (what the CI thread-matrix job varies).
+pub fn eval_threads() -> usize {
+    threads_from_env("IE_EVAL_THREADS")
 }
 
 /// A reusable pool of per-worker [`BatchPlan`]s for the sharded evaluators.

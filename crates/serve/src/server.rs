@@ -24,7 +24,7 @@
 use crate::window::{compose_batches, WindowBatch, WindowConfig};
 use crate::{percentile, Request, Response, Result, ServeError, ServeReport, Verdict};
 use ie_nn::quant::QuantConfig;
-use ie_nn::train::{classify_thread_override, default_threads, ThreadOverride};
+use ie_nn::train::threads_from_env;
 use ie_nn::train::{BatchPlanPool, QuantPlanPool};
 use ie_nn::{BatchPlan, MultiExitNetwork};
 use ie_runtime::LatencyAdmission;
@@ -59,28 +59,12 @@ impl ServeConfig {
     }
 }
 
-static SERVE_THREADS_WARNING: std::sync::Once = std::sync::Once::new();
-
-/// Worker-thread count for the server: the `IE_SERVE_THREADS` environment
-/// variable when set to a positive integer, otherwise
-/// [`default_threads`]. Like `IE_EVAL_THREADS`, a set-but-invalid value
-/// (including `0`) warns once on stderr and falls back to the default —
-/// thread count never changes response content, only throughput.
+/// Worker-thread count for the server: `IE_SERVE_THREADS` via the shared
+/// [`threads_from_env`] helper (same parsing, fallback and warn-once
+/// behaviour as `IE_EVAL_THREADS` / `IE_FLEET_THREADS`) — thread count never
+/// changes response content, only throughput.
 pub fn serve_threads() -> usize {
-    match classify_thread_override(std::env::var("IE_SERVE_THREADS").ok().as_deref()) {
-        ThreadOverride::Threads(n) => n,
-        ThreadOverride::Unset => default_threads(),
-        ThreadOverride::Invalid { value, reason } => {
-            let fallback = default_threads();
-            SERVE_THREADS_WARNING.call_once(|| {
-                eprintln!(
-                    "warning: ignoring IE_SERVE_THREADS={value:?} ({reason}); \
-                     falling back to {fallback} worker threads"
-                );
-            });
-            fallback
-        }
-    }
+    threads_from_env("IE_SERVE_THREADS")
 }
 
 /// Everything one serving run produced.
