@@ -42,6 +42,12 @@
 //!   stream replayed through admission control and the dynamic batching
 //!   window at 1 and 4 workers, reported as ns/request plus the p50/p99
 //!   latency and throughput of the queueing model;
+//! * `overload_loop` — the same serving path at 2× saturation behind a
+//!   bounded queue, replayed once under `ShedPolicy::Degrade` and once under
+//!   `ShedPolicy::Reject`: the degrade replay is gated against the reject
+//!   replay of the same run (both plan the same stream; degradation must not
+//!   cost more than flat shedding), and the served/goodput counts of each
+//!   policy are recorded so the throughput trade is visible in the JSON;
 //! * `fleet_loop` — the fleet-scale intermittent loop (`ie_core::fleet`): a
 //!   mixed device population advanced end to end, reported as ns/device-step
 //!   for the sequential streaming loop, the 1-worker fleet and the 4-worker
@@ -73,7 +79,7 @@ use ie_nn::train::BatchPlanPool;
 use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
 use ie_runtime::{LatencyAdmission, StateDiscretizer};
 use ie_search::{CompressionEnv, RewardMode};
-use ie_serve::{Request, ServeConfig, Server, WindowConfig};
+use ie_serve::{OverloadConfig, Request, ServeConfig, Server, ShedPolicy, WindowConfig};
 use ie_tensor::dispatch::IsaTier;
 use ie_tensor::{dispatch, tiered, Conv2dGeometry, QuantParams, Tensor};
 use rand::rngs::StdRng;
@@ -350,6 +356,30 @@ struct ServeLoopResult {
     latency_p50_ns: u64,
     latency_p99_ns: u64,
     throughput_rps: u64,
+}
+
+/// The overloaded serving path: the 2×-saturation stream replayed behind a
+/// bounded queue, once degrading exits under pressure and once flat-shedding.
+/// Both replays plan the identical stream in the same run, so the gated
+/// degrade/reject ratio measures the pressure-mapping machinery itself —
+/// degradation must not cost more than turning requests away. The per-policy
+/// served and deadline-met counts are deterministic fixture facts, recorded
+/// so the throughput trade (degrade serves more, shallower) stays visible.
+struct OverloadLoopResult {
+    case: String,
+    requests: usize,
+    /// ns per request: bounded-queue replay under `ShedPolicy::Degrade`
+    /// with 1 worker (the gated metric).
+    degrade1_ns: u64,
+    /// ns per request: the same replay under `ShedPolicy::Reject` (the
+    /// same-run reference).
+    reject1_ns: u64,
+    degrade_served: usize,
+    reject_served: usize,
+    degrade_deadline_met: usize,
+    reject_deadline_met: usize,
+    degraded: usize,
+    shed_reject: usize,
 }
 
 /// The fleet-scale intermittent loop (`ie_core::fleet`): a mixed population
@@ -737,12 +767,50 @@ fn main() {
     );
     let serve_window = WindowConfig { max_batch: 8, deadline_s: 0.001 };
     let mut serve_pool = BatchPlanPool::new();
-    let mut serve1 =
-        Server::new(&tiny_net, ServeConfig { window: serve_window, threads: 1 }, &mut serve_pool)
-            .expect("serve config is valid");
-    let mut serve4 =
-        Server::new(&tiny_net, ServeConfig { window: serve_window, threads: 4 }, &mut serve_pool)
-            .expect("serve config is valid");
+    let mut serve1 = Server::new(&tiny_net, ServeConfig::new(serve_window, 1), &mut serve_pool)
+        .expect("serve config is valid");
+    let mut serve4 = Server::new(&tiny_net, ServeConfig::new(serve_window, 4), &mut serve_pool)
+        .expect("serve config is valid");
+
+    // Overload fixture: the same backbone at 2× the cheapest exit's service
+    // rate (arrival gap = half its cost) behind a bounded queue, replayed
+    // under the two shed policies. The plans are deterministic, so the
+    // per-policy served/degraded/shed counts are fixture facts — asserted
+    // once here, recorded in the JSON.
+    let overload_count = 128usize;
+    let overload_stream: Vec<Request> = (0..overload_count)
+        .map(|i| Request {
+            id: i as u64,
+            arrival_s: i as f64 * 0.001,
+            budget_s: [0.0005, 0.003, 0.004, 0.008][i % 4],
+            input: data.train()[i % data.train().len()].image.clone(),
+        })
+        .collect();
+    let overload_server = |policy: ShedPolicy, pool: &mut BatchPlanPool| {
+        let overload = OverloadConfig { queue_cap: 4, policy, ..OverloadConfig::default() };
+        Server::new(&tiny_net, ServeConfig { window: serve_window, threads: 1, overload }, pool)
+            .expect("overload config is valid")
+    };
+    let mut serve_degrade = overload_server(ShedPolicy::Degrade, &mut serve_pool);
+    let mut serve_reject = overload_server(ShedPolicy::Reject, &mut serve_pool);
+    {
+        let degrade =
+            serve_degrade.replay(&mut serve_admission, &overload_stream).expect("degrade replay");
+        let reject =
+            serve_reject.replay(&mut serve_admission, &overload_stream).expect("reject replay");
+        assert!(degrade.report.conservation_holds() && reject.report.conservation_holds());
+        assert!(reject.report.shed > 0, "2x saturation must overflow a 4-slot queue");
+        assert!(degrade.report.degraded > 0, "queue pressure must degrade some exits");
+        // Degrade trades a little raw throughput (it sheds the unmeetable
+        // upfront) for goodput: almost everything it serves meets its
+        // deadline, where Reject serves a backlog of useless late answers.
+        assert!(
+            degrade.report.deadline_met > reject.report.deadline_met,
+            "degradation exists to convert raw throughput into goodput ({} vs {})",
+            degrade.report.deadline_met,
+            reject.report.deadline_met
+        );
+    }
 
     // Fleet-loop fixture: a mixed population (all three trace kinds, all
     // three policy kinds, a quarter fault-exposed) advanced end to end on
@@ -1189,6 +1257,34 @@ fn main() {
             throughput_rps: serve_outcome.report.throughput_rps as u64,
         };
 
+        // Overload loop: the 2x-saturation stream behind the bounded queue,
+        // degrade vs reject, both with 1 worker so the ratio is pure policy
+        // machinery, never core-count luck.
+        let degrade_total = median_ns(eval_warmup, eval_samples, || {
+            black_box(
+                serve_degrade.replay(&mut serve_admission, &overload_stream).unwrap().report.served,
+            );
+        });
+        let reject_total = median_ns(eval_warmup, eval_samples, || {
+            black_box(
+                serve_reject.replay(&mut serve_admission, &overload_stream).unwrap().report.served,
+            );
+        });
+        let degrade_outcome = serve_degrade.replay(&mut serve_admission, &overload_stream).unwrap();
+        let reject_outcome = serve_reject.replay(&mut serve_admission, &overload_stream).unwrap();
+        let overload_loop = OverloadLoopResult {
+            case: "degrade_vs_reject_2x".to_string(),
+            requests: overload_stream.len(),
+            degrade1_ns: degrade_total / overload_stream.len() as u64,
+            reject1_ns: reject_total / overload_stream.len() as u64,
+            degrade_served: degrade_outcome.report.served,
+            reject_served: reject_outcome.report.served,
+            degrade_deadline_met: degrade_outcome.report.deadline_met,
+            reject_deadline_met: reject_outcome.report.deadline_met,
+            degraded: degrade_outcome.report.degraded,
+            shed_reject: reject_outcome.report.shed,
+        };
+
         // Fleet loop: the same device population advanced three ways — the
         // sequential streaming loop (the same-run reference), the 1-worker
         // fleet (gated) and the 4-worker fleet (reported).
@@ -1228,6 +1324,7 @@ fn main() {
             sim_loop,
             checkpoint_loop,
             serve_loop,
+            overload_loop,
             fleet_loop,
         )
     };
@@ -1242,6 +1339,7 @@ fn main() {
         sim_loop,
         checkpoint_loop,
         serve_loop,
+        overload_loop,
         fleet_loop,
     ) = measure_all();
 
@@ -1351,6 +1449,24 @@ fn main() {
         serve_loop.throughput_rps
     );
     println!(
+        "\n# overload_loop — median ns/request at 2x saturation over {} requests (cap 4)\n",
+        overload_loop.requests
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>20} {:>20}",
+        "case", "degrade_t1", "reject_t1", "served (deg/rej)", "goodput (deg/rej)"
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>17}/{} {:>17}/{}",
+        overload_loop.case,
+        overload_loop.degrade1_ns,
+        overload_loop.reject1_ns,
+        overload_loop.degrade_served,
+        overload_loop.reject_served,
+        overload_loop.degrade_deadline_met,
+        overload_loop.reject_deadline_met
+    );
+    println!(
         "\n# fleet_loop — median ns/device-step over {} devices ({} device-steps)\n",
         fleet_loop.devices, fleet_loop.device_steps
     );
@@ -1443,6 +1559,19 @@ fn main() {
         serve_loop.throughput_rps
     ));
     json_cases.push(format!(
+        "    {{\n      \"case\": \"overload_loop/{}\",\n      \"requests\": {},\n      \"degrade1_ns\": {},\n      \"reject1_ns\": {},\n      \"degrade_served\": {},\n      \"reject_served\": {},\n      \"degrade_deadline_met\": {},\n      \"reject_deadline_met\": {},\n      \"degraded\": {},\n      \"shed_reject\": {}\n    }}",
+        overload_loop.case,
+        overload_loop.requests,
+        overload_loop.degrade1_ns,
+        overload_loop.reject1_ns,
+        overload_loop.degrade_served,
+        overload_loop.reject_served,
+        overload_loop.degrade_deadline_met,
+        overload_loop.reject_deadline_met,
+        overload_loop.degraded,
+        overload_loop.shed_reject
+    ));
+    json_cases.push(format!(
         "    {{\n      \"case\": \"fleet_loop/{}\",\n      \"devices\": {},\n      \"device_steps\": {},\n      \"sequential_ns\": {},\n      \"fleet1_ns\": {},\n      \"fleet4_ns\": {}\n    }}",
         fleet_loop.case,
         fleet_loop.devices,
@@ -1522,6 +1651,7 @@ fn main() {
                      sim_loop: &SimLoopResult,
                      checkpoint_loop: &CheckpointLoopResult,
                      serve_loop: &ServeLoopResult,
+                     overload_loop: &OverloadLoopResult,
                      fleet_loop: &FleetLoopResult| {
             // The pre-PR replica (unchanged historical code) is the
             // machine-speed canary of the planned cases; the batched cases
@@ -1615,6 +1745,19 @@ fn main() {
                 current_ref: serve_loop.planned_single_ns,
                 tier_sensitive: false,
             });
+            // The bounded-queue degrade replay normalizes against the
+            // reject replay of the identical stream in the same run: the
+            // gated ratio is the pressure-mapping overhead itself (both
+            // policies plan the same arrivals; degrade additionally walks
+            // the pressure/deadline caps per request).
+            metrics.push(GatedMetric {
+                case: format!("overload_loop/{}", overload_loop.case),
+                key: "degrade1_ns",
+                current: overload_loop.degrade1_ns,
+                ref_key: "reject1_ns",
+                current_ref: overload_loop.reject1_ns,
+                tier_sensitive: false,
+            });
             // The 1-worker fleet normalizes against the same devices
             // streamed sequentially (no worker scope) in the same run — the
             // gated ratio is the shard/spawn/merge overhead itself. The
@@ -1639,6 +1782,7 @@ fn main() {
             &sim_loop,
             &checkpoint_loop,
             &serve_loop,
+            &overload_loop,
             &fleet_loop,
         );
         println!("\n# --check against {path} (15 % tolerance)\n");
@@ -1654,10 +1798,10 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, q2, p2, s2, k2, l2, c2, v2, f2) = measure_all();
+            let (r2, b2, q2, p2, s2, k2, l2, c2, v2, o2, f2) = measure_all();
             let confirmed = check_against_baseline(
                 &baseline,
-                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2, &f2),
+                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2, &o2, &f2),
                 1.15,
             );
             // Keep only metrics that regressed again, carrying the freshest

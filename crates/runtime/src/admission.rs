@@ -24,6 +24,16 @@
 use crate::{Result, RuntimeError, StateDiscretizer, StaticLutPolicy};
 use ie_core::{EventContext, ExitChoice, ExitPolicy};
 
+/// Deepest exit whose predicted cost fits within `budget_s`, or `None` when
+/// even the shallowest exit does not. This is the budget half of the serving
+/// layer's deadline-aware degradation: given the time a request has left
+/// after its modeled queueing wait, it bounds how deep the network may run.
+/// Costs are scanned from the deep end, so with a monotone cost table this
+/// is the greedy rule of the paper's static LUT evaluated exactly.
+pub fn deepest_affordable(exit_cost_s: &[f64], budget_s: f64) -> Option<usize> {
+    exit_cost_s.iter().rposition(|&c| c <= budget_s)
+}
+
 /// Adapts an [`ExitPolicy`] into per-request admission control under a
 /// latency budget (see the module docs for the observable mapping).
 pub struct LatencyAdmission {
@@ -164,6 +174,25 @@ impl LatencyAdmission {
             ExitChoice::Exit(exit) => Some(exit.min(self.num_exits() - 1)),
         }
     }
+
+    /// [`LatencyAdmission::admit`] under a degraded exit ceiling: the policy
+    /// decides as usual, then the decision is clamped to `max_exit`. This is
+    /// how an overload layer composes with admission — the policy still sees
+    /// the true budget (its state stays consistent across load levels), but
+    /// pressure caps how deep the admitted request may actually run.
+    pub fn admit_capped(
+        &mut self,
+        request_id: u64,
+        budget_s: f64,
+        max_exit: usize,
+    ) -> Option<usize> {
+        self.admit(request_id, budget_s).map(|exit| exit.min(max_exit))
+    }
+
+    /// [`deepest_affordable`] over this admission table.
+    pub fn deepest_affordable(&self, budget_s: f64) -> Option<usize> {
+        deepest_affordable(self.exit_cost_s(), budget_s)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +265,33 @@ mod tests {
         let (c, a) = costs();
         let mut adm = LatencyAdmission::new(Box::new(Bogus), c, a).unwrap();
         assert_eq!(adm.admit(0, 1.0), Some(2), "out-of-range exits are clamped to the deepest");
+    }
+
+    #[test]
+    fn deepest_affordable_walks_the_cost_table() {
+        let (c, a) = costs();
+        assert_eq!(deepest_affordable(&c, 1.0), Some(2));
+        assert_eq!(deepest_affordable(&c, 0.009), Some(2), "exact fit is affordable");
+        assert_eq!(deepest_affordable(&c, 0.005), Some(1));
+        assert_eq!(deepest_affordable(&c, 0.001), Some(0));
+        assert_eq!(deepest_affordable(&c, 0.0005), None);
+        assert_eq!(deepest_affordable(&c, f64::NAN), None, "NaN budgets afford nothing");
+        let adm = LatencyAdmission::static_lut(c, a, StateDiscretizer::paper_default()).unwrap();
+        assert_eq!(adm.deepest_affordable(0.005), Some(1));
+    }
+
+    #[test]
+    fn capped_admission_clamps_but_never_invents_an_exit() {
+        let (c, a) = costs();
+        let mut adm =
+            LatencyAdmission::static_lut(c, a, StateDiscretizer::paper_default()).unwrap();
+        // A generous budget admitted at depth 2 is degraded to the cap…
+        assert_eq!(adm.admit_capped(0, 0.010, 0), Some(0));
+        assert_eq!(adm.admit_capped(1, 0.010, 1), Some(1));
+        // …a cap above the decision changes nothing…
+        assert_eq!(adm.admit_capped(2, 0.002, 99), Some(0));
+        // …and a rejection stays a rejection no matter the cap.
+        assert_eq!(adm.admit_capped(3, 0.0, 2), None);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod state;
 mod static_lut;
 
 pub use adaptation::{AdaptationConfig, AdaptationOutcome, RuntimeAdaptation};
-pub use admission::LatencyAdmission;
+pub use admission::{deepest_affordable, LatencyAdmission};
 pub use error::RuntimeError;
 pub use qpolicy::{QLearningConfig, QLearningExitPolicy};
 pub use state::StateDiscretizer;

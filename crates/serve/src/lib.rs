@@ -17,7 +17,13 @@
 //!   resource;
 //! * responses carry only deterministic content, so a fixed request stream
 //!   produces **byte-identical responses** for any worker count, batch
-//!   composition and repeated run (see [`Server::replay`]).
+//!   composition and repeated run (see [`Server::replay`]);
+//! * an **overload layer** ([`OverloadConfig`]) bounds the queue and sheds
+//!   or *degrades* under pressure — the multi-exit network doubling as the
+//!   load-shedding actuator — while **worker supervision** catches panics,
+//!   recycles plans and re-enqueues lost batches under a retry budget;
+//! * a seeded [`ChaosPlan`] injects panics, stalls and arrival bursts to
+//!   prove it, with byte-identical replay outcomes per seed.
 //!
 //! [`Server::replay`] serves a recorded stream on a virtual clock (tests,
 //! benches); [`Server::run_live`] runs real worker threads against the wall
@@ -26,13 +32,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod error;
+mod overload;
 mod report;
 mod request;
 mod server;
 mod window;
 
+pub use chaos::{silence_chaos_panics, ChaosPanic, ChaosPlan};
 pub use error::ServeError;
+pub use overload::{
+    plan_overload, pressure_exit_cap, AdmitOutcome, OverloadConfig, OverloadPlan, PlannedBatch,
+    ShedPolicy, ShedReason,
+};
 pub use report::{percentile, ServeReport};
 pub use request::{Request, Response, Verdict};
 pub use server::{serve_threads, LiveHandle, ServeConfig, ServeOutcome, Server};

@@ -1,0 +1,715 @@
+//! Overload protection for the serving loop: a **bounded admission queue**
+//! with pluggable shed policies, planned deterministically on the virtual
+//! clock.
+//!
+//! The paper's multi-exit network is a built-in graceful-degradation knob:
+//! under pressure the runtime can take an *earlier* exit instead of dropping
+//! the request outright — exactly the energy rule, with queue pressure as
+//! the resource. This module turns that knob into a load-shedding actuator
+//! for the server:
+//!
+//! * [`ShedPolicy::Reject`] — a full queue sheds the newcomer;
+//! * [`ShedPolicy::DropOldest`] — a full queue sheds the oldest *queued*
+//!   request to make room for the newcomer (freshness-first);
+//! * [`ShedPolicy::Degrade`] — queue pressure and the request's remaining
+//!   deadline cap the admitted exit at a shallower one (the multi-exit
+//!   network as the actuator); only a *completely* full queue still sheds.
+//!
+//! [`plan_overload`] is the pure replay-mode planner: a single pass over the
+//! arrival-ordered stream that composes batching windows (the same close
+//! rule as [`compose_batches`]), models service on a fixed number of
+//! *virtual* servers using the admission table's **predicted** per-exit
+//! costs, and applies the shed policy against the modeled backlog. Because
+//! the model never reads a wall clock, a thread count or a measured compute
+//! time, the plan — and therefore every response — is byte-identical across
+//! worker counts and repeated runs. The live server applies the same
+//! policies against its real queue instead (see `server.rs`); there the
+//! pressure signal is genuinely racy, which is the honest closed-loop
+//! behaviour.
+//!
+//! Conservation invariant: every request gets **exactly one** outcome —
+//! scheduled, rejected (admission) or shed (overload) — and the planned
+//! batches contain exactly the scheduled requests, each exactly once, in
+//! arrival order. [`OverloadPlan::check_conservation`] states it
+//! mechanically; the proptests in `tests/overload_proptests.rs` hold it over
+//! random streams, policies and capacities.
+//!
+//! [`compose_batches`]: crate::compose_batches
+
+use crate::window::WindowConfig;
+use crate::{Result, ServeError};
+use ie_runtime::deepest_affordable;
+
+/// How the bounded admission queue sheds load when it is full (and, for
+/// [`ShedPolicy::Degrade`], how it degrades before it is full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// A full queue sheds the arriving request.
+    Reject,
+    /// A full queue sheds the oldest still-queued request and admits the
+    /// newcomer. When every backlogged request is already in service (none
+    /// can be recalled), the newcomer is shed like [`ShedPolicy::Reject`].
+    DropOldest,
+    /// Queue pressure and remaining deadline cap the admitted exit at a
+    /// shallower one (see [`pressure_exit_cap`]); a full queue still sheds
+    /// the newcomer, and a request whose remaining budget no longer covers
+    /// even the shallowest exit is shed as deadline-unmeetable.
+    Degrade,
+}
+
+impl ShedPolicy {
+    /// Parses the `IE_SERVE_SHED` spelling (`reject`, `drop-oldest`,
+    /// `degrade`).
+    pub fn parse(s: &str) -> Option<ShedPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reject" => Some(ShedPolicy::Reject),
+            "drop-oldest" | "drop_oldest" | "dropoldest" => Some(ShedPolicy::DropOldest),
+            "degrade" => Some(ShedPolicy::Degrade),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (`reject` / `drop-oldest` / `degrade`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::Degrade => "degrade",
+        }
+    }
+}
+
+/// Why an overload shed happened (carried in [`crate::Verdict::Shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full on arrival.
+    QueueFull,
+    /// The request was queued, then evicted by a newer arrival under
+    /// [`ShedPolicy::DropOldest`].
+    DroppedOldest,
+    /// Under [`ShedPolicy::Degrade`], the modeled remaining deadline no
+    /// longer covered even the shallowest exit.
+    DeadlineUnmeetable,
+    /// The request's batch kept losing its worker and ran out of its retry
+    /// budget (see `OverloadConfig::retry_budget`).
+    RetryExhausted,
+}
+
+/// Configuration of the overload-protection layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Bounded admission-queue capacity (backlog: queued plus modeled
+    /// in-service requests). `usize::MAX` (the default) is effectively
+    /// unbounded and reproduces the pre-overload serving behaviour exactly.
+    /// Must be at least 1.
+    pub queue_cap: usize,
+    /// What happens when the queue is full.
+    pub policy: ShedPolicy,
+    /// Virtual servers in the replay-mode service model. Deliberately
+    /// **independent of the real worker count** — the model is what keeps
+    /// replay outcomes byte-identical across 1 vs N workers.
+    pub model_servers: usize,
+    /// How many times a batch whose worker panicked is re-enqueued before
+    /// its requests are shed as [`ShedReason::RetryExhausted`]. Each batch
+    /// is re-enqueued exactly once per lost worker, never more.
+    pub retry_budget: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_cap: usize::MAX,
+            policy: ShedPolicy::Reject,
+            model_servers: 1,
+            retry_budget: 1,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Validates the capacity and model-server count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero queue capacity or a
+    /// zero virtual-server count.
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_cap == 0 {
+            return Err(ServeError::InvalidConfig(
+                "overload queue capacity must be at least 1".into(),
+            ));
+        }
+        if self.model_servers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "overload service model needs at least one virtual server".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reads the `IE_SERVE_QUEUE_CAP` (0 or unset → unbounded) and
+    /// `IE_SERVE_SHED` (`reject`/`drop-oldest`/`degrade`) knobs on top of
+    /// the defaults. Unparsable values warn on stderr and keep the default,
+    /// mirroring the `IE_*_THREADS` convention of never silently swallowing
+    /// an override.
+    pub fn from_env() -> Self {
+        let mut cfg = OverloadConfig::default();
+        if let Ok(raw) = std::env::var("IE_SERVE_QUEUE_CAP") {
+            match raw.trim().parse::<usize>() {
+                Ok(0) => {}
+                Ok(cap) => cfg.queue_cap = cap,
+                Err(_) => eprintln!(
+                    "warning: ignoring invalid IE_SERVE_QUEUE_CAP={raw:?} (want a non-negative \
+                     integer; 0 means unbounded)"
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("IE_SERVE_SHED") {
+            match ShedPolicy::parse(&raw) {
+                Some(policy) => cfg.policy = policy,
+                None => eprintln!(
+                    "warning: ignoring invalid IE_SERVE_SHED={raw:?} (want \
+                     reject|drop-oldest|degrade)"
+                ),
+            }
+        }
+        cfg
+    }
+}
+
+/// The pressure half of [`ShedPolicy::Degrade`]: the deepest exit a request
+/// may take when `backlog` of `queue_cap` slots are occupied, over a network
+/// with `num_exits` exits.
+///
+/// The mapping is linear in the remaining headroom with a ceiling, so the
+/// full depth survives until the queue is meaningfully loaded and the cap
+/// walks down to the shallowest exit exactly at the last slot:
+/// `cap = ceil((num_exits-1) · (queue_cap-1-backlog) / (queue_cap-1))`.
+/// All-integer arithmetic — monotone non-increasing in `backlog` and
+/// deterministic on every platform. A capacity of 1 (or an effectively
+/// unbounded queue) never degrades: there is no pressure gradient to read.
+pub fn pressure_exit_cap(backlog: usize, queue_cap: usize, num_exits: usize) -> usize {
+    let deepest = num_exits.saturating_sub(1);
+    if queue_cap <= 1 || queue_cap == usize::MAX || backlog >= queue_cap {
+        return deepest;
+    }
+    (deepest * (queue_cap - 1 - backlog.min(queue_cap - 1))).div_ceil(queue_cap - 1)
+}
+
+/// What the overload planner decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Admission control (the latency-budget policy) rejected the request
+    /// before the queue was consulted.
+    Rejected,
+    /// The overload layer shed the request.
+    Shed(ShedReason),
+    /// The request was enqueued and batched; `exit` is its final target
+    /// after any degradation, `degraded` whether the cap actually bit.
+    Scheduled {
+        /// Final target exit (after degradation).
+        exit: usize,
+        /// Whether the overload layer lowered the admitted exit.
+        degraded: bool,
+    },
+}
+
+/// One planned batching window: original-stream positions with their final
+/// exits, plus the modeled service interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedBatch {
+    /// Arrival time of the first request in the window.
+    pub open_s: f64,
+    /// When the window closed (filled, or `open_s` + deadline).
+    pub close_s: f64,
+    /// `(position in the original request stream, final exit)` per member,
+    /// in arrival order.
+    pub members: Vec<(usize, usize)>,
+    /// Modeled service cost: the deepest member exit's predicted cost
+    /// (incremental inference pays the deepest distinct exit once).
+    pub predicted_cost_s: f64,
+    /// Modeled service start (close time, or when a virtual server frees).
+    pub start_s: f64,
+    /// Modeled completion (`start_s + predicted_cost_s`).
+    pub done_s: f64,
+}
+
+/// The full deterministic overload plan for a replayed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadPlan {
+    /// One outcome per request, aligned with the input stream.
+    pub outcomes: Vec<AdmitOutcome>,
+    /// The planned batches over the scheduled requests.
+    pub batches: Vec<PlannedBatch>,
+    /// Scheduled requests whose **modeled** completion met their budget
+    /// (`done_s − arrival ≤ budget`): the deterministic goodput numerator.
+    pub deadline_met: usize,
+    /// Scheduled requests whose exit was lowered by degradation.
+    pub degraded: usize,
+}
+
+impl OverloadPlan {
+    /// Checks the conservation invariant: every request has exactly one
+    /// outcome, and the batches contain exactly the scheduled positions,
+    /// each exactly once, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check_conservation(&self) -> std::result::Result<(), String> {
+        let scheduled: Vec<usize> = (0..self.outcomes.len())
+            .filter(|&i| matches!(self.outcomes[i], AdmitOutcome::Scheduled { .. }))
+            .collect();
+        let batched: Vec<usize> =
+            self.batches.iter().flat_map(|b| b.members.iter().map(|&(i, _)| i)).collect();
+        if batched != scheduled {
+            return Err(format!(
+                "batches hold positions {batched:?} but the scheduled set is {scheduled:?}"
+            ));
+        }
+        for b in &self.batches {
+            if b.members.is_empty() {
+                return Err("empty planned batch".into());
+            }
+            for &(i, exit) in &b.members {
+                match self.outcomes[i] {
+                    AdmitOutcome::Scheduled { exit: e, .. } if e == exit => {}
+                    ref other => {
+                        return Err(format!(
+                            "batch member {i} (exit {exit}) disagrees with outcome {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of scheduled (batched) requests.
+    pub fn scheduled(&self) -> usize {
+        self.batches.iter().map(|b| b.members.len()).sum()
+    }
+
+    /// Number of overload-shed requests (admission rejections excluded).
+    pub fn shed(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, AdmitOutcome::Shed(_))).count()
+    }
+}
+
+/// The deterministic single-pass overload planner for replay mode. Consumes
+/// the arrival-ordered stream (`arrivals`, `budgets`), the per-request
+/// admission decisions (strictly in arrival order, `None` = rejected), the
+/// admission table's predicted per-exit costs, the batching window and the
+/// overload configuration, and produces the [`OverloadPlan`].
+///
+/// With an unbounded queue this reduces exactly to
+/// [`compose_batches`](crate::compose_batches) over the admitted sub-stream
+/// (property-tested), so the overload layer is a strict extension of the
+/// original serving semantics.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for an invalid window/overload
+/// configuration or an admission decision beyond the cost table, and
+/// [`ServeError::InvalidRequest`] for unsorted or non-finite arrivals or
+/// mismatched input lengths.
+pub fn plan_overload(
+    arrivals: &[f64],
+    budgets: &[f64],
+    decisions: &[Option<usize>],
+    exit_cost_s: &[f64],
+    window: &WindowConfig,
+    config: &OverloadConfig,
+) -> Result<OverloadPlan> {
+    window.validate()?;
+    config.validate()?;
+    if arrivals.len() != budgets.len() || arrivals.len() != decisions.len() {
+        return Err(ServeError::InvalidRequest(format!(
+            "{} arrivals, {} budgets, {} admission decisions — the stream views must align",
+            arrivals.len(),
+            budgets.len(),
+            decisions.len()
+        )));
+    }
+    if let Some(bad) = arrivals.iter().find(|a| !a.is_finite()) {
+        return Err(ServeError::InvalidRequest(format!("non-finite arrival time {bad}")));
+    }
+    for (i, w) in arrivals.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(ServeError::InvalidRequest(format!(
+                "arrivals must be non-decreasing: position {} at {} precedes position {} at {}",
+                i + 1,
+                w[1],
+                i,
+                w[0]
+            )));
+        }
+    }
+    let num_exits = exit_cost_s.len();
+    if let Some(bad) = decisions.iter().flatten().find(|&&e| e >= num_exits) {
+        return Err(ServeError::InvalidConfig(format!(
+            "admission decided exit {bad} but the cost table covers {num_exits} exits"
+        )));
+    }
+
+    let mut planner = Planner {
+        exit_cost_s,
+        server_free: vec![f64::NEG_INFINITY; config.model_servers],
+        in_service: Vec::new(),
+        batches: Vec::new(),
+        open: Vec::new(),
+        open_s: 0.0,
+    };
+    let mut outcomes = vec![AdmitOutcome::Rejected; arrivals.len()];
+    let mut degraded_count = 0usize;
+    for i in 0..arrivals.len() {
+        let t = arrivals[i];
+        // 1. A window whose deadline passed strictly before this arrival
+        //    closes at that deadline (an arrival exactly at the deadline
+        //    still joins — same edge rule as `compose_batches`)…
+        if !planner.open.is_empty() && t > planner.open_s + window.deadline_s {
+            planner.close_open_window(planner.open_s + window.deadline_s);
+        }
+        // 2. …and modeled service completed by now leaves the backlog.
+        planner.in_service.retain(|&(done, _)| done > t);
+        // 3. Admission control decided first, strictly in arrival order.
+        let Some(admitted_exit) = decisions[i] else {
+            outcomes[i] = AdmitOutcome::Rejected;
+            continue;
+        };
+        // 4. The bounded queue: backlog = open window + modeled in-service.
+        let backlog = planner.backlog();
+        if backlog >= config.queue_cap {
+            match config.policy {
+                ShedPolicy::Reject | ShedPolicy::Degrade => {
+                    outcomes[i] = AdmitOutcome::Shed(ShedReason::QueueFull);
+                    continue;
+                }
+                ShedPolicy::DropOldest => {
+                    if planner.open.is_empty() {
+                        // The whole backlog is already in (modeled) service —
+                        // nothing can be recalled, so the newcomer sheds.
+                        outcomes[i] = AdmitOutcome::Shed(ShedReason::QueueFull);
+                        continue;
+                    }
+                    let (evicted, _) = planner.open.remove(0);
+                    outcomes[evicted] = AdmitOutcome::Shed(ShedReason::DroppedOldest);
+                }
+            }
+        }
+        // 5. Degradation: pressure and remaining deadline cap the exit.
+        let mut exit = admitted_exit;
+        if config.policy == ShedPolicy::Degrade {
+            let cap = pressure_exit_cap(backlog, config.queue_cap, num_exits);
+            let expected_wait = (planner.earliest_free() - t).max(0.0);
+            let remaining = budgets[i] - expected_wait;
+            let Some(affordable) = deepest_affordable(exit_cost_s, remaining) else {
+                outcomes[i] = AdmitOutcome::Shed(ShedReason::DeadlineUnmeetable);
+                continue;
+            };
+            exit = exit.min(cap).min(affordable);
+        }
+        let degraded = exit < admitted_exit;
+        degraded_count += usize::from(degraded);
+        outcomes[i] = AdmitOutcome::Scheduled { exit, degraded };
+        // 6. Enqueue into the open window; a filled window closes now.
+        if planner.open.is_empty() {
+            planner.open_s = t;
+        }
+        planner.open.push((i, exit));
+        if planner.open.len() == window.max_batch {
+            planner.close_open_window(t);
+        }
+    }
+    if !planner.open.is_empty() {
+        planner.close_open_window(planner.open_s + window.deadline_s);
+    }
+
+    let deadline_met = planner
+        .batches
+        .iter()
+        .flat_map(|b| b.members.iter().map(move |&(i, _)| (i, b.done_s)))
+        .filter(|&(i, done)| done - arrivals[i] <= budgets[i])
+        .count();
+    Ok(OverloadPlan { outcomes, batches: planner.batches, deadline_met, degraded: degraded_count })
+}
+
+/// Internal planner state: the open window, the virtual servers and the
+/// modeled in-service backlog.
+struct Planner<'c> {
+    exit_cost_s: &'c [f64],
+    server_free: Vec<f64>,
+    /// `(modeled completion, batch size)` of scheduled-but-unfinished
+    /// batches; retired as the virtual clock passes their completion.
+    in_service: Vec<(f64, usize)>,
+    batches: Vec<PlannedBatch>,
+    open: Vec<(usize, usize)>,
+    open_s: f64,
+}
+
+impl Planner<'_> {
+    fn backlog(&self) -> usize {
+        self.open.len() + self.in_service.iter().map(|&(_, n)| n).sum::<usize>()
+    }
+
+    fn earliest_free(&self) -> f64 {
+        self.server_free.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Closes the open window at `close_s` and schedules it on the earliest
+    /// free virtual server for its predicted cost (the deepest member
+    /// exit's cost — incremental inference pays the deepest exit once).
+    fn close_open_window(&mut self, close_s: f64) {
+        let members = std::mem::take(&mut self.open);
+        let predicted_cost_s = members
+            .iter()
+            .map(|&(_, exit)| self.exit_cost_s[exit])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (slot, &soonest) = self
+            .server_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one virtual server");
+        let start_s = close_s.max(soonest);
+        let done_s = start_s + predicted_cost_s;
+        self.server_free[slot] = done_s;
+        self.in_service.push((done_s, members.len()));
+        self.batches.push(PlannedBatch {
+            open_s: self.open_s,
+            close_s,
+            members,
+            predicted_cost_s,
+            start_s,
+            done_s,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COSTS: [f64; 3] = [0.001, 0.004, 0.009];
+
+    fn window(max_batch: usize, deadline_s: f64) -> WindowConfig {
+        WindowConfig { max_batch, deadline_s }
+    }
+
+    fn all_admitted(n: usize, exit: usize) -> Vec<Option<usize>> {
+        vec![Some(exit); n]
+    }
+
+    #[test]
+    fn zero_capacity_and_zero_servers_are_config_errors() {
+        let bad = OverloadConfig { queue_cap: 0, ..OverloadConfig::default() };
+        assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
+        let bad = OverloadConfig { model_servers: 0, ..OverloadConfig::default() };
+        assert!(bad.validate().is_err());
+        assert!(OverloadConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn shed_policy_spellings_round_trip() {
+        for p in [ShedPolicy::Reject, ShedPolicy::DropOldest, ShedPolicy::Degrade] {
+            assert_eq!(ShedPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(ShedPolicy::parse("drop_oldest"), Some(ShedPolicy::DropOldest));
+        assert_eq!(ShedPolicy::parse("DEGRADE"), Some(ShedPolicy::Degrade));
+        assert_eq!(ShedPolicy::parse("lossless"), None);
+    }
+
+    #[test]
+    fn pressure_cap_is_monotone_and_hits_both_ends() {
+        let cap = 8;
+        let exits = 4;
+        let mut prev = usize::MAX;
+        for backlog in 0..cap {
+            let c = pressure_exit_cap(backlog, cap, exits);
+            assert!(c <= prev, "cap must not grow with backlog");
+            prev = c;
+        }
+        assert_eq!(pressure_exit_cap(0, cap, exits), 3, "empty queue keeps full depth");
+        assert_eq!(pressure_exit_cap(cap - 1, cap, exits), 0, "last slot is shallowest-only");
+        // No gradient to read: capacity 1 and unbounded queues never degrade.
+        assert_eq!(pressure_exit_cap(0, 1, exits), 3);
+        assert_eq!(pressure_exit_cap(1_000_000, usize::MAX, exits), 3);
+    }
+
+    #[test]
+    fn unbounded_plan_matches_compose_batches() {
+        let arrivals = [0.0, 0.0005, 0.001, 0.02, 0.05, 0.0501];
+        let budgets = [1.0; 6];
+        let cfg = OverloadConfig::default();
+        let w = window(2, 0.004);
+        let plan =
+            plan_overload(&arrivals, &budgets, &all_admitted(6, 2), &COSTS, &w, &cfg).unwrap();
+        plan.check_conservation().unwrap();
+        let reference = crate::compose_batches(&arrivals, &w).unwrap();
+        assert_eq!(plan.batches.len(), reference.len());
+        for (p, r) in plan.batches.iter().zip(&reference) {
+            assert_eq!(p.open_s, r.open_s);
+            assert_eq!(p.close_s, r.close_s);
+            assert_eq!(p.members.iter().map(|&(i, _)| i).collect::<Vec<_>>(), r.indices);
+        }
+        assert_eq!(plan.shed(), 0);
+        assert_eq!(plan.degraded, 0);
+    }
+
+    #[test]
+    fn reject_sheds_newcomers_when_the_queue_is_full() {
+        // Capacity 2, slow service (deep exit, long window): the third and
+        // later simultaneous arrivals shed.
+        let arrivals = [0.0, 0.0, 0.0, 0.0];
+        let budgets = [1.0; 4];
+        let cfg = OverloadConfig {
+            queue_cap: 2,
+            policy: ShedPolicy::Reject,
+            ..OverloadConfig::default()
+        };
+        let plan =
+            plan_overload(&arrivals, &budgets, &all_admitted(4, 2), &COSTS, &window(8, 0.01), &cfg)
+                .unwrap();
+        plan.check_conservation().unwrap();
+        assert_eq!(plan.outcomes[0], AdmitOutcome::Scheduled { exit: 2, degraded: false });
+        assert_eq!(plan.outcomes[1], AdmitOutcome::Scheduled { exit: 2, degraded: false });
+        assert_eq!(plan.outcomes[2], AdmitOutcome::Shed(ShedReason::QueueFull));
+        assert_eq!(plan.outcomes[3], AdmitOutcome::Shed(ShedReason::QueueFull));
+        assert_eq!(plan.scheduled(), 2);
+        assert_eq!(plan.shed(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_queued_front_for_freshness() {
+        let arrivals = [0.0, 0.0, 0.0];
+        let budgets = [1.0; 3];
+        let cfg = OverloadConfig {
+            queue_cap: 2,
+            policy: ShedPolicy::DropOldest,
+            ..OverloadConfig::default()
+        };
+        let plan =
+            plan_overload(&arrivals, &budgets, &all_admitted(3, 1), &COSTS, &window(8, 0.01), &cfg)
+                .unwrap();
+        plan.check_conservation().unwrap();
+        assert_eq!(plan.outcomes[0], AdmitOutcome::Shed(ShedReason::DroppedOldest));
+        assert!(matches!(plan.outcomes[1], AdmitOutcome::Scheduled { .. }));
+        assert!(matches!(plan.outcomes[2], AdmitOutcome::Scheduled { .. }));
+    }
+
+    #[test]
+    fn degrade_lowers_exits_under_pressure_and_sheds_only_at_full() {
+        // Eight simultaneous deep-exit arrivals into a capacity-6 queue:
+        // early ones keep depth, later ones degrade, overflow sheds.
+        let n = 8;
+        let arrivals = vec![0.0; n];
+        let budgets = vec![1.0; n];
+        let cfg = OverloadConfig {
+            queue_cap: 6,
+            policy: ShedPolicy::Degrade,
+            ..OverloadConfig::default()
+        };
+        let plan = plan_overload(
+            &arrivals,
+            &budgets,
+            &all_admitted(n, 2),
+            &COSTS,
+            &window(16, 0.01),
+            &cfg,
+        )
+        .unwrap();
+        plan.check_conservation().unwrap();
+        let exits: Vec<Option<usize>> = plan
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                AdmitOutcome::Scheduled { exit, .. } => Some(*exit),
+                _ => None,
+            })
+            .collect();
+        // Monotone non-increasing depth across the burst, then sheds.
+        assert_eq!(exits[0], Some(2));
+        assert!(plan.degraded > 0, "pressure must have lowered at least one exit");
+        for w in exits.iter().take(6).collect::<Vec<_>>().windows(2) {
+            assert!(w[1].unwrap() <= w[0].unwrap(), "degradation is monotone in backlog");
+        }
+        assert_eq!(plan.outcomes[6], AdmitOutcome::Shed(ShedReason::QueueFull));
+        assert_eq!(plan.outcomes[7], AdmitOutcome::Shed(ShedReason::QueueFull));
+    }
+
+    #[test]
+    fn degrade_sheds_deadline_unmeetable_requests() {
+        // The first batch occupies the single virtual server for 9 ms; a
+        // request arriving meanwhile with a 2 ms budget can no longer make
+        // any exit once the modeled wait is subtracted.
+        let arrivals = [0.0, 0.001];
+        let budgets = [1.0, 0.002];
+        let cfg = OverloadConfig {
+            queue_cap: 100,
+            policy: ShedPolicy::Degrade,
+            ..OverloadConfig::default()
+        };
+        let plan =
+            plan_overload(&arrivals, &budgets, &all_admitted(2, 2), &COSTS, &window(1, 0.0), &cfg)
+                .unwrap();
+        plan.check_conservation().unwrap();
+        assert!(matches!(plan.outcomes[0], AdmitOutcome::Scheduled { exit: 2, .. }));
+        assert_eq!(plan.outcomes[1], AdmitOutcome::Shed(ShedReason::DeadlineUnmeetable));
+    }
+
+    #[test]
+    fn rejected_requests_never_occupy_queue_slots() {
+        let arrivals = [0.0, 0.0, 0.0];
+        let budgets = [1.0; 3];
+        let decisions = vec![None, Some(0), Some(0)];
+        let cfg = OverloadConfig {
+            queue_cap: 2,
+            policy: ShedPolicy::Reject,
+            ..OverloadConfig::default()
+        };
+        let plan =
+            plan_overload(&arrivals, &budgets, &decisions, &COSTS, &window(8, 0.01), &cfg).unwrap();
+        plan.check_conservation().unwrap();
+        assert_eq!(plan.outcomes[0], AdmitOutcome::Rejected);
+        assert_eq!(plan.scheduled(), 2, "the rejection freed a slot for both admitted requests");
+    }
+
+    #[test]
+    fn deadline_met_counts_modeled_goodput() {
+        let arrivals = [0.0, 0.0];
+        // First budget generously covers the modeled completion; the second
+        // cannot (service alone takes 9 ms).
+        let budgets = [1.0, 0.0095];
+        let cfg = OverloadConfig::default();
+        let plan =
+            plan_overload(&arrivals, &budgets, &all_admitted(2, 2), &COSTS, &window(2, 0.01), &cfg)
+                .unwrap();
+        assert_eq!(plan.deadline_met, 2, "both fit: batch closes at 0 and takes 9 ms");
+        let plan = plan_overload(
+            &arrivals,
+            &[1.0, 0.0085],
+            &all_admitted(2, 2),
+            &COSTS,
+            &window(2, 0.01),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(plan.deadline_met, 1, "an 8.5 ms budget misses the 9 ms modeled completion");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let cfg = OverloadConfig::default();
+        let w = window(2, 0.01);
+        assert!(matches!(
+            plan_overload(&[1.0, 0.5], &[1.0, 1.0], &all_admitted(2, 0), &COSTS, &w, &cfg),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(plan_overload(&[0.0], &[], &all_admitted(1, 0), &COSTS, &w, &cfg).is_err());
+        assert!(plan_overload(&[f64::NAN], &[1.0], &all_admitted(1, 0), &COSTS, &w, &cfg).is_err());
+        assert!(matches!(
+            plan_overload(&[0.0], &[1.0], &all_admitted(1, 7), &COSTS, &w, &cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+}

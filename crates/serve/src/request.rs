@@ -1,3 +1,4 @@
+use crate::overload::ShedReason;
 use ie_tensor::Tensor;
 
 /// One inference request in the open-loop stream.
@@ -28,8 +29,17 @@ pub enum Verdict {
         /// Softmax confidence of the prediction at that exit.
         confidence: f32,
     },
-    /// Admission control shed the request (budget below the cheapest exit).
+    /// Admission control rejected the request (budget below the cheapest
+    /// exit, or the policy skipped it).
     Rejected,
+    /// The overload layer shed the request after admission — the bounded
+    /// queue was full, the deadline became unmeetable under load, or the
+    /// request's batch exhausted its retry budget after repeated worker
+    /// losses.
+    Shed {
+        /// Why the overload layer gave up on the request.
+        reason: ShedReason,
+    },
 }
 
 /// The server's answer for one request. Responses carry only content that is

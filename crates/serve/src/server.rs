@@ -1,27 +1,47 @@
 //! The serving loop itself: worker threads own warmed [`BatchPlan`]s, a
-//! dynamic batching window groups admitted requests, and a runtime policy
-//! (via [`LatencyAdmission`]) picks each request's early exit — or sheds it —
-//! under its latency budget.
+//! dynamic batching window groups admitted requests, a runtime policy (via
+//! [`LatencyAdmission`]) picks each request's early exit under its latency
+//! budget, and an overload layer ([`OverloadConfig`]) bounds the queue,
+//! sheds or degrades under pressure, and supervises the workers.
 //!
 //! Two execution modes share all decision logic:
 //!
 //! * **replay** ([`Server::replay`]) runs a pre-recorded request stream on a
-//!   virtual clock. Batch composition is the pure [`compose_batches`], so
-//!   the whole run — responses *and* queue waits — is deterministic for a
-//!   fixed stream, independent of worker count. This is what the tests and
-//!   the `serve_loop/*` bench family use.
+//!   virtual clock. Batching, shedding and degradation are planned by the
+//!   pure [`plan_overload`] (which reduces to [`compose_batches`] when the
+//!   queue is unbounded), so the whole run — responses, shed decisions *and*
+//!   queue waits — is deterministic for a fixed stream and chaos seed,
+//!   independent of worker count. This is what the tests, the CI chaos
+//!   matrix and the `serve_loop/*` / `overload_loop/*` bench families use.
 //! * **live** ([`Server::run_live`]) accepts requests pushed from a load
 //!   generator and closes windows against the wall clock. Response *content*
-//!   is still deterministic for a fixed submission order (admission runs in
-//!   submission order and batched inference is bit-identical per sample);
-//!   timing statistics are measured and machine-dependent.
+//!   is still deterministic for a fixed submission order under the default
+//!   overload config; with a bounded queue the shed/degrade decisions read
+//!   the *real* queue occupancy and are honestly racy.
 //!
 //! Admission happens strictly in arrival order before batching, and no
 //! outcome feedback reaches the policy, so batch composition can never
 //! change a decision — the key to byte-identical responses across thread
 //! counts.
+//!
+//! **Worker supervision** (both modes): a worker that panics mid-batch —
+//! injected by a [`ChaosPlan`] or genuine — is caught with `catch_unwind`,
+//! its possibly-corrupt plan is recycled through a plan pool for a fresh
+//! warmed one, and its in-flight batch is re-enqueued exactly once per loss
+//! under the bounded [`OverloadConfig::retry_budget`] with deterministic
+//! exponential backoff. A batch that exhausts the budget resolves to
+//! [`Verdict::Shed`] with [`ShedReason::RetryExhausted`] — the conservation
+//! invariant (every submitted request answered exactly once) survives any
+//! panic schedule.
+//!
+//! [`compose_batches`]: crate::compose_batches
 
-use crate::window::{compose_batches, WindowBatch, WindowConfig};
+use crate::chaos::{silence_chaos_panics, ChaosPlan};
+use crate::overload::{
+    plan_overload, pressure_exit_cap, AdmitOutcome, OverloadConfig, OverloadPlan, ShedPolicy,
+    ShedReason,
+};
+use crate::window::WindowConfig;
 use crate::{percentile, Request, Response, Result, ServeError, ServeReport, Verdict};
 use ie_nn::quant::QuantConfig;
 use ie_nn::train::threads_from_env;
@@ -30,7 +50,8 @@ use ie_nn::{BatchPlan, MultiExitNetwork};
 use ie_runtime::LatencyAdmission;
 use ie_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,17 +62,28 @@ pub struct ServeConfig {
     pub window: WindowConfig,
     /// Worker threads; each owns one warmed [`BatchPlan`].
     pub threads: usize,
+    /// Overload protection: queue bound, shed policy, retry budget. The
+    /// default (unbounded, [`ShedPolicy::Reject`], one retry) reproduces
+    /// the original unbounded-queue serving behaviour exactly.
+    pub overload: OverloadConfig,
 }
 
 impl ServeConfig {
-    /// Validates the window and thread count.
+    /// A configuration with the given window and thread count and default
+    /// overload protection (unbounded queue).
+    pub fn new(window: WindowConfig, threads: usize) -> Self {
+        ServeConfig { window, threads, overload: OverloadConfig::default() }
+    }
+
+    /// Validates the window, thread count and overload configuration.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for a zero thread count or an
-    /// invalid window.
+    /// invalid window/overload configuration.
     pub fn validate(&self) -> Result<()> {
         self.window.validate()?;
+        self.overload.validate()?;
         if self.threads == 0 {
             return Err(ServeError::InvalidConfig("server needs at least one worker".into()));
         }
@@ -71,15 +103,67 @@ pub fn serve_threads() -> usize {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
     /// One response per request, in request order (replay) or id order
-    /// (live). Deterministic for a fixed stream.
+    /// (live). Deterministic for a fixed stream and chaos seed.
     pub responses: Vec<Response>,
     /// Aggregate statistics; see [`ServeReport`] for what is deterministic.
     pub report: ServeReport,
 }
 
-/// One replay worker's completed batches: `(batch index, per-request
-/// verdicts, measured compute seconds)`.
-type WorkerBatches = Vec<(usize, Vec<Verdict>, f64)>;
+/// How one planned batch ultimately resolved under supervision.
+enum Resolution {
+    /// The batch ran to completion (possibly after retries).
+    Completed { verdicts: Vec<Verdict>, compute_s: f64 },
+    /// Every attempt lost its worker; the members are shed.
+    Exhausted,
+}
+
+/// Spare-plan pools used by supervision to recycle a panicked worker's
+/// plan: the corrupt plan is dropped and a fresh warmed one is taken from
+/// the pool (which builds one when empty — the same fallback the caller's
+/// pool uses at construction).
+struct PlanSpares {
+    plain: Mutex<BatchPlanPool>,
+    quant: Mutex<QuantPlanPool>,
+}
+
+impl PlanSpares {
+    fn new() -> Self {
+        PlanSpares {
+            plain: Mutex::new(BatchPlanPool::new()),
+            quant: Mutex::new(QuantPlanPool::new()),
+        }
+    }
+}
+
+/// Replaces a lost worker's plan from the spare pools.
+fn recycle_plan(
+    network: &MultiExitNetwork,
+    quant: Option<&QuantConfig>,
+    spares: &PlanSpares,
+    max_batch: usize,
+) -> Result<BatchPlan> {
+    match quant {
+        None => Ok(spares
+            .plain
+            .lock()
+            .map_err(|_| poisoned("serve spare plans"))?
+            .take(network, max_batch)),
+        Some(q) => spares
+            .quant
+            .lock()
+            .map_err(|_| poisoned("serve spare plans"))?
+            .take(network, q, max_batch)
+            .map_err(ServeError::from),
+    }
+}
+
+/// Deterministic exponential backoff before a lost batch's retry runs:
+/// 1 ms · 2^attempt, capped at 16 ms. A pure function of the attempt
+/// number — never of the worker or the clock — so chaos replays stay
+/// reproducible.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << attempt.min(4))
+}
 
 /// An inference server over one multi-exit network. Worker plans are taken
 /// out of a caller-owned pool at construction (the warm handoff) and
@@ -88,6 +172,9 @@ pub struct Server<'n> {
     network: &'n MultiExitNetwork,
     config: ServeConfig,
     plans: Vec<BatchPlan>,
+    /// `Some` for a quantized server — supervision needs it to rebuild a
+    /// lost worker's plan with the same quantization.
+    quant: Option<QuantConfig>,
 }
 
 impl std::fmt::Debug for Server<'_> {
@@ -114,7 +201,7 @@ impl<'n> Server<'n> {
         config.validate()?;
         let plans =
             (0..config.threads).map(|_| pool.take(network, config.window.max_batch)).collect();
-        Ok(Server { network, config, plans })
+        Ok(Server { network, config, plans, quant: None })
     }
 
     /// Builds a server running the **integer** engine: each worker plan is
@@ -135,7 +222,7 @@ impl<'n> Server<'n> {
             .map(|_| pool.take(network, quant, config.window.max_batch))
             .collect::<std::result::Result<Vec<_>, ie_nn::NnError>>()
             .map_err(ServeError::from)?;
-        Ok(Server { network, config, plans })
+        Ok(Server { network, config, plans, quant: Some(quant.clone()) })
     }
 
     /// The server's configuration.
@@ -145,7 +232,8 @@ impl<'n> Server<'n> {
 
     /// Tears the server down, handing the worker plans back so the caller
     /// can [`BatchPlanPool::put`] (or [`QuantPlanPool::put`]) them for the
-    /// next server.
+    /// next server. A plan recycled after a worker loss is handed back in
+    /// place of the one that died.
     pub fn into_plans(self) -> Vec<BatchPlan> {
         self.plans
     }
@@ -163,69 +251,250 @@ impl<'n> Server<'n> {
 
     /// Serves a pre-recorded, arrival-ordered request stream on the virtual
     /// clock. Responses come back in request order and are byte-identical
-    /// across worker counts and repeated runs; queue-wait statistics in the
-    /// report are deterministic too, while latency percentiles and
-    /// throughput fold in measured compute time.
+    /// across worker counts and repeated runs; queue-wait statistics, shed
+    /// decisions and the chaos counters in the report are deterministic too,
+    /// while latency percentiles and throughput fold in measured compute
+    /// time. Equivalent to [`Server::replay_chaotic`] with no chaos.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] for an unsorted stream,
     /// [`ServeError::InvalidConfig`] for an admission table that does not
-    /// match the network, [`ServeError::WorkerLost`] when a worker dies, and
-    /// propagates inference errors.
+    /// match the network, [`ServeError::WorkerLost`] when a worker dies
+    /// outside supervision, and propagates inference errors.
     pub fn replay(
         &mut self,
         admission: &mut LatencyAdmission,
         requests: &[Request],
     ) -> Result<ServeOutcome> {
+        self.replay_chaotic(admission, requests, &ChaosPlan::none())
+    }
+
+    /// [`Server::replay`] under a chaos schedule: `chaos` may collapse
+    /// arrivals into bursts, stall workers, and panic them mid-batch. All
+    /// injections are keyed on *what* is perturbed (batch index, attempt,
+    /// submission index) — never on worker identity or wall clock — so for
+    /// a fixed seed the outcome stays byte-identical across worker counts
+    /// and repeated runs, panics and all.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::replay`].
+    pub fn replay_chaotic(
+        &mut self,
+        admission: &mut LatencyAdmission,
+        requests: &[Request],
+        chaos: &ChaosPlan,
+    ) -> Result<ServeOutcome> {
         self.check_admission(admission)?;
-        // 1. Admission control in strict arrival order, before any batching:
+        if chaos.is_active() {
+            silence_chaos_panics();
+        }
+        // 1. Chaos may squeeze the arrival process into bursts — this is an
+        //    input perturbation, decided before anything reads the stream.
+        let mut arrivals: Vec<f64> = requests.iter().map(|r| r.arrival_s).collect();
+        chaos.burstify_arrivals(&mut arrivals);
+        // 2. Admission control in strict arrival order, before any batching:
         //    each decision depends only on the request's own budget.
         let decisions: Vec<Option<usize>> =
             requests.iter().map(|r| admission.admit(r.id, r.budget_s)).collect();
-        let admitted: Vec<usize> =
-            (0..requests.len()).filter(|&i| decisions[i].is_some()).collect();
-        let arrivals: Vec<f64> = admitted.iter().map(|&i| requests[i].arrival_s).collect();
-        // 2. Pure batch composition over the admitted sub-stream.
-        let batches = compose_batches(&arrivals, &self.config.window)?;
-        // 3. Workers pull batches from a shared counter; each owns its plan.
-        //    Pull order is racy but content is not: per-sample results are
-        //    bit-identical whatever the grouping of the *same* batch, and
-        //    batch composition was fixed in step 2.
-        let next = AtomicUsize::new(0);
+        let budgets: Vec<f64> = requests.iter().map(|r| r.budget_s).collect();
+        // 3. The pure overload planner: windows, sheds, degradations and the
+        //    modeled service schedule, all on the virtual clock.
+        let plan = plan_overload(
+            &arrivals,
+            &budgets,
+            &decisions,
+            admission.exit_cost_s(),
+            &self.config.window,
+            &self.config.overload,
+        )?;
+        debug_assert!(plan.check_conservation().is_ok(), "planner broke conservation");
+        // 4. Supervised execution of the planned batches.
+        let exec = self.run_supervised(&plan, requests, chaos)?;
+        // 5. Merge everything back into request order.
+        let mut responses: Vec<Response> = requests
+            .iter()
+            .zip(&plan.outcomes)
+            .map(|(r, outcome)| {
+                let verdict = match outcome {
+                    AdmitOutcome::Rejected => Verdict::Rejected,
+                    AdmitOutcome::Shed(reason) => Verdict::Shed { reason: *reason },
+                    // Placeholder — overwritten from the batch verdicts below.
+                    AdmitOutcome::Scheduled { .. } => Verdict::Rejected,
+                };
+                Response { id: r.id, verdict }
+            })
+            .collect();
+        let rejected = plan.outcomes.iter().filter(|o| matches!(o, AdmitOutcome::Rejected)).count();
+        let mut shed = plan.shed();
+        let mut served = 0usize;
+        let mut deadline_met = 0usize;
+        let mut per_exit = vec![0usize; self.network.num_exits()];
+        let mut waits = Vec::new();
+        let mut completed: Vec<(f64, Vec<f64>, f64)> = Vec::new();
+        let mut compute_s = 0.0;
+        for (batch, resolution) in plan.batches.iter().zip(&exec.resolutions) {
+            match resolution {
+                Resolution::Completed { verdicts, compute_s: c } => {
+                    compute_s += c;
+                    let mut member_arrivals = Vec::with_capacity(batch.members.len());
+                    for (&(i, _), verdict) in batch.members.iter().zip(verdicts) {
+                        responses[i].verdict = verdict.clone();
+                        if let Verdict::Served { exit, .. } = verdict {
+                            per_exit[*exit] += 1;
+                        }
+                        served += 1;
+                        waits.push(batch.close_s - arrivals[i]);
+                        member_arrivals.push(arrivals[i]);
+                        // Goodput on the deterministic service model: did the
+                        // modeled completion meet the budget?
+                        if batch.done_s - arrivals[i] <= budgets[i] {
+                            deadline_met += 1;
+                        }
+                    }
+                    completed.push((batch.close_s, member_arrivals, *c));
+                }
+                Resolution::Exhausted => {
+                    for &(i, _) in &batch.members {
+                        responses[i].verdict = Verdict::Shed { reason: ShedReason::RetryExhausted };
+                        shed += 1;
+                    }
+                }
+            }
+        }
+        // 6. Latency model: batches start at their (virtual) close time or
+        //    when a worker frees up, and run for their measured compute time.
+        let (latencies, first_arrival, last_done) =
+            model_latencies(&completed, self.config.threads);
+        let makespan_s = if latencies.is_empty() { 0.0 } else { last_done - first_arrival };
+        let report = build_report(ReportParts {
+            submitted: requests.len(),
+            served,
+            rejected,
+            shed,
+            degraded: plan.degraded,
+            retried: exec.retried,
+            restarted: exec.restarted,
+            stalled: exec.stalled,
+            deadline_met,
+            per_exit,
+            batches: plan.batches.len(),
+            waits,
+            latencies,
+            compute_s,
+            makespan_s,
+        });
+        debug_assert!(report.conservation_holds(), "replay broke request conservation");
+        Ok(ServeOutcome { responses, report })
+    }
+
+    /// Runs the planned batches on the worker threads under supervision:
+    /// jobs are `(batch, attempt)` pairs in a shared queue; a panicking
+    /// worker is caught, its plan recycled, and the batch re-enqueued with
+    /// the next attempt number until the retry budget exhausts. Pull order
+    /// is racy but resolution content is not — each batch's fate depends
+    /// only on its own `(batch, attempt)` chaos draws.
+    fn run_supervised(
+        &mut self,
+        plan: &OverloadPlan,
+        requests: &[Request],
+        chaos: &ChaosPlan,
+    ) -> Result<ExecOutcome> {
         let network = self.network;
-        let num_exits = network.num_exits();
-        let per_worker: Vec<Result<WorkerBatches>> = std::thread::scope(|scope| {
+        let retry_budget = self.config.overload.retry_budget;
+        let max_batch = self.config.window.max_batch;
+        let quant = self.quant.clone();
+        let spares = PlanSpares::new();
+        let jobs: Mutex<VecDeque<(usize, u32)>> =
+            Mutex::new((0..plan.batches.len()).map(|b| (b, 0)).collect());
+        let remaining = AtomicUsize::new(plan.batches.len());
+        let resolutions: Mutex<Vec<Option<Resolution>>> =
+            Mutex::new((0..plan.batches.len()).map(|_| None).collect());
+        let aborted = AtomicBool::new(false);
+        let (restarted, retried, stalled) =
+            (AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0));
+        let joined: Vec<Result<()>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .plans
                 .iter_mut()
-                .map(|plan| {
-                    let (next, batches, admitted, decisions) =
-                        (&next, &batches, &admitted, &decisions);
-                    scope.spawn(move || {
-                        let mut done = Vec::new();
+                .map(|plan_buf| {
+                    let (jobs, remaining, resolutions, aborted) =
+                        (&jobs, &remaining, &resolutions, &aborted);
+                    let (restarted, retried, stalled) = (&restarted, &retried, &stalled);
+                    let (spares, quant) = (&spares, &quant);
+                    scope.spawn(move || -> Result<()> {
                         loop {
-                            let b = next.fetch_add(1, Ordering::Relaxed);
-                            if b >= batches.len() {
-                                return Ok(done);
+                            if aborted.load(Ordering::Relaxed) {
+                                return Ok(());
                             }
-                            let batch = &batches[b];
-                            let inputs: Vec<&Tensor> = batch
-                                .indices
-                                .iter()
-                                .map(|&p| &requests[admitted[p]].input)
-                                .collect();
-                            let exits: Vec<usize> = batch
-                                .indices
-                                .iter()
-                                .map(|&p| {
-                                    decisions[admitted[p]].expect("batched requests admitted")
-                                })
-                                .collect();
-                            debug_assert!(exits.iter().all(|&e| e < num_exits));
+                            let job = jobs.lock().map_err(|_| poisoned("serve jobs"))?.pop_front();
+                            let Some((b, attempt)) = job else {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    return Ok(());
+                                }
+                                // Another worker still holds an unresolved
+                                // batch that may yet be re-enqueued.
+                                std::thread::yield_now();
+                                continue;
+                            };
+                            let batch = &plan.batches[b];
+                            if let Some(ms) = chaos.stall_ms(b as u64, attempt) {
+                                stalled.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                            let inputs: Vec<&Tensor> =
+                                batch.members.iter().map(|&(i, _)| &requests[i].input).collect();
+                            let exits: Vec<usize> = batch.members.iter().map(|&(_, e)| e).collect();
                             let t0 = Instant::now();
-                            let verdicts = run_batch(network, plan, &inputs, &exits)?;
-                            done.push((b, verdicts, t0.elapsed().as_secs_f64()));
+                            let attempt_run = catch_unwind(AssertUnwindSafe(|| {
+                                chaos.maybe_panic(b as u64, attempt);
+                                run_batch(network, plan_buf, &inputs, &exits)
+                            }));
+                            match attempt_run {
+                                Ok(Ok(verdicts)) => {
+                                    resolutions.lock().map_err(|_| poisoned("serve results"))?[b] =
+                                        Some(Resolution::Completed {
+                                            verdicts,
+                                            compute_s: t0.elapsed().as_secs_f64(),
+                                        });
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                }
+                                Ok(Err(e)) => {
+                                    // A genuine inference error is not a
+                                    // worker loss: abort the run, waking the
+                                    // siblings out of their idle spin.
+                                    aborted.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                                Err(_panic) => {
+                                    // Worker lost mid-batch: recycle the
+                                    // possibly-corrupt plan, back off, and
+                                    // either retry the batch once more or
+                                    // shed its members.
+                                    restarted.fetch_add(1, Ordering::Relaxed);
+                                    match recycle_plan(network, quant.as_ref(), spares, max_batch) {
+                                        Ok(fresh) => *plan_buf = fresh,
+                                        Err(e) => {
+                                            aborted.store(true, Ordering::Relaxed);
+                                            return Err(e);
+                                        }
+                                    }
+                                    if attempt < retry_budget {
+                                        std::thread::sleep(backoff(attempt));
+                                        retried.fetch_add(batch.members.len(), Ordering::Relaxed);
+                                        jobs.lock()
+                                            .map_err(|_| poisoned("serve jobs"))?
+                                            .push_back((b, attempt + 1));
+                                    } else {
+                                        resolutions
+                                            .lock()
+                                            .map_err(|_| poisoned("serve results"))?[b] =
+                                            Some(Resolution::Exhausted);
+                                        remaining.fetch_sub(1, Ordering::Release);
+                                    }
+                                }
+                            }
                         }
                     })
                 })
@@ -233,85 +502,114 @@ impl<'n> Server<'n> {
             handles
                 .into_iter()
                 .enumerate()
-                .map(|(worker, h)| match h.join() {
-                    Ok(result) => result,
-                    Err(_) => {
-                        Err(ServeError::WorkerLost(format!("serve worker {worker} panicked")))
-                    }
+                .map(|(worker, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ServeError::WorkerLost(format!(
+                            "serve worker {worker} panicked outside supervision"
+                        )))
+                    })
                 })
                 .collect()
         });
-        // 4. Merge per-batch verdicts back into request order.
-        let mut batch_results: Vec<Option<(Vec<Verdict>, f64)>> = vec![None; batches.len()];
-        for worker in per_worker {
-            for (b, verdicts, compute_s) in worker? {
-                batch_results[b] = Some((verdicts, compute_s));
-            }
+        for r in joined {
+            r?;
         }
-        let mut responses: Vec<Response> =
-            requests.iter().map(|r| Response { id: r.id, verdict: Verdict::Rejected }).collect();
-        let mut waits = Vec::with_capacity(admitted.len());
-        let mut computes = Vec::with_capacity(batches.len());
-        for (batch, result) in batches.iter().zip(batch_results) {
-            let (verdicts, compute_s) = result.expect("every batch ran");
-            computes.push(compute_s);
-            for (&p, verdict) in batch.indices.iter().zip(verdicts) {
-                responses[admitted[p]].verdict = verdict;
-                waits.push(batch.wait_s(requests[admitted[p]].arrival_s));
-            }
-        }
-        // 5. Latency model: batches start at their (virtual) close time or
-        //    when a worker frees up, and run for their measured compute time.
-        let (latencies, last_done) =
-            model_latencies(&batches, &computes, &arrivals, self.config.threads);
-        let makespan_s = arrivals.first().map_or(0.0, |&first| last_done - first);
-        let report = build_report(
-            admitted.len(),
-            requests.len() - admitted.len(),
-            batches.len(),
-            &waits,
-            &latencies,
-            computes.iter().sum(),
-            makespan_s,
-        );
-        Ok(ServeOutcome { responses, report })
+        let resolutions = resolutions
+            .into_inner()
+            .map_err(|_| poisoned("serve results"))?
+            .into_iter()
+            .map(|r| r.ok_or_else(|| ServeError::WorkerLost("a batch was never resolved".into())))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ExecOutcome {
+            resolutions,
+            restarted: restarted.into_inner(),
+            retried: retried.into_inner(),
+            stalled: stalled.into_inner(),
+        })
     }
 
     /// Runs the live server: spawns the workers, hands the load generator a
     /// [`LiveHandle`] to push requests through, and shuts down (draining the
     /// queue) when the generator returns. Response content is deterministic
-    /// for a fixed submission order; timing is wall-clock.
+    /// for a fixed submission order under the default overload config;
+    /// timing is wall-clock. Equivalent to [`Server::run_live_chaotic`]
+    /// with no chaos.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for a mismatched admission
-    /// table, [`ServeError::WorkerLost`] when a worker dies, and propagates
-    /// inference errors.
+    /// table, [`ServeError::WorkerLost`] when a worker dies outside
+    /// supervision, and propagates inference errors.
     pub fn run_live<F>(&mut self, admission: &mut LatencyAdmission, load: F) -> Result<ServeOutcome>
     where
         F: FnOnce(&LiveHandle<'_>),
     {
+        self.run_live_chaotic(admission, &ChaosPlan::none(), load)
+    }
+
+    /// [`Server::run_live`] under a chaos schedule: submissions may be held
+    /// and released in bursts, and workers may stall or panic mid-batch —
+    /// supervision catches the panic, recycles the plan, re-enqueues the
+    /// batch at the queue front (preserving arrival order) with backoff,
+    /// and sheds it as [`ShedReason::RetryExhausted`] past the retry
+    /// budget. Live chaos perturbs *timing*; per-request verdicts stay
+    /// content-deterministic because exits are fixed at submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::run_live`].
+    pub fn run_live_chaotic<F>(
+        &mut self,
+        admission: &mut LatencyAdmission,
+        chaos: &ChaosPlan,
+        load: F,
+    ) -> Result<ServeOutcome>
+    where
+        F: FnOnce(&LiveHandle<'_>),
+    {
         self.check_admission(admission)?;
+        if chaos.is_active() {
+            silence_chaos_panics();
+        }
         let shared = LiveShared {
             state: Mutex::new(LiveState { queue: VecDeque::new(), closed: false }),
             cond: Condvar::new(),
         };
-        let results = Mutex::new(LiveResults::default());
+        let num_exits = self.network.num_exits();
+        let results = Mutex::new(LiveResults::new(num_exits));
+        let spares = PlanSpares::new();
         let started = Instant::now();
-        let network = self.network;
-        let window = self.config.window;
+        let ctx = LiveCtx {
+            network: self.network,
+            shared: &shared,
+            results: &results,
+            window: self.config.window,
+            overload: self.config.overload,
+            chaos: *chaos,
+            quant: self.quant.clone(),
+            spares: &spares,
+        };
+        let submitted = AtomicUsize::new(0);
         let joined: Vec<Result<()>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .plans
                 .iter_mut()
                 .map(|plan| {
-                    let (shared, results) = (&shared, &results);
-                    scope.spawn(move || live_worker(network, plan, shared, results, &window))
+                    let ctx = &ctx;
+                    scope.spawn(move || live_worker(ctx, plan))
                 })
                 .collect();
-            let handle =
-                LiveHandle { shared: &shared, admission: Mutex::new(admission), results: &results };
+            let handle = LiveHandle {
+                ctx: &ctx,
+                admission: Mutex::new(admission),
+                burst: Mutex::new(BurstState::default()),
+                num_exits,
+                submitted: &submitted,
+            };
             load(&handle);
+            // A partial chaos burst may still be held back — release it
+            // before shutdown so conservation holds.
+            let flushed = handle.flush_pending();
             // Shutdown must reach the workers even if a panicking worker
             // poisoned the queue — the state (a flag and a drainable queue)
             // is still structurally sound, so recover it and close.
@@ -320,16 +618,19 @@ impl<'n> Server<'n> {
                 Err(p) => p.into_inner().closed = true,
             }
             shared.cond.notify_all();
-            handles
+            let mut joined: Vec<Result<()>> = handles
                 .into_iter()
                 .enumerate()
-                .map(|(worker, h)| match h.join() {
-                    Ok(result) => result,
-                    Err(_) => {
-                        Err(ServeError::WorkerLost(format!("serve worker {worker} panicked")))
-                    }
+                .map(|(worker, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ServeError::WorkerLost(format!(
+                            "serve worker {worker} panicked outside supervision"
+                        )))
+                    })
                 })
-                .collect()
+                .collect();
+            joined.push(flushed);
+            joined
         });
         let makespan_s = started.elapsed().as_secs_f64();
         for r in joined {
@@ -337,17 +638,34 @@ impl<'n> Server<'n> {
         }
         let mut res = results.into_inner().map_err(|_| poisoned("serve results"))?;
         res.responses.sort_by_key(|r| r.id);
-        let report = build_report(
-            res.served,
-            res.rejected,
-            res.batches,
-            &res.waits,
-            &res.latencies,
-            res.compute_s,
+        let report = build_report(ReportParts {
+            submitted: submitted.into_inner(),
+            served: res.served,
+            rejected: res.rejected,
+            shed: res.shed,
+            degraded: res.degraded,
+            retried: res.retried,
+            restarted: res.restarted,
+            stalled: res.stalled,
+            deadline_met: res.deadline_met,
+            per_exit: res.per_exit,
+            batches: res.batches,
+            waits: res.waits,
+            latencies: res.latencies,
+            compute_s: res.compute_s,
             makespan_s,
-        );
+        });
+        debug_assert!(report.conservation_holds(), "live serving broke request conservation");
         Ok(ServeOutcome { responses: res.responses, report })
     }
+}
+
+/// What [`Server::run_supervised`] hands back to the merge step.
+struct ExecOutcome {
+    resolutions: Vec<Resolution>,
+    restarted: usize,
+    retried: usize,
+    stalled: usize,
 }
 
 /// Runs one batch to every exit its requests were admitted to, shallowest
@@ -385,58 +703,83 @@ fn run_batch(
     Ok(verdicts)
 }
 
-/// Deterministic multi-server queueing model over the virtual clock: batch
-/// `b` starts at its close time or when one of `servers` workers frees up,
-/// whichever is later, and occupies that worker for its measured compute
-/// time. Returns one latency (completion − arrival) per admitted request in
-/// admitted order, plus the completion time of the last batch.
-fn model_latencies(
-    batches: &[WindowBatch],
-    computes: &[f64],
-    arrivals: &[f64],
-    servers: usize,
-) -> (Vec<f64>, f64) {
+/// Deterministic multi-server queueing model over the virtual clock: each
+/// completed batch `(close_s, member arrivals, measured compute)` starts at
+/// its close time or when one of `servers` workers frees up, whichever is
+/// later, and occupies that worker for its compute time. Returns one
+/// latency (completion − arrival) per member in batch order, the earliest
+/// member arrival, and the completion time of the last batch.
+fn model_latencies(completed: &[(f64, Vec<f64>, f64)], servers: usize) -> (Vec<f64>, f64, f64) {
     let mut free = vec![f64::NEG_INFINITY; servers.max(1)];
-    let mut latencies = vec![0.0; arrivals.len()];
+    let mut latencies = Vec::new();
+    let mut first_arrival = f64::INFINITY;
     let mut last_done = f64::NEG_INFINITY;
-    for (batch, &compute_s) in batches.iter().zip(computes) {
-        let (slot, &soonest) = free
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite server times"))
-            .expect("at least one server");
-        let start = batch.close_s.max(soonest);
+    for (close_s, member_arrivals, compute_s) in completed {
+        let (slot, &soonest) =
+            free.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("at least one server");
+        let start = close_s.max(soonest);
         let done = start + compute_s;
         free[slot] = done;
         last_done = last_done.max(done);
-        for &p in &batch.indices {
-            latencies[p] = done - arrivals[p];
+        for &arrival in member_arrivals {
+            latencies.push(done - arrival);
+            first_arrival = first_arrival.min(arrival);
         }
     }
-    (latencies, last_done)
+    (latencies, first_arrival, last_done)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn build_report(
+/// Everything [`build_report`] folds into a [`ServeReport`].
+struct ReportParts {
+    submitted: usize,
     served: usize,
     rejected: usize,
+    shed: usize,
+    degraded: usize,
+    retried: usize,
+    restarted: usize,
+    stalled: usize,
+    deadline_met: usize,
+    per_exit: Vec<usize>,
     batches: usize,
-    waits: &[f64],
-    latencies: &[f64],
+    waits: Vec<f64>,
+    latencies: Vec<f64>,
     compute_s: f64,
     makespan_s: f64,
-) -> ServeReport {
+}
+
+fn build_report(parts: ReportParts) -> ServeReport {
+    let rate = |count: usize| {
+        if parts.makespan_s > 0.0 {
+            count as f64 / parts.makespan_s
+        } else {
+            0.0
+        }
+    };
     ServeReport {
-        served,
-        rejected,
-        batches,
-        mean_batch_fill: if batches > 0 { served as f64 / batches as f64 } else { 0.0 },
-        wait_p50_s: percentile(waits, 0.50),
-        wait_p99_s: percentile(waits, 0.99),
-        latency_p50_s: percentile(latencies, 0.50),
-        latency_p99_s: percentile(latencies, 0.99),
-        throughput_rps: if makespan_s > 0.0 { served as f64 / makespan_s } else { 0.0 },
-        compute_s,
+        submitted: parts.submitted,
+        served: parts.served,
+        rejected: parts.rejected,
+        shed: parts.shed,
+        degraded: parts.degraded,
+        retried: parts.retried,
+        restarted: parts.restarted,
+        stalled: parts.stalled,
+        deadline_met: parts.deadline_met,
+        per_exit: parts.per_exit,
+        batches: parts.batches,
+        mean_batch_fill: if parts.batches > 0 {
+            parts.served as f64 / parts.batches as f64
+        } else {
+            0.0
+        },
+        wait_p50_s: percentile(&parts.waits, 0.50),
+        wait_p99_s: percentile(&parts.waits, 0.99),
+        latency_p50_s: percentile(&parts.latencies, 0.50),
+        latency_p99_s: percentile(&parts.latencies, 0.99),
+        throughput_rps: rate(parts.served),
+        goodput_rps: rate(parts.deadline_met),
+        compute_s: parts.compute_s,
     }
 }
 
@@ -455,6 +798,8 @@ struct LiveRequest {
     exit: usize,
     input: Tensor,
     arrival: Instant,
+    budget_s: f64,
+    attempt: u32,
 }
 
 struct LiveState {
@@ -467,7 +812,6 @@ struct LiveShared {
     cond: Condvar,
 }
 
-#[derive(Default)]
 struct LiveResults {
     responses: Vec<Response>,
     waits: Vec<f64>,
@@ -476,19 +820,76 @@ struct LiveResults {
     batches: usize,
     served: usize,
     rejected: usize,
+    shed: usize,
+    degraded: usize,
+    retried: usize,
+    restarted: usize,
+    stalled: usize,
+    deadline_met: usize,
+    per_exit: Vec<usize>,
+}
+
+impl LiveResults {
+    fn new(num_exits: usize) -> Self {
+        LiveResults {
+            responses: Vec::new(),
+            waits: Vec::new(),
+            latencies: Vec::new(),
+            compute_s: 0.0,
+            batches: 0,
+            served: 0,
+            rejected: 0,
+            shed: 0,
+            degraded: 0,
+            retried: 0,
+            restarted: 0,
+            stalled: 0,
+            deadline_met: 0,
+            per_exit: vec![0; num_exits],
+        }
+    }
+}
+
+/// Shared context of the live workers and the submission path.
+struct LiveCtx<'a> {
+    network: &'a MultiExitNetwork,
+    shared: &'a LiveShared,
+    results: &'a Mutex<LiveResults>,
+    window: WindowConfig,
+    overload: OverloadConfig,
+    chaos: ChaosPlan,
+    quant: Option<QuantConfig>,
+    spares: &'a PlanSpares,
+}
+
+/// Chaos burst buffer on the submission path: a burst-opening submission
+/// holds itself and the next few back, then releases them all at once.
+#[derive(Default)]
+struct BurstState {
+    /// Total submissions seen (the chaos burst key).
+    counter: u64,
+    /// How many more submissions the open burst will hold.
+    hold_remaining: usize,
+    /// The held-back requests.
+    pending: Vec<LiveRequest>,
 }
 
 /// The load generator's interface to a running live server.
 pub struct LiveHandle<'a> {
-    shared: &'a LiveShared,
+    ctx: &'a LiveCtx<'a>,
     admission: Mutex<&'a mut LatencyAdmission>,
-    results: &'a Mutex<LiveResults>,
+    burst: Mutex<BurstState>,
+    num_exits: usize,
+    submitted: &'a AtomicUsize,
 }
 
 impl LiveHandle<'_> {
     /// Submits one request. Admission runs immediately, in submission order;
-    /// a shed request is answered right away, an admitted one is stamped
-    /// with its wall-clock arrival and queued for the next window.
+    /// a rejected request is answered right away, an admitted one is capped
+    /// by the degrade policy's pressure reading (if configured), stamped
+    /// with its wall-clock arrival and queued — or shed — under the bounded
+    /// queue policy. Under chaos, submissions may be held briefly and
+    /// released as an arrival burst.
     ///
     /// # Errors
     ///
@@ -496,19 +897,106 @@ impl LiveHandle<'_> {
     /// shared queue or results — the load generator can stop submitting and
     /// let `run_live` report the lost worker.
     pub fn submit(&self, id: u64, budget_s: f64, input: Tensor) -> Result<()> {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         let decision =
             self.admission.lock().map_err(|_| poisoned("serve admission"))?.admit(id, budget_s);
-        match decision {
-            None => {
-                let mut res = self.results.lock().map_err(|_| poisoned("serve results"))?;
-                res.rejected += 1;
-                res.responses.push(Response { id, verdict: Verdict::Rejected });
+        let Some(admitted_exit) = decision else {
+            let mut res = self.ctx.results.lock().map_err(|_| poisoned("serve results"))?;
+            res.rejected += 1;
+            res.responses.push(Response { id, verdict: Verdict::Rejected });
+            return Ok(());
+        };
+        // Degrade policy, live flavour: the pressure cap reads the *real*
+        // queue occupancy at submission. The reading is racy by nature —
+        // live pressure is a measurement, not a model — which is why bounded
+        // live runs trade away cross-thread-count determinism.
+        let mut exit = admitted_exit;
+        if self.ctx.overload.policy == ShedPolicy::Degrade {
+            let occupancy =
+                self.ctx.shared.state.lock().map_err(|_| poisoned("serve queue"))?.queue.len();
+            exit =
+                exit.min(pressure_exit_cap(occupancy, self.ctx.overload.queue_cap, self.num_exits));
+        }
+        if exit < admitted_exit {
+            self.ctx.results.lock().map_err(|_| poisoned("serve results"))?.degraded += 1;
+        }
+        let req = LiveRequest { id, exit, input, arrival: Instant::now(), budget_s, attempt: 0 };
+        // Chaos burst buffer: a burst-opening submission holds the next few
+        // back and releases them together.
+        let release = {
+            let mut burst = self.burst.lock().map_err(|_| poisoned("serve burst buffer"))?;
+            let s = burst.counter;
+            burst.counter += 1;
+            if burst.hold_remaining == 0 && self.ctx.chaos.burst_at(s) {
+                burst.hold_remaining = self.ctx.chaos.burst_len;
             }
-            Some(exit) => {
-                let mut st = self.shared.state.lock().map_err(|_| poisoned("serve queue"))?;
-                st.queue.push_back(LiveRequest { id, exit, input, arrival: Instant::now() });
-                drop(st);
-                self.shared.cond.notify_all();
+            if burst.hold_remaining > 0 {
+                burst.pending.push(req);
+                burst.hold_remaining -= 1;
+                if burst.hold_remaining == 0 {
+                    std::mem::take(&mut burst.pending)
+                } else {
+                    Vec::new()
+                }
+            } else {
+                vec![req]
+            }
+        };
+        if !release.is_empty() {
+            self.enqueue(release)?;
+        }
+        Ok(())
+    }
+
+    /// Releases a partially filled chaos burst (called at shutdown so held
+    /// requests are still answered — conservation over everything).
+    fn flush_pending(&self) -> Result<()> {
+        let pending = {
+            let mut burst = self.burst.lock().map_err(|_| poisoned("serve burst buffer"))?;
+            burst.hold_remaining = 0;
+            std::mem::take(&mut burst.pending)
+        };
+        if pending.is_empty() {
+            Ok(())
+        } else {
+            self.enqueue(pending)
+        }
+    }
+
+    /// Pushes requests through the bounded queue, applying the shed policy,
+    /// and records shed responses.
+    fn enqueue(&self, requests: Vec<LiveRequest>) -> Result<()> {
+        let mut shed_events: Vec<(u64, ShedReason)> = Vec::new();
+        {
+            let mut st = self.ctx.shared.state.lock().map_err(|_| poisoned("serve queue"))?;
+            for mut req in requests {
+                if st.queue.len() >= self.ctx.overload.queue_cap {
+                    match self.ctx.overload.policy {
+                        ShedPolicy::Reject | ShedPolicy::Degrade => {
+                            shed_events.push((req.id, ShedReason::QueueFull));
+                            continue;
+                        }
+                        ShedPolicy::DropOldest => match st.queue.pop_front() {
+                            Some(old) => shed_events.push((old.id, ShedReason::DroppedOldest)),
+                            None => {
+                                shed_events.push((req.id, ShedReason::QueueFull));
+                                continue;
+                            }
+                        },
+                    }
+                }
+                // Re-stamp on actual enqueue: a burst-held request "arrives"
+                // when the burst lands.
+                req.arrival = Instant::now();
+                st.queue.push_back(req);
+            }
+        }
+        self.ctx.shared.cond.notify_all();
+        if !shed_events.is_empty() {
+            let mut res = self.ctx.results.lock().map_err(|_| poisoned("serve results"))?;
+            for (id, reason) in shed_events {
+                res.shed += 1;
+                res.responses.push(Response { id, verdict: Verdict::Shed { reason } });
             }
         }
         Ok(())
@@ -517,17 +1005,15 @@ impl LiveHandle<'_> {
 
 /// One live worker: waits for the window to close (size-N, deadline-T or
 /// shutdown drain), claims up to `max_batch` requests, runs them on its own
-/// plan and records the responses.
-fn live_worker(
-    network: &MultiExitNetwork,
-    plan: &mut BatchPlan,
-    shared: &LiveShared,
-    results: &Mutex<LiveResults>,
-    window: &WindowConfig,
-) -> Result<()> {
-    let deadline = Duration::from_secs_f64(window.deadline_s);
+/// plan under supervision and records the responses. A panic mid-batch is
+/// caught: the plan is recycled, the batch re-enqueued at the queue front
+/// (arrival order preserved) with deterministic backoff, and requests past
+/// the retry budget are shed — the condvar queue never deadlocks and no
+/// request is executed-and-recorded twice.
+fn live_worker(ctx: &LiveCtx<'_>, plan: &mut BatchPlan) -> Result<()> {
+    let deadline = Duration::from_secs_f64(ctx.window.deadline_s);
     loop {
-        let mut st = shared.state.lock().map_err(|_| poisoned("serve queue"))?;
+        let mut st = ctx.shared.state.lock().map_err(|_| poisoned("serve queue"))?;
         // Wait for work (or shutdown with an empty queue).
         loop {
             if !st.queue.is_empty() {
@@ -536,19 +1022,20 @@ fn live_worker(
             if st.closed {
                 return Ok(());
             }
-            st = shared.cond.wait(st).map_err(|_| poisoned("serve queue"))?;
+            st = ctx.shared.cond.wait(st).map_err(|_| poisoned("serve queue"))?;
         }
         // Window phase: hold until filled, the deadline passes, or shutdown
         // starts draining. The front's arrival opens the window.
         while let Some(front) = st.queue.front() {
-            if st.queue.len() >= window.max_batch || st.closed {
+            if st.queue.len() >= ctx.window.max_batch || st.closed {
                 break;
             }
             let elapsed = front.arrival.elapsed();
             if elapsed >= deadline {
                 break;
             }
-            let (guard, _) = shared
+            let (guard, _) = ctx
+                .shared
                 .cond
                 .wait_timeout(st, deadline - elapsed)
                 .map_err(|_| poisoned("serve queue"))?;
@@ -558,22 +1045,86 @@ fn live_worker(
             // Another worker claimed the window while this one slept.
             continue;
         }
-        let n = st.queue.len().min(window.max_batch);
-        let batch: Vec<LiveRequest> = st.queue.drain(..n).collect();
+        let n = st.queue.len().min(ctx.window.max_batch);
+        let mut batch: Vec<LiveRequest> = st.queue.drain(..n).collect();
         drop(st);
+        // Chaos keys on the batch head's id and the highest member attempt —
+        // stable content keys, never worker identity.
+        let key = batch.first().map_or(0, |r| r.id);
+        let attempt = batch.iter().map(|r| r.attempt).max().unwrap_or(0);
+        if let Some(ms) = ctx.chaos.stall_ms(key, attempt) {
+            ctx.results.lock().map_err(|_| poisoned("serve results"))?.stalled += 1;
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         let close = Instant::now();
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
         let exits: Vec<usize> = batch.iter().map(|r| r.exit).collect();
-        let verdicts = run_batch(network, plan, &inputs, &exits)?;
-        let done = Instant::now();
-        let mut res = results.lock().map_err(|_| poisoned("serve results"))?;
-        res.batches += 1;
-        res.compute_s += (done - close).as_secs_f64();
-        for (req, verdict) in batch.iter().zip(verdicts) {
-            res.served += 1;
-            res.waits.push((close - req.arrival).as_secs_f64());
-            res.latencies.push((done - req.arrival).as_secs_f64());
-            res.responses.push(Response { id: req.id, verdict });
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            ctx.chaos.maybe_panic(key, attempt);
+            run_batch(ctx.network, plan, &inputs, &exits)
+        }));
+        match outcome {
+            Ok(Ok(verdicts)) => {
+                let done = Instant::now();
+                let mut res = ctx.results.lock().map_err(|_| poisoned("serve results"))?;
+                res.batches += 1;
+                res.compute_s += (done - close).as_secs_f64();
+                for (req, verdict) in batch.iter().zip(verdicts) {
+                    res.served += 1;
+                    if let Verdict::Served { exit, .. } = verdict {
+                        res.per_exit[exit] += 1;
+                    }
+                    let latency = (done - req.arrival).as_secs_f64();
+                    if latency <= req.budget_s {
+                        res.deadline_met += 1;
+                    }
+                    res.waits.push((close - req.arrival).as_secs_f64());
+                    res.latencies.push(latency);
+                    res.responses.push(Response { id: req.id, verdict });
+                }
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_panic) => {
+                // Supervision: recycle the plan, back off, re-enqueue the
+                // survivors at the front (arrival order preserved — they were
+                // at the front when claimed), shed the exhausted.
+                *plan = recycle_plan(
+                    ctx.network,
+                    ctx.quant.as_ref(),
+                    ctx.spares,
+                    ctx.window.max_batch,
+                )?;
+                std::thread::sleep(backoff(attempt));
+                let mut res = ctx.results.lock().map_err(|_| poisoned("serve results"))?;
+                res.restarted += 1;
+                let mut exhausted = Vec::new();
+                let mut retry = Vec::new();
+                for mut req in batch.drain(..) {
+                    if req.attempt < ctx.overload.retry_budget {
+                        req.attempt += 1;
+                        retry.push(req);
+                    } else {
+                        exhausted.push(req.id);
+                    }
+                }
+                res.retried += retry.len();
+                for id in exhausted {
+                    res.shed += 1;
+                    res.responses.push(Response {
+                        id,
+                        verdict: Verdict::Shed { reason: ShedReason::RetryExhausted },
+                    });
+                }
+                drop(res);
+                if !retry.is_empty() {
+                    let mut st = ctx.shared.state.lock().map_err(|_| poisoned("serve queue"))?;
+                    for req in retry.into_iter().rev() {
+                        st.queue.push_front(req);
+                    }
+                    drop(st);
+                    ctx.shared.cond.notify_all();
+                }
+            }
         }
     }
 }

@@ -49,7 +49,7 @@ fn request_stream(count: usize) -> Vec<Request> {
 fn replay_f32(threads: usize, requests: &[Request]) -> ServeOutcome {
     let net = network(5);
     let mut pool = BatchPlanPool::new();
-    let config = ServeConfig { window: WindowConfig { max_batch: 4, deadline_s: 0.004 }, threads };
+    let config = ServeConfig::new(WindowConfig { max_batch: 4, deadline_s: 0.004 }, threads);
     let mut server = Server::new(&net, config, &mut pool).unwrap();
     let outcome = server.replay(&mut admission(), requests).unwrap();
     for plan in server.into_plans() {
@@ -86,7 +86,7 @@ fn replay_responses_are_byte_identical_across_thread_counts_and_runs() {
     let mut deep = 0;
     for r in &one.responses {
         match r.verdict {
-            Verdict::Rejected => shed += 1,
+            Verdict::Rejected | Verdict::Shed { .. } => shed += 1,
             Verdict::Served { exit: 0, .. } => shallow += 1,
             Verdict::Served { .. } => deep += 1,
         }
@@ -114,8 +114,7 @@ fn quantized_replay_is_deterministic_and_serves_the_same_decisions() {
     let requests = request_stream(32);
     let run = |threads: usize| {
         let mut pool = QuantPlanPool::new();
-        let config =
-            ServeConfig { window: WindowConfig { max_batch: 4, deadline_s: 0.004 }, threads };
+        let config = ServeConfig::new(WindowConfig { max_batch: 4, deadline_s: 0.004 }, threads);
         let mut server = Server::new_quantized(&net, &cfg, config, &mut pool).unwrap();
         let outcome = server.replay(&mut admission(), &requests).unwrap();
         for plan in server.into_plans() {
@@ -130,7 +129,7 @@ fn quantized_replay_is_deterministic_and_serves_the_same_decisions() {
     // admit/shed/exit decisions as the f32 server for the same stream.
     let f32_resp = replay_f32(1, &requests).responses;
     let decision = |r: &Response| match r.verdict {
-        Verdict::Rejected => None,
+        Verdict::Rejected | Verdict::Shed { .. } => None,
         Verdict::Served { exit, .. } => Some(exit),
     };
     assert_eq!(
@@ -145,12 +144,9 @@ fn live_mode_content_matches_replay_across_thread_counts() {
     let requests = request_stream(32);
     let run_live = |threads: usize| {
         let mut pool = BatchPlanPool::new();
-        let config = ServeConfig {
-            // A tiny live deadline keeps the test fast; content must not
-            // depend on it.
-            window: WindowConfig { max_batch: 4, deadline_s: 0.001 },
-            threads,
-        };
+        // A tiny live deadline keeps the test fast; content must not
+        // depend on it.
+        let config = ServeConfig::new(WindowConfig { max_batch: 4, deadline_s: 0.001 }, threads);
         let mut server = Server::new(&net, config, &mut pool).unwrap();
         let mut adm = admission();
         let outcome = server
@@ -184,8 +180,7 @@ fn live_mode_content_matches_replay_across_thread_counts() {
 fn mismatched_admission_tables_are_rejected() {
     let net = network(5); // 2 exits
     let mut pool = BatchPlanPool::new();
-    let config =
-        ServeConfig { window: WindowConfig { max_batch: 2, deadline_s: 0.001 }, threads: 1 };
+    let config = ServeConfig::new(WindowConfig { max_batch: 2, deadline_s: 0.001 }, 1);
     let mut server = Server::new(&net, config, &mut pool).unwrap();
     let mut three_exit_adm = LatencyAdmission::static_lut(
         vec![0.001, 0.002, 0.003],
