@@ -75,7 +75,7 @@ use ie_nn::dataset::{Sample, SyntheticDataset};
 use ie_nn::loss::{confidence, softmax};
 use ie_nn::quant::{fake_quant_logits, QuantizedModel};
 use ie_nn::spec::{lenet_multi_exit, tiny_multi_exit};
-use ie_nn::train::BatchPlanPool;
+use ie_nn::train::{BatchBackwardPlan, BatchPlanPool};
 use ie_nn::{Conv2d, Dense, Layer, MultiExitNetwork};
 use ie_runtime::{LatencyAdmission, StateDiscretizer};
 use ie_search::{CompressionEnv, RewardMode};
@@ -258,6 +258,35 @@ struct BatchCaseResult {
 impl BatchCaseResult {
     fn speedup_vs_planned(&self) -> f64 {
         self.planned_single_ns as f64 / self.batched_ns_per_sample.max(1) as f64
+    }
+}
+
+/// The training step: the legacy allocating `MultiExitNetwork::backward`
+/// against the planned zero-alloc path — `backward_with` for the single-step
+/// case, the single-threaded `BatchBackwardPlan::train_step` for batch-8
+/// (ns/sample). `traffic_bytes_per_op` is the plan's analytic working-set
+/// traffic per step (`BackwardPlan::traffic_bytes`, a deliberate lower
+/// bound), so the ROADMAP's bandwidth story is recorded as numbers in the
+/// JSON instead of guessed.
+struct TrainStepResult {
+    case: String,
+    /// ns per step through the legacy allocating backward (the same-run
+    /// machine-speed reference of the gate).
+    legacy_ns: u64,
+    /// ns per step through the planned path (the gated metric).
+    planned_ns: u64,
+    /// Analytic bytes moved per planned step (lower bound).
+    traffic_bytes_per_op: u64,
+}
+
+impl TrainStepResult {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.planned_ns.max(1) as f64
+    }
+
+    /// Effective bandwidth of the planned step (bytes/ns == GB/s).
+    fn effective_gbps(&self) -> f64 {
+        self.traffic_bytes_per_op as f64 / self.planned_ns.max(1) as f64
     }
 }
 
@@ -611,6 +640,48 @@ fn main() {
             let single = net.forward_to_exit_with(&mut plan, batch_input, exit).unwrap();
             assert_eq!(batched.prediction(i), single.prediction, "batched diverged at {exit}/{i}");
         }
+    }
+
+    // Training fixtures: the legacy allocating backward against the planned
+    // zero-alloc one on the paper backbone, single-step and batch-8. The
+    // batched case runs single-threaded so the ratio measures kernels and
+    // allocations, never core counts; lr = 0 keeps the weights frozen so
+    // every timed step performs identical work. Loss bit-identity is
+    // asserted before anything is timed (the gradient-level equivalence
+    // lives in ie_nn's proptests).
+    let mut train_net = net.clone();
+    let train_weights = [0.2f32, 0.3, 0.5];
+    let train_classes = net.forward_to_exit(&input, 0).unwrap().0.logits.len();
+    let mut train_plan = train_net.backward_plan();
+    let mut train_batch = BatchBackwardPlan::new();
+    let train_samples: Vec<Sample> = batch_inputs
+        .iter()
+        .enumerate()
+        .map(|(i, image)| Sample { image: image.clone(), label: i % train_classes })
+        .collect();
+    {
+        let legacy_loss = train_net.backward(&input, 1, &train_weights).unwrap();
+        train_net.apply_gradients(0.0);
+        let planned_loss =
+            train_net.backward_with(&mut train_plan, &input, 1, &train_weights).unwrap();
+        train_net.apply_gradients(0.0);
+        assert_eq!(
+            legacy_loss.to_bits(),
+            planned_loss.to_bits(),
+            "planned training loss diverged from the legacy backward"
+        );
+        let mut legacy_total = 0.0f32;
+        for s in &train_samples {
+            legacy_total += train_net.backward(&s.image, s.label, &train_weights).unwrap();
+        }
+        train_net.apply_gradients(0.0);
+        let planned_total =
+            train_batch.train_step(&mut train_net, &train_samples, &train_weights, 0.0, 1).unwrap();
+        assert_eq!(
+            legacy_total.to_bits(),
+            planned_total.to_bits(),
+            "batched training loss diverged from the legacy per-sample loop"
+        );
     }
 
     // Remaining fixtures: the small backbone the search's calibration loop
@@ -984,6 +1055,45 @@ fn main() {
             batched_ns_per_sample: tiny_batched_ns,
         });
 
+        // Training steps: legacy allocating backward vs the planned path,
+        // single-step (ns/step) and batch-8 (ns/sample, single-threaded).
+        let mut train_results = Vec::new();
+        let train_legacy_single_ns = median_ns(warmup, samples, || {
+            black_box(train_net.backward(&input, 1, &train_weights).unwrap());
+            train_net.apply_gradients(0.0);
+        });
+        let train_planned_single_ns = median_ns(warmup, samples, || {
+            black_box(train_net.backward_with(&mut train_plan, &input, 1, &train_weights).unwrap());
+            train_net.apply_gradients(0.0);
+        });
+        train_results.push(TrainStepResult {
+            case: "lenet_single".to_string(),
+            legacy_ns: train_legacy_single_ns,
+            planned_ns: train_planned_single_ns,
+            traffic_bytes_per_op: train_plan.traffic_bytes(),
+        });
+        let train_legacy_batch_ns = median_ns(warmup, samples, || {
+            let mut total = 0.0f32;
+            for s in &train_samples {
+                total += train_net.backward(&s.image, s.label, &train_weights).unwrap();
+            }
+            train_net.apply_gradients(0.0);
+            black_box(total);
+        }) / BATCH as u64;
+        let train_planned_batch_ns = median_ns(warmup, samples, || {
+            black_box(
+                train_batch
+                    .train_step(&mut train_net, &train_samples, &train_weights, 0.0, 1)
+                    .unwrap(),
+            );
+        }) / BATCH as u64;
+        train_results.push(TrainStepResult {
+            case: "lenet_batch8".to_string(),
+            legacy_ns: train_legacy_batch_ns,
+            planned_ns: train_planned_batch_ns,
+            traffic_bytes_per_op: train_plan.traffic_bytes(),
+        });
+
         // Quantized vs fake-quant f32: the identical i8-dominant policy, the
         // only difference being which kernels execute it.
         let mut quant_results = Vec::new();
@@ -1317,6 +1427,7 @@ fn main() {
         (
             results,
             batch_results,
+            train_results,
             quant_results,
             policy_eval,
             search_loop,
@@ -1332,6 +1443,7 @@ fn main() {
     let (
         results,
         batch_results,
+        train_results,
         quant_results,
         policy_eval,
         search_loop,
@@ -1367,6 +1479,21 @@ fn main() {
             r.planned_single_ns,
             r.batched_ns_per_sample,
             r.speedup_vs_planned()
+        );
+    }
+    println!("\n# train_step — median ns/step (batch case: ns/sample)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>20} {:>10}",
+        "case", "legacy", "planned", "planned vs legacy", "GB/s"
+    );
+    for r in &train_results {
+        println!(
+            "{:<16} {:>12} {:>12} {:>19.2}x {:>10.2}",
+            r.case,
+            r.legacy_ns,
+            r.planned_ns,
+            r.speedup(),
+            r.effective_gbps()
         );
     }
     println!("\n# quant_forward — median ns/op (batch cases: ns/sample)\n");
@@ -1505,6 +1632,17 @@ fn main() {
             r.speedup_vs_planned()
         )
     }));
+    json_cases.extend(train_results.iter().map(|r| {
+        format!(
+            "    {{\n      \"case\": \"train_step/{}\",\n      \"legacy_ns\": {},\n      \"planned_ns\": {},\n      \"traffic_bytes_per_op\": {},\n      \"effective_gbps\": {:.3},\n      \"speedup_planned_vs_legacy\": {:.3}\n    }}",
+            r.case,
+            r.legacy_ns,
+            r.planned_ns,
+            r.traffic_bytes_per_op,
+            r.effective_gbps(),
+            r.speedup()
+        )
+    }));
     json_cases.extend(quant_results.iter().map(|r| {
         format!(
             "    {{\n      \"case\": \"quant_forward/{}\",\n      \"fake_quant_f32_ns\": {},\n      \"quantized_ns\": {},\n      \"speedup_quantized_vs_f32\": {:.3}\n    }}",
@@ -1598,9 +1736,13 @@ fn main() {
     // The ISSUE's quantized aspiration: the i8-dominant policy must beat the
     // fake-quant f32 planned path, with ≥1.5x as the target.
     const REQUIRED_QUANT_SPEEDUP: f64 = 1.5;
+    // The ISSUE's training aspiration: the planned single-sample training
+    // step must beat the legacy allocating backward by ≥1.5x median.
+    const REQUIRED_TRAIN_SPEEDUP: f64 = 1.5;
     let quant_gate = quant_results.first().expect("quant cases benchmarked");
+    let train_gate = train_results.first().expect("train cases benchmarked");
     let json = format!(
-        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"isa_tier\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {},\n    \"quant_case\": \"quant_forward/{}\",\n    \"quant_required_speedup_vs_f32\": {:.1},\n    \"quant_measured_speedup_vs_f32\": {:.3},\n    \"quant_pass\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"multi_exit_forward\",\n  \"network\": \"lenet_multi_exit\",\n  \"unit\": \"ns_per_op\",\n  \"statistic\": \"median\",\n  \"mode\": \"{}\",\n  \"isa_tier\": \"{}\",\n  \"samples\": {},\n  \"command\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"acceptance\": {{\n    \"case\": \"multi_exit_forward/to_exit_3\",\n    \"required_speedup_vs_pre_pr\": 2.0,\n    \"measured_speedup_vs_pre_pr\": {:.3},\n    \"pass\": {},\n    \"batch_case\": \"batch_forward/{}\",\n    \"batch_required_speedup_vs_planned\": {:.1},\n    \"batch_measured_speedup_vs_planned\": {:.3},\n    \"batch_pass\": {},\n    \"quant_case\": \"quant_forward/{}\",\n    \"quant_required_speedup_vs_f32\": {:.1},\n    \"quant_measured_speedup_vs_f32\": {:.3},\n    \"quant_pass\": {},\n    \"train_case\": \"train_step/{}\",\n    \"train_required_speedup_vs_legacy\": {:.1},\n    \"train_measured_speedup_vs_legacy\": {:.3},\n    \"train_pass\": {}\n  }}\n}}\n",
         mode,
         dispatch::active().name(),
         samples,
@@ -1615,7 +1757,11 @@ fn main() {
         quant_gate.case,
         REQUIRED_QUANT_SPEEDUP,
         quant_gate.speedup(),
-        quant_gate.speedup() >= REQUIRED_QUANT_SPEEDUP
+        quant_gate.speedup() >= REQUIRED_QUANT_SPEEDUP,
+        train_gate.case,
+        REQUIRED_TRAIN_SPEEDUP,
+        train_gate.speedup(),
+        train_gate.speedup() >= REQUIRED_TRAIN_SPEEDUP
     );
     // The baseline must be read BEFORE the fresh results are written: with
     // the default out path, `--check BENCH_inference.json` would otherwise
@@ -1627,10 +1773,11 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!(
         "\nwrote {out_path} (to_exit_3 planned speedup vs pre-PR: {:.2}x, batch8 vs planned: \
-         {:.2}x, quantized i8 vs f32: {:.2}x)",
+         {:.2}x, quantized i8 vs f32: {:.2}x, planned train step vs legacy: {:.2}x)",
         gate.speedup_vs_pre_pr(),
         batch_gate.speedup_vs_planned(),
-        quant_gate.speedup()
+        quant_gate.speedup(),
+        train_gate.speedup()
     );
 
     // Perf-regression gate: compare the fresh measurements against the
@@ -1644,6 +1791,7 @@ fn main() {
         #[allow(clippy::too_many_arguments)]
         let gated = |results: &[CaseResult],
                      batch_results: &[BatchCaseResult],
+                     train_results: &[TrainStepResult],
                      quant_results: &[QuantCaseResult],
                      policy_eval: &PolicyEvalResult,
                      search_loop: &SearchLoopResult,
@@ -1676,6 +1824,16 @@ fn main() {
                 current: r.batched_ns_per_sample,
                 ref_key: "planned_single_ns",
                 current_ref: r.planned_single_ns,
+                tier_sensitive: false,
+            }));
+            // The planned training step normalizes against the legacy
+            // allocating backward of the same network in the same run.
+            metrics.extend(train_results.iter().map(|r| GatedMetric {
+                case: format!("train_step/{}", r.case),
+                key: "planned_ns",
+                current: r.planned_ns,
+                ref_key: "legacy_ns",
+                current_ref: r.legacy_ns,
                 tier_sensitive: false,
             }));
             metrics.extend(quant_results.iter().map(|r| GatedMetric {
@@ -1775,6 +1933,7 @@ fn main() {
         let metrics = gated(
             &results,
             &batch_results,
+            &train_results,
             &quant_results,
             &policy_eval,
             &search_loop,
@@ -1798,10 +1957,10 @@ fn main() {
                 regressions.len(),
                 attempt + 1
             );
-            let (r2, b2, q2, p2, s2, k2, l2, c2, v2, o2, f2) = measure_all();
+            let (r2, b2, t2, q2, p2, s2, k2, l2, c2, v2, o2, f2) = measure_all();
             let confirmed = check_against_baseline(
                 &baseline,
-                &gated(&r2, &b2, &q2, &p2, &s2, &k2, &l2, &c2, &v2, &o2, &f2),
+                &gated(&r2, &b2, &t2, &q2, &p2, &s2, &k2, &l2, &c2, &v2, &o2, &f2),
                 1.15,
             );
             // Keep only metrics that regressed again, carrying the freshest

@@ -71,7 +71,7 @@ pub fn apply_policy(network: &mut MultiExitNetwork, policy: &CompressionPolicy) 
 /// Observed `[min, max]` ranges of every compressible layer's input
 /// activation (canonical order), measured by running the calibration samples
 /// through the network's allocating forward path.
-fn calibrate_ranges(
+pub(crate) fn calibrate_ranges(
     network: &MultiExitNetwork,
     samples: &[Sample],
     layers: usize,

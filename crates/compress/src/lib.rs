@@ -41,11 +41,13 @@ mod evaluator;
 mod policy;
 pub mod pruning;
 pub mod quantize;
+pub mod train;
 
 pub use accuracy::{CalibratedAccuracyModel, EmpiricalAccuracyEstimator, ExitAccuracyEstimator};
 pub use error::CompressError;
 pub use evaluator::{CompressedProfile, PolicyEvaluator};
 pub use policy::{CompressionPolicy, LayerPolicy};
+pub use train::{finetune_compressed, FinetuneConfig, FinetuneOutcome};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CompressError>;

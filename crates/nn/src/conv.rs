@@ -298,6 +298,101 @@ impl Conv2d {
         Ok(dx)
     }
 
+    /// Allocation-free backward pass used by the training plans. `col` holds
+    /// the layer input already lowered by `im2col` — the plan caches it from
+    /// the forward half of the same step, so the backward half never lowers
+    /// the input a second time. Computes `dW = grad_out · colᵀ` straight into
+    /// `grad_w` (the caller's zeroed store region), row-sums `grad_out` into
+    /// `grad_b`, then — when `dx` is present — forms `dcols = Wᵀ · grad_out`
+    /// (weight transposed into `wt`, GEMM into `colt`, whose contents are
+    /// dead after the `dW` product) and scatters it back to image layout.
+    /// `dx: None` skips the input-gradient products entirely; the plan passes
+    /// it for the network's first layer, whose input gradient nobody reads.
+    ///
+    /// `weight` is passed explicitly — normally [`Self::weight`], but the
+    /// fake-quant training mode substitutes the quantize–dequantize round
+    /// trip for the dx product (straight-through estimator). With
+    /// `weight == self.weight` and `col == im2col(input)`, every step
+    /// matches [`Self::backward`] bit for bit: writing the `dW` GEMM into a
+    /// zeroed region equals the legacy accumulate (`0 + x == x` — the GEMM's
+    /// ascending-depth sums never produce `-0.0`), and the `dcols` product
+    /// runs the same transpose-then-GEMM sequence as the legacy path.
+    ///
+    /// Scratch lengths: `col`/`colt` hold [`Self::col_len`] elements, `wt`
+    /// holds `weight.len()`. Enforced by the underlying kernels (panics on
+    /// mismatch — the plan pre-sizes everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the col2im buffer lengths do not match
+    /// the geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_slice_into(
+        &self,
+        weight: &[f32],
+        col: &[f32],
+        grad_out: &[f32],
+        dx: Option<&mut [f32]>,
+        grad_w: &mut [f32],
+        grad_b: &mut [f32],
+        colt: &mut [f32],
+        wt: &mut [f32],
+    ) -> Result<()> {
+        let (m, ckk, ohw) =
+            (self.out_channels, self.geom.col_rows(), self.geom.out_h() * self.geom.out_w());
+        ie_tensor::transpose_into(col, ckk, ohw, colt);
+        ie_tensor::gemm_into(grad_out, colt, grad_w, m, ohw, ckk);
+        for c in 0..m {
+            let s: f32 = grad_out[c * ohw..(c + 1) * ohw].iter().sum();
+            grad_b[c] += s;
+        }
+        if let Some(dx) = dx {
+            ie_tensor::transpose_into(weight, m, ckk, wt);
+            ie_tensor::gemm_into(wt, grad_out, colt, ckk, m, ohw);
+            ie_tensor::col2im_into(colt, &self.geom, dx)?;
+        }
+        Ok(())
+    }
+
+    /// Forward pass with an explicit filter tensor (flattened `[O, C·K·K]`,
+    /// same length as [`Self::weight`]) — the fake-quant training path
+    /// substitutes the dequantised weight codes here while the bias stays
+    /// full precision. With `weight == self.weight.as_slice()` this is
+    /// bit-identical to [`Self::forward_into`] without ReLU fusion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShapeMismatch`] via `im2col` when `input` or
+    /// `col` does not match the layer geometry.
+    pub(crate) fn forward_with_weight_into(
+        &self,
+        weight: &[f32],
+        input: &[f32],
+        out: &mut [f32],
+        col: &mut [f32],
+    ) -> Result<()> {
+        debug_assert_eq!(weight.len(), self.weight.len());
+        debug_assert_eq!(out.len(), self.output_len());
+        im2col_into(input, &self.geom, col)?;
+        let (m, k, n) = (self.out_channels, self.geom.col_rows(), self.geom.col_cols());
+        if self.sparse_hint {
+            gemm_sparse_into(weight, col, out, m, k, n);
+        } else {
+            gemm_into(weight, col, out, m, k, n);
+        }
+        let plane = self.geom.out_h() * self.geom.out_w();
+        ie_tensor::add_bias_rows(out, plane, self.bias.as_slice(), false);
+        Ok(())
+    }
+
+    pub(crate) fn grad_weight_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_weight
+    }
+
+    pub(crate) fn grad_bias_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_bias
+    }
+
     /// Accumulated filter gradient.
     pub fn grad_weight(&self) -> &Tensor {
         &self.grad_weight

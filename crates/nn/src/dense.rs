@@ -242,6 +242,63 @@ impl Dense {
         Ok(dx)
     }
 
+    /// Allocation-free backward pass used by the training plans: accumulates
+    /// `dW = grad_out ⊗ input` into `grad_w`, `db = grad_out` into `grad_b`,
+    /// and — when `dx` is present — writes `dx = Wᵀ · grad_out` without
+    /// materializing the transpose. `dx: None` skips the input-gradient
+    /// product; the plan passes it for the network's first layer, whose
+    /// input gradient nobody reads.
+    ///
+    /// `weight` is passed explicitly — normally [`Self::weight`], but the
+    /// fake-quant training mode substitutes the quantize–dequantize round
+    /// trip of the weights for the dx product while the full-precision
+    /// master weights keep receiving the gradient (straight-through
+    /// estimator). With `weight == self.weight`, every arithmetic operation
+    /// matches [`Self::backward`] bit for bit: the accumulating outer
+    /// product is one multiply + add per element like
+    /// `outer` + `add_scaled_inplace(·, 1.0)`, and
+    /// [`ie_tensor::matvec_t_into`] reproduces the lane-parallel dot product
+    /// `Tensor::matvec` runs on the transposed rows, element for element.
+    ///
+    /// Buffer lengths are enforced by the underlying kernels (panics on
+    /// mismatch — the plan pre-sizes everything).
+    pub(crate) fn backward_slice_into(
+        &self,
+        weight: &[f32],
+        input: &[f32],
+        grad_out: &[f32],
+        dx: Option<&mut [f32]>,
+        grad_w: &mut [f32],
+        grad_b: &mut [f32],
+    ) {
+        ie_tensor::outer_accumulate_into(grad_out, input, grad_w);
+        ie_tensor::accumulate_slice_into(grad_b, grad_out);
+        if let Some(dx) = dx {
+            ie_tensor::matvec_t_into(weight, grad_out, dx, self.in_features, self.out_features);
+        }
+    }
+
+    /// Forward pass with an explicit weight matrix (same shape as
+    /// [`Self::weight`]) — the fake-quant training path substitutes the
+    /// dequantised weight codes here while the bias stays full precision.
+    /// With `weight == self.weight.as_slice()` this is bit-identical to
+    /// [`Self::forward_into`] without ReLU fusion.
+    pub(crate) fn forward_with_weight_into(&self, weight: &[f32], input: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(weight.len(), self.weight.len());
+        debug_assert_eq!(input.len(), self.in_features);
+        debug_assert_eq!(out.len(), self.out_features);
+        ie_tensor::matvec_into(weight, input, out, self.out_features, self.in_features);
+        ie_tensor::add_bias_samples(out, self.bias.as_slice(), false);
+    }
+
+    pub(crate) fn grad_weight_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_weight
+    }
+
+    pub(crate) fn grad_bias_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_bias
+    }
+
     /// Accumulated weight gradient.
     pub fn grad_weight(&self) -> &Tensor {
         &self.grad_weight

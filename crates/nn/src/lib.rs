@@ -15,6 +15,12 @@
 //! * a [`BatchPlan`] that runs N inputs per pass through one widened GEMM per
 //!   layer, bit-identical per sample to the single-input plan, plus a sharded
 //!   multi-threaded dataset evaluator ([`train::evaluate_batched`]),
+//! * a [`BackwardPlan`] for statically planned, **allocation-free** training
+//!   steps — bit-identical loss and gradients to the allocating
+//!   [`MultiExitNetwork::backward`], with an optional fake-quant-in-the-loop
+//!   forward half — and a sharded batched trainer
+//!   ([`train::BatchBackwardPlan`]) whose results are byte-identical across
+//!   worker counts,
 //! * softmax / cross-entropy losses and the **entropy-based confidence**
 //!   measure used to decide whether an exit's prediction is trustworthy,
 //! * an SGD optimiser and a tiny training loop,
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod backward;
 mod batch;
 mod conv;
 pub mod dataset;
@@ -56,6 +63,7 @@ pub mod spec;
 pub mod train;
 
 pub use activation::Relu;
+pub use backward::{BackwardPlan, GradStore};
 pub use batch::{BatchOutput, BatchPlan};
 pub use conv::Conv2d;
 pub use dense::Dense;

@@ -155,6 +155,14 @@ impl MultiExitNetwork {
         &self.branches
     }
 
+    /// All layers in gradient-application order: trunk segments flattened,
+    /// then branches flattened — the exact iteration order of
+    /// [`Self::apply_gradients`] and [`Self::zero_grad`], which the
+    /// [`crate::BackwardPlan`] gradient store mirrors.
+    pub(crate) fn layers_mut(&mut self) -> impl Iterator<Item = &mut Layer> {
+        self.segments.iter_mut().flatten().chain(self.branches.iter_mut().flatten())
+    }
+
     fn check_exit(&self, exit: usize) -> Result<()> {
         if exit >= self.num_exits() {
             return Err(NnError::InvalidExit { requested: exit, available: self.num_exits() });
@@ -267,18 +275,26 @@ impl MultiExitNetwork {
                 available: self.num_exits(),
             });
         }
-        // Forward pass caching every layer input.
+        // Forward pass caching every layer input. Branches whose exit weight
+        // is exactly zero contribute neither loss nor gradient, so their
+        // forward pass (and the per-layer input clones it would cache) is
+        // skipped entirely.
         let mut trunk_inputs: Vec<Vec<Tensor>> = Vec::with_capacity(self.segments.len());
         let mut branch_inputs: Vec<Vec<Tensor>> = Vec::with_capacity(self.branches.len());
-        let mut logits_per_exit: Vec<Tensor> = Vec::with_capacity(self.branches.len());
+        let mut logits_per_exit: Vec<Option<Tensor>> = Vec::with_capacity(self.branches.len());
         let mut x = input.clone();
-        for (segment, branch) in self.segments.iter().zip(&self.branches) {
+        for (i, (segment, branch)) in self.segments.iter().zip(&self.branches).enumerate() {
             let mut seg_cache = Vec::with_capacity(segment.len());
             for layer in segment {
                 seg_cache.push(x.clone());
                 x = layer.forward(&x)?;
             }
             trunk_inputs.push(seg_cache);
+            if exit_weights[i] == 0.0 {
+                branch_inputs.push(Vec::new());
+                logits_per_exit.push(None);
+                continue;
+            }
             let mut b = x.clone();
             let mut br_cache = Vec::with_capacity(branch.len());
             for layer in branch {
@@ -286,7 +302,7 @@ impl MultiExitNetwork {
                 b = layer.forward(&b)?;
             }
             branch_inputs.push(br_cache);
-            logits_per_exit.push(b);
+            logits_per_exit.push(Some(b));
         }
 
         // Per-exit losses and gradients at the logits.
@@ -295,9 +311,9 @@ impl MultiExitNetwork {
         let mut trunk_grads: Vec<Option<Tensor>> = vec![None; self.segments.len()];
         for (i, logits) in logits_per_exit.iter().enumerate() {
             let w = exit_weights[i];
-            if w == 0.0 {
+            let Some(logits) = logits.as_ref() else {
                 continue;
-            }
+            };
             let (loss, grad_logits) = cross_entropy(logits, label)?;
             total_loss += w * loss;
             let mut g = grad_logits.scale(w);

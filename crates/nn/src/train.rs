@@ -3,7 +3,7 @@
 
 use crate::dataset::Sample;
 use crate::quant::QuantConfig;
-use crate::{BatchPlan, MultiExitNetwork, NnError, Result, Sgd};
+use crate::{BackwardPlan, BatchPlan, GradStore, MultiExitNetwork, NnError, Result, Sgd};
 use ie_tensor::Tensor;
 
 /// Configuration of a multi-exit training run.
@@ -566,6 +566,300 @@ pub fn evaluate_batched_auto(network: &MultiExitNetwork, samples: &[Sample]) -> 
     evaluate_batched(network, samples, DEFAULT_EVAL_BATCH, eval_threads())
 }
 
+/// Worker-thread count for the batched trainer: `IE_TRAIN_THREADS` via
+/// [`threads_from_env`] (what the CI train-determinism job varies). Like all
+/// thread knobs this never changes results — the batched trainer's gradient
+/// reduction is deterministic and byte-identical across worker counts.
+pub fn train_threads() -> usize {
+    threads_from_env("IE_TRAIN_THREADS")
+}
+
+/// A reusable pool of per-worker [`BackwardPlan`]s, mirroring
+/// [`BatchPlanPool`] for the training side: compression and training change
+/// a network's weights but never its architecture, so the same warmed plans
+/// serve every step. Plans built with a different architecture or fake-quant
+/// configuration are dropped and rebuilt transparently.
+#[derive(Debug, Default)]
+pub struct BackwardPlanPool {
+    plans: Vec<BackwardPlan>,
+}
+
+impl BackwardPlanPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BackwardPlanPool::default()
+    }
+
+    /// Number of plans currently pooled.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` when no plans are pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Hands out `count` plans compatible with `network` (and the given
+    /// fake-quant configuration), reusing pooled ones and building only what
+    /// is missing.
+    fn ensure(
+        &mut self,
+        network: &MultiExitNetwork,
+        quant: Option<&QuantConfig>,
+        count: usize,
+    ) -> Result<&mut [BackwardPlan]> {
+        self.plans.retain(|p| p.is_compatible(network) && p.quant_config() == quant);
+        while self.plans.len() < count {
+            self.plans.push(match quant {
+                Some(config) => {
+                    BackwardPlan::for_architecture_fake_quant(network.architecture(), config)?
+                }
+                None => BackwardPlan::for_architecture(network.architecture()),
+            });
+        }
+        Ok(&mut self.plans[..count])
+    }
+
+    /// Hands one plan compatible with `network` (and the given fake-quant
+    /// configuration) out of the pool, building a fresh one when nothing
+    /// pooled fits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BackwardPlan::for_architecture_fake_quant`]'s validation
+    /// errors when a fake-quant plan has to be built.
+    pub fn take(
+        &mut self,
+        network: &MultiExitNetwork,
+        quant: Option<&QuantConfig>,
+    ) -> Result<BackwardPlan> {
+        match self.plans.iter().position(|p| p.is_compatible(network) && p.quant_config() == quant)
+        {
+            Some(i) => Ok(self.plans.swap_remove(i)),
+            None => match quant {
+                Some(config) => {
+                    BackwardPlan::for_architecture_fake_quant(network.architecture(), config)
+                }
+                None => Ok(BackwardPlan::for_architecture(network.architecture())),
+            },
+        }
+    }
+
+    /// Returns a plan to the pool for later reuse.
+    pub fn put(&mut self, plan: BackwardPlan) {
+        self.plans.push(plan);
+    }
+}
+
+/// A batched, sharded training step: one [`BackwardPlan`] per worker, one
+/// [`GradStore`] per sample, deterministic reduction.
+///
+/// `train_step` splits the mini-batch into one contiguous shard per worker.
+/// Each worker runs its samples through its own plan, accumulating every
+/// sample's gradients into that sample's store. The reduction then folds the
+/// per-sample losses and flushes the per-sample stores **in ascending sample
+/// order** — float addition is not associative, so a per-worker reduction
+/// would change bits with the worker count; a per-sample one cannot. The
+/// result is bit-identical to calling [`MultiExitNetwork::backward`] on each
+/// sample sequentially, and byte-identical for every `threads` value.
+///
+/// An optional fake-quant configuration ([`BatchBackwardPlan::fake_quant`])
+/// makes every worker run the quantize–dequantize forward half (see
+/// [`BackwardPlan::for_architecture_fake_quant`]) — training with the
+/// deployment-time quantization in the loop.
+#[derive(Debug, Default)]
+pub struct BatchBackwardPlan {
+    pool: BackwardPlanPool,
+    stores: Vec<GradStore>,
+    losses: Vec<f32>,
+    quant: Option<QuantConfig>,
+}
+
+impl BatchBackwardPlan {
+    /// Creates an empty batched training plan (full-precision forward).
+    pub fn new() -> Self {
+        BatchBackwardPlan::default()
+    }
+
+    /// Creates a batched training plan whose forward half applies `config`'s
+    /// fake-quantization on every step.
+    pub fn fake_quant(config: QuantConfig) -> Self {
+        BatchBackwardPlan { quant: Some(config), ..BatchBackwardPlan::default() }
+    }
+
+    /// The fake-quant configuration applied by every step, if any.
+    pub fn quant_config(&self) -> Option<&QuantConfig> {
+        self.quant.as_ref()
+    }
+
+    /// Runs one training step over `samples` sharded across `threads`
+    /// workers and applies the batch-averaged gradients with learning rate
+    /// `lr`. Returns the summed loss; see the type docs for the determinism
+    /// contract. On error the network's gradients and weights are left
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BackwardPlan::backward_into_store`] errors from the
+    /// workers (first shard's error wins). A panicking worker is caught at
+    /// join and surfaced as [`NnError::WorkerPanic`] naming the worker and
+    /// its shard.
+    pub fn train_step(
+        &mut self,
+        network: &mut MultiExitNetwork,
+        samples: &[Sample],
+        exit_weights: &[f32],
+        lr: f32,
+        threads: usize,
+    ) -> Result<f32> {
+        let mut total = 0.0f32;
+        self.train_step_into(network, samples, exit_weights, lr, threads, &mut total)?;
+        Ok(total)
+    }
+
+    /// [`Self::train_step`] folding the per-sample losses into an external
+    /// accumulator in ascending sample order, so an epoch-level sum is
+    /// bit-identical to the legacy per-sample loop's.
+    fn train_step_into(
+        &mut self,
+        network: &mut MultiExitNetwork,
+        samples: &[Sample],
+        exit_weights: &[f32],
+        lr: f32,
+        threads: usize,
+        total_loss: &mut f32,
+    ) -> Result<()> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let n = samples.len();
+        let threads = threads.clamp(1, n);
+        let plans = self.pool.ensure(network, self.quant.as_ref(), threads)?;
+        let want = plans[0].store_len();
+        self.stores.retain(|s| s.len() == want);
+        while self.stores.len() < n {
+            self.stores.push(plans[0].make_store());
+        }
+        if self.losses.len() < n {
+            self.losses.resize(n, 0.0);
+        }
+        let shard_len = n.div_ceil(threads);
+        if threads == 1 {
+            let plan = &mut plans[0];
+            for ((sample, store), loss) in
+                samples.iter().zip(&mut self.stores).zip(&mut self.losses)
+            {
+                *loss = plan.backward_into_store(
+                    network,
+                    &sample.image,
+                    sample.label,
+                    exit_weights,
+                    store,
+                )?;
+            }
+        } else {
+            let net_ref: &MultiExitNetwork = network;
+            let results: Vec<Result<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = samples
+                    .chunks(shard_len)
+                    .zip(self.stores.chunks_mut(shard_len))
+                    .zip(self.losses.chunks_mut(shard_len))
+                    .zip(plans.iter_mut())
+                    .enumerate()
+                    .map(|(worker, (((shard, stores), losses), plan))| {
+                        let handle = scope.spawn(move || -> Result<()> {
+                            for ((sample, store), loss) in shard.iter().zip(stores).zip(losses) {
+                                *loss = plan.backward_into_store(
+                                    net_ref,
+                                    &sample.image,
+                                    sample.label,
+                                    exit_weights,
+                                    store,
+                                )?;
+                            }
+                            Ok(())
+                        });
+                        (worker, shard.len(), handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(worker, len, handle)| match handle.join() {
+                        Ok(result) => result,
+                        Err(payload) => Err(NnError::WorkerPanic {
+                            worker,
+                            shard_start: worker * shard_len,
+                            shard_len: len,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    })
+                    .collect()
+            });
+            for result in results {
+                result?;
+            }
+        }
+        // Deterministic reduction: per-sample losses and stores are folded
+        // in ascending sample order regardless of how the shards were cut.
+        for loss in &self.losses[..n] {
+            *total_loss += *loss;
+        }
+        for store in &self.stores[..n] {
+            plans[0].flush_store(store, network);
+        }
+        network.apply_gradients(lr / n as f32);
+        Ok(())
+    }
+}
+
+/// Batched counterpart of [`train`]: same mini-batch schedule, learning-rate
+/// decay and per-epoch evaluation, but each mini-batch runs through
+/// [`BatchBackwardPlan::train_step`] — allocation-free once warm, sharded
+/// across `threads` workers, and (when `plan` carries a fake-quant
+/// configuration) with the deployment-time quantization in the training
+/// loop. With a full-precision `plan` the returned history and the trained
+/// weights are bit-identical to [`train`]'s for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates layer shape errors, invalid labels from the dataset, and
+/// worker panics (as [`NnError::WorkerPanic`]).
+pub fn train_batched(
+    network: &mut MultiExitNetwork,
+    train_set: &[Sample],
+    test_set: &[Sample],
+    config: &TrainConfig,
+    threads: usize,
+    plan: &mut BatchBackwardPlan,
+) -> Result<Vec<EpochStats>> {
+    let mut sgd = Sgd::new(config.learning_rate).with_decay(config.lr_decay);
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let mut total_loss = 0.0;
+        let mut count = 0usize;
+        for batch in train_set.chunks(config.batch_size.max(1)) {
+            plan.train_step_into(
+                network,
+                batch,
+                &config.exit_weights,
+                sgd.learning_rate(),
+                threads,
+                &mut total_loss,
+            )?;
+            count += batch.len();
+        }
+        sgd.end_epoch();
+        let exit_accuracy = evaluate(network, test_set)?;
+        history.push(EpochStats {
+            epoch,
+            mean_loss: if count > 0 { total_loss / count as f32 } else { 0.0 },
+            exit_accuracy,
+        });
+    }
+    Ok(history)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +886,141 @@ mod tests {
         );
         // Loss should decrease from the first epoch to the last.
         assert!(last.mean_loss < history[0].mean_loss);
+    }
+
+    /// Every weight and bias in apply-order, as raw bits.
+    fn weight_bits(net: &MultiExitNetwork) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for layer in net.segments().iter().flatten().chain(net.branches().iter().flatten()) {
+            let (w, b) = match layer {
+                crate::Layer::Conv2d(c) => (c.weight(), c.bias()),
+                crate::Layer::Dense(d) => (d.weight(), d.bias()),
+                _ => continue,
+            };
+            bits.extend(w.as_slice().iter().map(|v| v.to_bits()));
+            bits.extend(b.as_slice().iter().map(|v| v.to_bits()));
+        }
+        bits
+    }
+
+    #[test]
+    fn batched_training_is_bit_identical_to_legacy() {
+        let data = SyntheticDataset::generate(3, 8, 60, 0.05, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let reference = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let mut config = TrainConfig::for_exits(2);
+        config.epochs = 2;
+        config.learning_rate = 0.1;
+
+        let mut legacy = reference.clone();
+        let legacy_history = train(&mut legacy, data.train(), data.test(), &config).unwrap();
+
+        let mut batched = reference.clone();
+        let mut plan = BatchBackwardPlan::new();
+        let batched_history =
+            train_batched(&mut batched, data.train(), data.test(), &config, 1, &mut plan).unwrap();
+
+        assert_eq!(legacy_history, batched_history);
+        assert_eq!(weight_bits(&legacy), weight_bits(&batched));
+    }
+
+    #[test]
+    fn batched_training_is_byte_identical_across_worker_counts() {
+        let data = SyntheticDataset::generate(3, 8, 45, 0.05, 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let reference = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let mut config = TrainConfig::for_exits(2);
+        config.epochs = 2;
+
+        let mut single = reference.clone();
+        let mut plan1 = BatchBackwardPlan::new();
+        let history1 =
+            train_batched(&mut single, data.train(), data.test(), &config, 1, &mut plan1).unwrap();
+        let bits1 = weight_bits(&single);
+
+        for threads in [2usize, 3, 4] {
+            let mut net = reference.clone();
+            let mut plan = BatchBackwardPlan::new();
+            let history =
+                train_batched(&mut net, data.train(), data.test(), &config, threads, &mut plan)
+                    .unwrap();
+            assert_eq!(history, history1, "{threads} workers diverged from 1");
+            assert_eq!(weight_bits(&net), bits1, "{threads}-worker weights diverged from 1");
+        }
+    }
+
+    #[test]
+    fn fake_quant_batched_training_reduces_loss_and_is_thread_invariant() {
+        use crate::quant::config_from_bits;
+        use ie_tensor::QuantParams;
+
+        let data = SyntheticDataset::generate(3, 8, 45, 0.05, 27);
+        let mut rng = StdRng::seed_from_u64(28);
+        let reference = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let n = reference.architecture().compressible_layers().len();
+        let act = QuantParams::from_range(-6.0, 6.0, 8);
+        let cfg = config_from_bits(&reference, &vec![Some((8, act)); n]).unwrap();
+        let mut config = TrainConfig::for_exits(2);
+        config.epochs = 3;
+        config.learning_rate = 0.1;
+
+        let mut single = reference.clone();
+        let mut plan1 = BatchBackwardPlan::fake_quant(cfg.clone());
+        assert_eq!(plan1.quant_config(), Some(&cfg));
+        let history1 =
+            train_batched(&mut single, data.train(), data.test(), &config, 1, &mut plan1).unwrap();
+        assert!(
+            history1.last().unwrap().mean_loss < history1[0].mean_loss,
+            "fake-quant training loss did not decrease: {history1:?}"
+        );
+
+        let mut multi = reference.clone();
+        let mut plan4 = BatchBackwardPlan::fake_quant(cfg);
+        let history4 =
+            train_batched(&mut multi, data.train(), data.test(), &config, 4, &mut plan4).unwrap();
+        assert_eq!(history1, history4);
+        assert_eq!(weight_bits(&single), weight_bits(&multi));
+    }
+
+    #[test]
+    fn train_step_surfaces_bad_labels_and_leaves_the_network_untouched() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let before = weight_bits(&net);
+        let samples = vec![
+            Sample { image: Tensor::ones(&[1, 8, 8]), label: 0 },
+            Sample { image: Tensor::ones(&[1, 8, 8]), label: 99 },
+        ];
+        let mut plan = BatchBackwardPlan::new();
+        let err = plan.train_step(&mut net, &samples, &[1.0, 1.0], 0.1, 2).unwrap_err();
+        assert!(matches!(err, NnError::InvalidLabel { label: 99, classes: 3 }));
+        assert_eq!(weight_bits(&net), before, "failed step must not move weights");
+    }
+
+    #[test]
+    fn backward_plan_pool_hands_out_and_reuses_plans() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let net = MultiExitNetwork::from_architecture(&tiny_multi_exit(3), &mut rng).unwrap();
+        let mut pool = BackwardPlanPool::new();
+        assert!(pool.is_empty());
+        let plan = pool.take(&net, None).unwrap();
+        assert!(plan.is_compatible(&net));
+        pool.put(plan);
+        assert_eq!(pool.len(), 1);
+        let again = pool.take(&net, None).unwrap();
+        assert!(pool.is_empty(), "the pooled plan was handed back out");
+        pool.put(again);
+        // A fake-quant request does not match the plain pooled plan.
+        let n = net.architecture().compressible_layers().len();
+        let cfg = crate::quant::QuantConfig::from_layers(vec![None; n]);
+        let fq = pool.take(&net, Some(&cfg)).unwrap();
+        assert_eq!(fq.quant_config(), Some(&cfg));
+        assert_eq!(pool.len(), 1, "the plain pooled plan stays put");
+    }
+
+    #[test]
+    fn train_threads_reads_the_environment_knob() {
+        assert!(train_threads() >= 1);
     }
 
     #[test]

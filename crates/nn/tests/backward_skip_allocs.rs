@@ -1,0 +1,91 @@
+//! Counting-allocator regression test for the legacy (allocating) backward
+//! pass: exits whose loss weight is `0.0` must not forward their branch, so
+//! a zero-weighted exit allocates strictly less than a weighted one.
+//!
+//! The counting is per-thread (a `const`-initialised thread-local `Cell`), and
+//! the whole file contains a single test so no sibling test can interleave
+//! allocations on this thread.
+
+use ie_nn::spec::lenet_multi_exit;
+use ie_nn::MultiExitNetwork;
+use ie_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// only addition is a thread-local counter bump, which cannot allocate or
+// unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_of(mut f: impl FnMut() -> f32) -> (u64, f32) {
+    let before = THREAD_ALLOCS.with(Cell::get);
+    let loss = f();
+    (THREAD_ALLOCS.with(Cell::get) - before, loss)
+}
+
+#[test]
+fn zero_weighted_exits_skip_branch_work_in_legacy_backward() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = MultiExitNetwork::from_architecture(&lenet_multi_exit(), &mut rng).unwrap();
+    let input = Tensor::randn(&mut rng, &[3, 32, 32], 0.0, 1.0);
+
+    // Warm up both shapes so lazily grown buffers (if any) stabilise.
+    net.backward(&input, 1, &[1.0, 1.0, 1.0]).unwrap();
+    net.zero_grad();
+    net.backward(&input, 1, &[1.0, 0.0, 0.0]).unwrap();
+    net.zero_grad();
+
+    let (all_exits, loss_all) = allocations_of(|| {
+        let loss = net.backward(&input, 1, &[1.0, 1.0, 1.0]).unwrap();
+        net.zero_grad();
+        loss
+    });
+    let (trunk_only, loss_one) = allocations_of(|| {
+        let loss = net.backward(&input, 1, &[1.0, 0.0, 0.0]).unwrap();
+        net.zero_grad();
+        loss
+    });
+
+    assert!(loss_all.is_finite() && loss_one.is_finite());
+    assert!(
+        trunk_only < all_exits,
+        "zero-weighted exits must skip branch forwards: \
+         {trunk_only} allocations with one active exit vs {all_exits} with three"
+    );
+
+    // All-zero weights on the later exits also skip their *label* handling:
+    // an out-of-range label only trips where some weight is non-zero.
+    let err = net.backward(&input, 999, &[1.0, 0.0, 0.0]).unwrap_err();
+    assert!(matches!(err, ie_nn::NnError::InvalidLabel { label: 999, .. }));
+    net.zero_grad();
+}

@@ -1,0 +1,145 @@
+//! Finite-difference gradient checks for the layer backward passes.
+//!
+//! Both layers under test are piecewise **linear** in every argument
+//! (convolution exactly, max-pooling away from window ties), so the central
+//! difference `(L(θ+ε) − L(θ−ε)) / 2ε` of the scalar probe loss
+//! `L = Σ_i r_i·y_i` equals the analytic directional derivative up to `f32`
+//! rounding — no truncation-error tolerance games needed. Inputs are drawn so
+//! no max-pool window has two entries within `2ε` of each other, which keeps
+//! the argmax (and therefore the subgradient) stable across the probe.
+
+use ie_nn::{Conv2d, MaxPool2d};
+use ie_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scalar probe loss `Σ r·y` in f64 to keep the reduction itself exact.
+fn probe(y: &Tensor, r: &[f32]) -> f64 {
+    y.as_slice().iter().zip(r).map(|(&v, &c)| v as f64 * c as f64).sum()
+}
+
+/// Central finite difference of `f` when entry `i` of `data` moves by `eps`.
+fn central_diff(data: &mut [f32], i: usize, eps: f32, mut f: impl FnMut(&[f32]) -> f64) -> f64 {
+    let saved = data[i];
+    data[i] = saved + eps;
+    let up = f(data);
+    data[i] = saved - eps;
+    let down = f(data);
+    data[i] = saved;
+    (up - down) / (2.0 * eps as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conv2d's accumulated weight/bias gradients and returned input gradient
+    /// all match central finite differences of the probe loss.
+    #[test]
+    fn conv_backward_matches_finite_differences(
+        seed in 0u64..1_000,
+        in_channels in 1usize..=2,
+        out_channels in 1usize..=2,
+        kernel in 2usize..=3,
+        padding in 0usize..=1,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (h, w) = (4usize, 4usize);
+        let mut conv = Conv2d::new(&mut rng, in_channels, out_channels, kernel, 1, padding, h, w);
+        let x = Tensor::randn(&mut rng, &[in_channels, h, w], 0.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        let r: Vec<f32> =
+            (0..y.len()).map(|_| Tensor::randn(&mut rng, &[1], 0.0, 1.0).as_slice()[0]).collect();
+        let go = Tensor::from_vec(r.clone(), y.dims()).unwrap();
+
+        let dx = conv.backward(&x, &go).unwrap();
+
+        // The probe loss is linear in weights, bias and input, so a modest
+        // epsilon gives an exact derivative up to f32 rounding noise.
+        let eps = 1e-2f32;
+        let tol = 2e-2f64;
+
+        let mut weights = conv.weight().as_slice().to_vec();
+        for i in 0..weights.len() {
+            let num = central_diff(&mut weights, i, eps, |ws| {
+                let mut probe_conv = conv.clone();
+                probe_conv.weight_mut().as_mut_slice().copy_from_slice(ws);
+                probe(&probe_conv.forward(&x).unwrap(), &r)
+            });
+            let ana = conv.grad_weight().as_slice()[i] as f64;
+            prop_assert!(
+                (num - ana).abs() <= tol * ana.abs().max(1.0),
+                "dW[{i}]: finite-difference {num} vs analytic {ana}"
+            );
+        }
+
+        let mut bias = conv.bias().as_slice().to_vec();
+        for i in 0..bias.len() {
+            let num = central_diff(&mut bias, i, eps, |bs| {
+                let mut probe_conv = conv.clone();
+                probe_conv.bias_mut().as_mut_slice().copy_from_slice(bs);
+                probe(&probe_conv.forward(&x).unwrap(), &r)
+            });
+            let ana = conv.grad_bias().as_slice()[i] as f64;
+            prop_assert!(
+                (num - ana).abs() <= tol * ana.abs().max(1.0),
+                "dB[{i}]: finite-difference {num} vs analytic {ana}"
+            );
+        }
+
+        let mut input = x.as_slice().to_vec();
+        for i in 0..input.len() {
+            let num = central_diff(&mut input, i, eps, |xs| {
+                let probe_x = Tensor::from_vec(xs.to_vec(), x.dims()).unwrap();
+                probe(&conv.forward(&probe_x).unwrap(), &r)
+            });
+            let ana = dx.as_slice()[i] as f64;
+            prop_assert!(
+                (num - ana).abs() <= tol * ana.abs().max(1.0),
+                "dX[{i}]: finite-difference {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// Max-pool's input gradient matches central finite differences when the
+    /// probe stays on one linear piece (every window's values separated by
+    /// more than `2ε`).
+    #[test]
+    fn maxpool_backward_matches_finite_differences(
+        seed in 0u64..1_000,
+        channels in 1usize..=3,
+        size in 2usize..=3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (h, w) = (size * 2, size * 2);
+        let pool = MaxPool2d::new(size);
+        // Distinct, well-separated values: a random permutation of a grid
+        // with spacing 0.1 ≫ 2ε, so no perturbation can change an argmax.
+        let n = channels * h * w;
+        let mut values: Vec<f32> = (0..n).map(|i| i as f32 * 0.1).collect();
+        for i in (1..n).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            values.swap(i, j);
+        }
+        let x = Tensor::from_vec(values.clone(), &[channels, h, w]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        let r: Vec<f32> =
+            (0..y.len()).map(|_| Tensor::randn(&mut rng, &[1], 0.0, 1.0).as_slice()[0]).collect();
+        let go = Tensor::from_vec(r.clone(), y.dims()).unwrap();
+
+        let dx = pool.backward(&x, &go).unwrap();
+
+        let eps = 1e-3f32;
+        for i in 0..values.len() {
+            let num = central_diff(&mut values, i, eps, |xs| {
+                let probe_x = Tensor::from_vec(xs.to_vec(), x.dims()).unwrap();
+                probe(&pool.forward(&probe_x).unwrap(), &r)
+            });
+            let ana = dx.as_slice()[i] as f64;
+            prop_assert!(
+                (num - ana).abs() <= 1e-3 * ana.abs().max(1.0),
+                "dX[{i}]: finite-difference {num} vs analytic {ana}"
+            );
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Training-side slice kernels: the backward counterparts of the forward
+//! `_into` kernels, routed through the runtime ISA dispatch
+//! ([`crate::dispatch`]) like every other hot-path kernel.
+//!
+//! The contract mirrors the forward side: every kernel is **bit-identical**
+//! across tiers and to the allocating [`crate::Tensor`] reference path it
+//! replaces. Concretely:
+//!
+//! * [`transpose_into`] performs the same element movement as
+//!   [`crate::Tensor::transpose`] (pure data movement — no arithmetic).
+//! * [`relu_backward_into`] multiplies the upstream gradient by the
+//!   `if x > 0.0 { 1.0 } else { 0.0 }` mask, exactly like the allocating
+//!   `mask.mul(grad)` path (a masked-off negative gradient yields `-0.0`,
+//!   which matters for bit-level equivalence).
+//! * [`max_pool_backward_into`] routes each output gradient to the window
+//!   argmax found by a row-major strict-`>` scan (first maximum wins), the
+//!   same order the allocating pool backward uses.
+//! * [`outer_accumulate_into`] / [`accumulate_slice_into`] accumulate with a
+//!   single product/add per element, matching `outer` +
+//!   `add_scaled_inplace(·, 1.0)` bit for bit (`1.0 * x == x`).
+//! * [`cross_entropy_grad_into`] fuses the `probs − one_hot(label)` epilogue
+//!   with the per-exit loss weight: `out[j] = probs[j] * w` except
+//!   `out[label] = (probs[label] − 1.0) * w`.
+
+use crate::dispatch::{self, IsaTier};
+
+// ---------------------------------------------------------------------------
+// Transpose
+// ---------------------------------------------------------------------------
+
+/// Portable body of [`transpose_into`] (recompiled for AVX2 by the
+/// dispatcher).
+#[inline(always)]
+fn transpose_body(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    for i in 0..rows {
+        let row = &src[i * cols..(i + 1) * cols];
+        for (j, &v) in row.iter().enumerate() {
+            dst[j * rows + i] = v;
+        }
+    }
+}
+
+/// Writes the transpose of the row-major `[rows, cols]` matrix `src` into
+/// `dst` (`[cols, rows]`). Pure data movement, so bit-identical to
+/// [`crate::Tensor::transpose`] on every tier by construction.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match `rows * cols`.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    transpose_into_tier(dispatch::active(), src, rows, cols, dst);
+}
+
+/// [`transpose_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`transpose_into`].
+pub fn transpose_into_tier(tier: IsaTier, src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose: src length {} != {rows}x{cols}", src.len());
+    assert_eq!(dst.len(), rows * cols, "transpose: dst length {} != {cols}x{rows}", dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_transpose(tier, src, rows, cols, dst) {
+        return;
+    }
+    let _ = tier;
+    transpose_body(src, rows, cols, dst);
+}
+
+// ---------------------------------------------------------------------------
+// ReLU backward
+// ---------------------------------------------------------------------------
+
+/// Portable body of [`relu_backward_into`]. The mask is *multiplied*, not
+/// selected: `0.0 * g` keeps the sign of `g` in the zero (and propagates
+/// NaN), exactly like the allocating `mask.mul(grad_output)` reference.
+#[inline(always)]
+fn relu_backward_body(pre: &[f32], grad_out: &[f32], dst: &mut [f32]) {
+    for ((d, &x), &g) in dst.iter_mut().zip(pre).zip(grad_out) {
+        let m = if x > 0.0 { 1.0 } else { 0.0 };
+        *d = m * g;
+    }
+}
+
+/// ReLU backward: `dst[i] = mask(pre[i]) * grad_out[i]` with the
+/// `if x > 0.0 { 1.0 } else { 0.0 }` mask over the layer's pre-activation
+/// input.
+///
+/// # Panics
+///
+/// Panics when the three slice lengths differ.
+pub fn relu_backward_into(pre: &[f32], grad_out: &[f32], dst: &mut [f32]) {
+    relu_backward_into_tier(dispatch::active(), pre, grad_out, dst);
+}
+
+/// [`relu_backward_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`relu_backward_into`].
+pub fn relu_backward_into_tier(tier: IsaTier, pre: &[f32], grad_out: &[f32], dst: &mut [f32]) {
+    assert_eq!(pre.len(), grad_out.len(), "relu backward: pre/grad lengths differ");
+    assert_eq!(pre.len(), dst.len(), "relu backward: pre/dst lengths differ");
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_relu_backward(tier, pre, grad_out, dst) {
+        return;
+    }
+    let _ = tier;
+    relu_backward_body(pre, grad_out, dst);
+}
+
+// ---------------------------------------------------------------------------
+// Max-pool backward
+// ---------------------------------------------------------------------------
+
+/// Portable body of [`max_pool_backward_into`] (recompiled for AVX2 by the
+/// dispatcher). Window scan order is row-major (ascending `dy`, then `dx`)
+/// with a strict `>` select, so the *first* maximum receives the gradient —
+/// the same argmax the allocating pool backward resolves.
+#[inline(always)]
+fn max_pool_backward_body(
+    src: &[f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    grad_out: &[f32],
+    dst: &mut [f32],
+) {
+    dst.fill(0.0);
+    let (oh, ow) = (h / size, w / size);
+    for p in 0..planes {
+        let plane = &src[p * h * w..(p + 1) * h * w];
+        let go_plane = &grad_out[p * oh * ow..(p + 1) * oh * ow];
+        let dst_plane = &mut dst[p * h * w..(p + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_pos = 0usize;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        let pos = (oy * size + dy) * w + ox * size + dx;
+                        let v = plane[pos];
+                        if v > best {
+                            best = v;
+                            best_pos = pos;
+                        }
+                    }
+                }
+                dst_plane[best_pos] += go_plane[oy * ow + ox];
+            }
+        }
+    }
+}
+
+/// Max-pool backward over `planes` stacked `[h, w]` planes: zeroes `dst` and
+/// routes each pooled gradient to the position of its window's first strict
+/// maximum in the saved forward input `src`.
+///
+/// # Panics
+///
+/// Panics when `size` is zero, does not divide `h`/`w`, or a buffer length
+/// does not match.
+pub fn max_pool_backward_into(
+    src: &[f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    grad_out: &[f32],
+    dst: &mut [f32],
+) {
+    max_pool_backward_into_tier(dispatch::active(), src, planes, h, w, size, grad_out, dst);
+}
+
+/// [`max_pool_backward_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`max_pool_backward_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn max_pool_backward_into_tier(
+    tier: IsaTier,
+    src: &[f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    grad_out: &[f32],
+    dst: &mut [f32],
+) {
+    assert!(size > 0, "pool backward: size must be non-zero");
+    assert_eq!(h % size, 0, "pool backward: height {h} not divisible by {size}");
+    assert_eq!(w % size, 0, "pool backward: width {w} not divisible by {size}");
+    assert_eq!(src.len(), planes * h * w, "pool backward: src length {} mismatch", src.len());
+    assert_eq!(dst.len(), planes * h * w, "pool backward: dst length {} mismatch", dst.len());
+    assert_eq!(
+        grad_out.len(),
+        planes * (h / size) * (w / size),
+        "pool backward: grad length {} mismatch",
+        grad_out.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_max_pool_backward(tier, src, planes, h, w, size, grad_out, dst) {
+        return;
+    }
+    let _ = tier;
+    max_pool_backward_body(src, planes, h, w, size, grad_out, dst);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulating outer product / slice accumulate
+// ---------------------------------------------------------------------------
+
+/// Portable body of [`outer_accumulate_into`].
+#[inline(always)]
+fn outer_accumulate_body(u: &[f32], v: &[f32], acc: &mut [f32]) {
+    let n = v.len();
+    for (i, &a) in u.iter().enumerate() {
+        let row = &mut acc[i * n..(i + 1) * n];
+        for (o, &b) in row.iter_mut().zip(v) {
+            *o += a * b;
+        }
+    }
+}
+
+/// Accumulates the outer product `u ⊗ v` into the row-major
+/// `[u.len(), v.len()]` buffer `acc`: `acc[i·n + j] += u[i] * v[j]`. One
+/// product and one add per element, so bit-identical to the allocating
+/// `outer` + `add_scaled_inplace(·, 1.0)` dense-layer gradient path.
+///
+/// # Panics
+///
+/// Panics when `acc.len() != u.len() * v.len()`.
+pub fn outer_accumulate_into(u: &[f32], v: &[f32], acc: &mut [f32]) {
+    outer_accumulate_into_tier(dispatch::active(), u, v, acc);
+}
+
+/// [`outer_accumulate_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`outer_accumulate_into`].
+pub fn outer_accumulate_into_tier(tier: IsaTier, u: &[f32], v: &[f32], acc: &mut [f32]) {
+    assert_eq!(
+        acc.len(),
+        u.len() * v.len(),
+        "outer accumulate: acc length {} != {}x{}",
+        acc.len(),
+        u.len(),
+        v.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_outer_accumulate(tier, u, v, acc) {
+        return;
+    }
+    let _ = tier;
+    outer_accumulate_body(u, v, acc);
+}
+
+/// Portable body of [`accumulate_slice_into`].
+#[inline(always)]
+fn accumulate_body(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Element-wise accumulate: `dst[i] += src[i]`. The gradient-reduction
+/// primitive of the training plans (branch→trunk merges and the
+/// per-sample→network gradient flush).
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn accumulate_slice_into(dst: &mut [f32], src: &[f32]) {
+    accumulate_slice_into_tier(dispatch::active(), dst, src);
+}
+
+/// [`accumulate_slice_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`accumulate_slice_into`].
+pub fn accumulate_slice_into_tier(tier: IsaTier, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "accumulate: dst/src lengths differ");
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_accumulate(tier, dst, src) {
+        return;
+    }
+    let _ = tier;
+    accumulate_body(dst, src);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-entropy gradient epilogue
+// ---------------------------------------------------------------------------
+
+/// Portable body of [`cross_entropy_grad_into`] (recompiled for AVX2 by the
+/// dispatcher).
+#[inline(always)]
+fn cross_entropy_grad_body(probs: &[f32], label: usize, weight: f32, out: &mut [f32]) {
+    for (o, &p) in out.iter_mut().zip(probs) {
+        *o = p * weight;
+    }
+    out[label] = (probs[label] - 1.0) * weight;
+}
+
+/// Weighted cross-entropy gradient at the logits:
+/// `out = (softmax_probs − one_hot(label)) · weight`, fused into one sweep.
+/// Bit-identical to the allocating clone → `grad[label] -= 1.0` →
+/// `scale(weight)` reference (each element sees the same single
+/// multiply, and the label element the same subtract-then-multiply).
+///
+/// # Panics
+///
+/// Panics when the lengths differ or `label` is out of range.
+pub fn cross_entropy_grad_into(probs: &[f32], label: usize, weight: f32, out: &mut [f32]) {
+    cross_entropy_grad_into_tier(dispatch::active(), probs, label, weight, out);
+}
+
+/// [`cross_entropy_grad_into`] on an explicitly chosen ISA tier (clamped to
+/// the hardware).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`cross_entropy_grad_into`].
+pub fn cross_entropy_grad_into_tier(
+    tier: IsaTier,
+    probs: &[f32],
+    label: usize,
+    weight: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(probs.len(), out.len(), "ce grad: probs/out lengths differ");
+    assert!(label < probs.len(), "ce grad: label {label} out of range {}", probs.len());
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_cross_entropy_grad(tier, probs, label, weight, out) {
+        return;
+    }
+    let _ = tier;
+    cross_entropy_grad_body(probs, label, weight, out);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier implementations (explicit `core::arch` intrinsics)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Runs the AVX2 transpose when the clamped tier allows; returns `false`
+    /// when the caller should take the portable path. Safe: the feature check
+    /// sits right next to the `unsafe` calls it justifies.
+    pub(super) fn try_transpose(
+        tier: IsaTier,
+        src: &[f32],
+        rows: usize,
+        cols: usize,
+        dst: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { transpose_avx2(src, rows, cols, dst) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn transpose_avx2(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+        transpose_body(src, rows, cols, dst);
+    }
+
+    /// AVX2 ReLU-backward attempt; see [`try_transpose`].
+    pub(super) fn try_relu_backward(
+        tier: IsaTier,
+        pre: &[f32],
+        grad_out: &[f32],
+        dst: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected;
+        // lengths were validated by the dispatching wrapper.
+        unsafe { relu_backward_avx2(pre, grad_out, dst) };
+        true
+    }
+
+    /// Vector mask-multiply: `cmp_gt` builds the same `{1.0, 0.0}` mask as
+    /// the scalar select (NaN compares false, exactly like `x > 0.0`), and
+    /// the multiply — not a bitwise AND — preserves the `-0.0`/NaN behaviour
+    /// of the reference.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported; lengths are validated by the
+    /// dispatching wrapper.
+    #[target_feature(enable = "avx2")]
+    unsafe fn relu_backward_avx2(pre: &[f32], grad_out: &[f32], dst: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let chunks = pre.len() / 8;
+        // SAFETY: chunk c covers [8c, 8c+8) with 8c+8 <= len for all three
+        // equally sized slices.
+        unsafe {
+            for c in 0..chunks {
+                let x = _mm256_loadu_ps(pre.as_ptr().add(c * 8));
+                let g = _mm256_loadu_ps(grad_out.as_ptr().add(c * 8));
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(x, zero);
+                let m = _mm256_blendv_ps(zero, one, gt);
+                _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), _mm256_mul_ps(m, g));
+            }
+        }
+        relu_backward_body(&pre[chunks * 8..], &grad_out[chunks * 8..], &mut dst[chunks * 8..]);
+    }
+
+    /// AVX2 max-pool-backward attempt; see [`try_transpose`].
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn try_max_pool_backward(
+        tier: IsaTier,
+        src: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        size: usize,
+        grad_out: &[f32],
+        dst: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { max_pool_backward_avx2(src, planes, h, w, size, grad_out, dst) };
+        true
+    }
+
+    /// The argmax scatter is irregular, so this tier recompiles the portable
+    /// body (the `dst.fill` and window scans still vectorize) rather than
+    /// hand-scheduling it — reduction order is untouched by construction.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn max_pool_backward_avx2(
+        src: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        size: usize,
+        grad_out: &[f32],
+        dst: &mut [f32],
+    ) {
+        max_pool_backward_body(src, planes, h, w, size, grad_out, dst);
+    }
+
+    /// AVX2 accumulating-outer-product attempt; see [`try_transpose`].
+    pub(super) fn try_outer_accumulate(
+        tier: IsaTier,
+        u: &[f32],
+        v: &[f32],
+        acc: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected;
+        // lengths were validated by the dispatching wrapper.
+        unsafe { outer_accumulate_avx2(u, v, acc) };
+        true
+    }
+
+    /// Broadcast `u[i]`, multiply against 8 lanes of `v`, add into the
+    /// accumulator row — separate `vmulps` + `vaddps` (no FMA), one rounded
+    /// product and add per element like the scalar body.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported; lengths are validated by the
+    /// dispatching wrapper.
+    #[target_feature(enable = "avx2")]
+    unsafe fn outer_accumulate_avx2(u: &[f32], v: &[f32], acc: &mut [f32]) {
+        let n = v.len();
+        let chunks = n / 8;
+        for (i, &a) in u.iter().enumerate() {
+            let row = &mut acc[i * n..(i + 1) * n];
+            let va = _mm256_set1_ps(a);
+            // SAFETY: chunk c covers [8c, 8c+8) with 8c+8 <= n for both the
+            // row and `v`.
+            unsafe {
+                for c in 0..chunks {
+                    let p = row.as_mut_ptr().add(c * 8);
+                    let prod = _mm256_mul_ps(va, _mm256_loadu_ps(v.as_ptr().add(c * 8)));
+                    _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), prod));
+                }
+            }
+            for (o, &b) in row[chunks * 8..].iter_mut().zip(&v[chunks * 8..]) {
+                *o += a * b;
+            }
+        }
+    }
+
+    /// AVX2 slice-accumulate attempt; see [`try_transpose`].
+    pub(super) fn try_accumulate(tier: IsaTier, dst: &mut [f32], src: &[f32]) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected;
+        // lengths were validated by the dispatching wrapper.
+        unsafe { accumulate_avx2(dst, src) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported; lengths are validated by the
+    /// dispatching wrapper.
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_avx2(dst: &mut [f32], src: &[f32]) {
+        let chunks = dst.len() / 8;
+        // SAFETY: chunk c covers [8c, 8c+8) with 8c+8 <= len for both slices.
+        unsafe {
+            for c in 0..chunks {
+                let p = dst.as_mut_ptr().add(c * 8);
+                let s = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), s));
+            }
+        }
+        accumulate_body(&mut dst[chunks * 8..], &src[chunks * 8..]);
+    }
+
+    /// AVX2 cross-entropy-gradient attempt; see [`try_transpose`].
+    pub(super) fn try_cross_entropy_grad(
+        tier: IsaTier,
+        probs: &[f32],
+        label: usize,
+        weight: f32,
+        out: &mut [f32],
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected;
+        // lengths were validated by the dispatching wrapper.
+        unsafe { cross_entropy_grad_avx2(probs, label, weight, out) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn cross_entropy_grad_avx2(probs: &[f32], label: usize, weight: f32, out: &mut [f32]) {
+        cross_entropy_grad_body(probs, label, weight, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn seq(len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i * 37 + 11) % 23) as f32 * 0.37 - 3.9).collect()
+    }
+
+    #[test]
+    fn transpose_matches_tensor_transpose() {
+        for (r, c) in [(1, 1), (3, 5), (7, 2), (6, 16)] {
+            let src = seq(r * c);
+            let t = Tensor::from_vec(src.clone(), &[r, c]).unwrap().transpose().unwrap();
+            let mut dst = vec![0.0f32; r * c];
+            transpose_into(&src, r, c, &mut dst);
+            assert_eq!(dst, t.as_slice());
+        }
+    }
+
+    #[test]
+    fn relu_backward_matches_mask_mul_including_signed_zero() {
+        let pre = [1.0, -2.0, 0.0, -0.0, 3.5, f32::NAN];
+        let go = [2.0, -3.0, -4.0, 5.0, -1.0, 1.0];
+        let mut dst = [0.0f32; 6];
+        relu_backward_into(&pre, &go, &mut dst);
+        let mask =
+            Tensor::from_vec(pre.to_vec(), &[6]).unwrap().map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        let reference = mask.mul(&Tensor::from_vec(go.to_vec(), &[6]).unwrap()).unwrap();
+        for (a, b) in dst.iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Masked-off negative gradient must produce -0.0, not +0.0.
+        assert_eq!(dst[2].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_first_strict_max() {
+        // Window [[1, 4], [4, 2]]: the first 4 (row 0, col 1) wins the tie.
+        let src = [1.0, 4.0, 4.0, 2.0];
+        let go = [10.0];
+        let mut dst = [9.0f32; 4];
+        max_pool_backward_into(&src, 1, 2, 2, 2, &go, &mut dst);
+        assert_eq!(dst, [0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn outer_and_slice_accumulate_add_on_top() {
+        let u = [2.0, -1.0];
+        let v = [3.0, 0.5, 1.0];
+        let mut acc = vec![1.0f32; 6];
+        outer_accumulate_into(&u, &v, &mut acc);
+        assert_eq!(acc, [7.0, 2.0, 3.0, -2.0, 0.5, 0.0]);
+        let mut dst = vec![1.0f32, 2.0];
+        accumulate_slice_into(&mut dst, &[0.5, -2.0]);
+        assert_eq!(dst, [1.5, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_reference_epilogue() {
+        let probs = [0.2f32, 0.5, 0.3];
+        let mut out = [0.0f32; 3];
+        cross_entropy_grad_into(&probs, 1, 0.25, &mut out);
+        let mut reference = Tensor::from_vec(probs.to_vec(), &[3]).unwrap();
+        reference.as_mut_slice()[1] -= 1.0;
+        let reference = reference.scale(0.25);
+        for (a, b) in out.iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_grad_rejects_bad_label() {
+        let mut out = [0.0f32; 2];
+        cross_entropy_grad_into(&[0.5, 0.5], 2, 1.0, &mut out);
+    }
+}

@@ -20,13 +20,15 @@
 //! # Ok::<(), ie_tensor::TensorError>(())
 //! ```
 
-// Unsafe code is denied crate-wide and allowed back in exactly three places:
-// the explicit-intrinsics ISA tier modules `linalg::x86`, `ops::x86` and
-// `quant::simd`, each of which documents its safety contract (the dispatcher
-// proves the required CPU features before calling in).
+// Unsafe code is denied crate-wide and allowed back in exactly four places:
+// the explicit-intrinsics ISA tier modules `linalg::x86`, `ops::x86`,
+// `backward::x86` and `quant::simd`, each of which documents its safety
+// contract (the dispatcher proves the required CPU features before calling
+// in).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backward;
 pub mod dispatch;
 mod error;
 mod im2col;
@@ -37,13 +39,17 @@ mod shape;
 mod tensor;
 mod workspace;
 
+pub use backward::{
+    accumulate_slice_into, cross_entropy_grad_into, max_pool_backward_into, outer_accumulate_into,
+    relu_backward_into, transpose_into,
+};
 pub use dispatch::IsaTier;
 pub use error::TensorError;
 pub use im2col::{
     col2im, col2im_into, im2col, im2col_batch_into, im2col_into, im2col_quant_batch_i16_into,
     im2col_quant_batch_into, im2col_quant_select_batch_into, Conv2dGeometry,
 };
-pub use linalg::{gemm_into, gemm_sparse_into, matvec_batch_into, matvec_into};
+pub use linalg::{gemm_into, gemm_sparse_into, matvec_batch_into, matvec_into, matvec_t_into};
 pub use ops::{
     add_bias_rows, add_bias_samples, max_pool_planes_i8_into, max_pool_planes_into,
     relu_codes_floor, relu_slice, softmax_slice_into,
@@ -64,9 +70,17 @@ pub use workspace::Workspace;
 /// exist for the tier-equivalence property tests and the per-kernel
 /// benchmarks, which need two tiers side by side in one process.
 pub mod tiered {
+    pub use crate::backward::{
+        accumulate_slice_into_tier as accumulate_slice_into,
+        cross_entropy_grad_into_tier as cross_entropy_grad_into,
+        max_pool_backward_into_tier as max_pool_backward_into,
+        outer_accumulate_into_tier as outer_accumulate_into,
+        relu_backward_into_tier as relu_backward_into, transpose_into_tier as transpose_into,
+    };
     pub use crate::linalg::{
         gemm_into_tier as gemm_into, gemm_sparse_into_tier as gemm_sparse_into,
         matvec_batch_into_tier as matvec_batch_into, matvec_into_tier as matvec_into,
+        matvec_t_into_tier as matvec_t_into,
     };
     pub use crate::ops::{
         add_bias_rows_tier as add_bias_rows, add_bias_samples_tier as add_bias_samples,

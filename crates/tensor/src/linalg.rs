@@ -293,6 +293,31 @@ mod x86 {
         true
     }
 
+    /// AVX2 transposed matvec attempt; see [`try_gemm_accumulate`].
+    pub(super) fn try_matvec_t(
+        tier: IsaTier,
+        a: &[f32],
+        x: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) -> bool {
+        if dispatch::clamp(tier) < IsaTier::Avx2 {
+            return false;
+        }
+        // SAFETY: `clamp` only returns Avx2 or above when AVX2 is detected.
+        unsafe { matvec_t_avx2(a, x, out, m, k) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is supported.
+    #[target_feature(enable = "avx2")]
+    unsafe fn matvec_t_avx2(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+        matvec_t_body(a, x, out, m, k);
+    }
+
     /// # Safety
     ///
     /// Caller must ensure AVX2 is supported.
@@ -625,6 +650,96 @@ pub fn matvec_batch_into_tier(
     matvec_batch_body(a, xs, out, m, k, batch);
 }
 
+/// Output rows [`matvec_t_into`] processes per pass (8 lane-partials of this
+/// width live on the stack: 2 KB).
+const MT_BLOCK: usize = 64;
+
+/// Portable body of [`matvec_t_into`]: for every output column block it
+/// replays [`dot_lanes`] on the *columns* of `a` — lane `t` accumulates depth
+/// indices `p ≡ t (mod 8)` in ascending order, the lanes combine through the
+/// identical fixed reduction tree, and the `k % 8` tail folds in afterwards —
+/// so each output element is bit-for-bit `dot_lanes(column, x)` without ever
+/// materializing the transposed matrix.
+#[inline(always)]
+fn matvec_t_body(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    let chunks = k / DOT_LANES;
+    let mut ib = 0usize;
+    while ib < m {
+        let bw = MT_BLOCK.min(m - ib);
+        let mut acc = [[0.0f32; MT_BLOCK]; DOT_LANES];
+        for c in 0..chunks {
+            for (t, lane) in acc.iter_mut().enumerate() {
+                let p = c * DOT_LANES + t;
+                let xv = x[p];
+                let arow = &a[p * m + ib..p * m + ib + bw];
+                for (o, &av) in lane[..bw].iter_mut().zip(arow) {
+                    *o += xv * av;
+                }
+            }
+        }
+        let orow = &mut out[ib..ib + bw];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = ((acc[0][j] + acc[4][j]) + (acc[2][j] + acc[6][j]))
+                + ((acc[1][j] + acc[5][j]) + (acc[3][j] + acc[7][j]));
+        }
+        for p in chunks * DOT_LANES..k {
+            let xv = x[p];
+            let arow = &a[p * m + ib..p * m + ib + bw];
+            for (o, &av) in orow.iter_mut().zip(arow) {
+                *o += xv * av;
+            }
+        }
+        ib += bw;
+    }
+}
+
+/// Transposed matrix–vector product: writes `Aᵀ·x` into `out` without
+/// materializing the transpose. `a` is `[k, m]` row-major, `x` has `k`
+/// elements and `out` has `m`. Never allocates.
+///
+/// Each output element reproduces [`matvec_into`]'s lane-parallel dot product
+/// (same lane assignment, same reduction tree, same tail order) on the
+/// corresponding column of `a` — bit-identical to
+/// [`transpose_into`](crate::transpose_into) + [`matvec_into`], minus the
+/// transposed copy. This is what the training plans use for the dense
+/// input-gradient product `dx = Wᵀ·g`.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_t_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    matvec_t_into_tier(dispatch::active(), a, x, out, m, k);
+}
+
+/// [`matvec_t_into`] on an explicitly chosen ISA tier (clamped to the
+/// hardware).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its dimensions.
+pub fn matvec_t_into_tier(
+    tier: IsaTier,
+    a: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+) {
+    assert_eq!(a.len(), k * m, "matvec_t: matrix buffer length {} != {k}x{m}", a.len());
+    assert_eq!(x.len(), k, "matvec_t: vector length {} != {k}", x.len());
+    assert_eq!(out.len(), m, "matvec_t: out length {} != {m}", out.len());
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if x86::try_matvec_t(tier, a, x, out, m, k) {
+        return;
+    }
+    let _ = tier;
+    matvec_t_body(a, x, out, m, k);
+}
+
 impl Tensor {
     fn check_matmul(&self, other: &Tensor) -> Result<(usize, usize, usize)> {
         if self.shape().rank() != 2 {
@@ -902,6 +1017,31 @@ mod tests {
         // k == 0 zero-fills like matvec_into.
         let mut out = vec![1.0f32; 4];
         matvec_batch_into(&[], &[], &mut out, 2, 0, 2);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn transposed_matvec_is_bit_identical_to_transpose_then_matvec() {
+        let mut rng = StdRng::seed_from_u64(22);
+        // Exercise the lane tail (k % 8 != 0) and the MT_BLOCK row remainder.
+        for (m, k) in [(1, 1), (3, 9), (64, 64), (65, 8), (512, 128), (100, 70), (130, 257)] {
+            let a = Tensor::randn(&mut rng, &[k, m], 0.0, 1.0);
+            let x = Tensor::randn(&mut rng, &[k], 0.0, 1.0);
+            let mut at = vec![0.0f32; k * m];
+            crate::transpose_into(a.as_slice(), k, m, &mut at);
+            let mut reference = vec![0.0f32; m];
+            matvec_into(&at, x.as_slice(), &mut reference, m, k);
+            let mut out = vec![f32::NAN; m];
+            matvec_t_into(a.as_slice(), x.as_slice(), &mut out, m, k);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape {m}x{k}"
+            );
+        }
+        // k == 0 zero-fills like matvec_into.
+        let mut out = vec![1.0f32; 4];
+        matvec_t_into(&[], &[], &mut out, 4, 0);
         assert_eq!(out, vec![0.0; 4]);
     }
 

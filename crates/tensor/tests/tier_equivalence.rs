@@ -262,6 +262,98 @@ proptest! {
         }
     }
 
+    /// The training-side backward kernels: transpose, ReLU mask-multiply,
+    /// argmax-routed pool backward, accumulating outer product, slice
+    /// accumulate and the fused cross-entropy gradient epilogue.
+    #[test]
+    fn backward_kernel_tiers_are_bit_identical(
+        rows in 1usize..12,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let len = rows * cols;
+        let data = mulberry(seed, 2 * len);
+        let (a, b) = data.split_at(len);
+        let label = (seed as usize) % cols;
+        let weight = 0.25 + (seed % 7) as f32 * 0.37;
+        for &tier in &supported_tiers()[1..] {
+            let mut base = vec![0.0f32; len];
+            tiered::transpose_into(IsaTier::Portable, a, rows, cols, &mut base);
+            let mut out = vec![0.0f32; len];
+            tiered::transpose_into(tier, a, rows, cols, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "transpose {:?}", tier);
+
+            let mut base_r = vec![0.0f32; len];
+            tiered::relu_backward_into(IsaTier::Portable, a, b, &mut base_r);
+            let mut out_r = vec![0.0f32; len];
+            tiered::relu_backward_into(tier, a, b, &mut out_r);
+            prop_assert_eq!(bits_f32(&base_r), bits_f32(&out_r), "relu bwd {:?}", tier);
+
+            let mut base_o = b.to_vec();
+            tiered::outer_accumulate_into(IsaTier::Portable, &a[..rows], &a[..cols], &mut base_o);
+            let mut out_o = b.to_vec();
+            tiered::outer_accumulate_into(tier, &a[..rows], &a[..cols], &mut out_o);
+            prop_assert_eq!(bits_f32(&base_o), bits_f32(&out_o), "outer {:?}", tier);
+
+            let mut base_acc = a.to_vec();
+            tiered::accumulate_slice_into(IsaTier::Portable, &mut base_acc, b);
+            let mut out_acc = a.to_vec();
+            tiered::accumulate_slice_into(tier, &mut out_acc, b);
+            prop_assert_eq!(bits_f32(&base_acc), bits_f32(&out_acc), "accumulate {:?}", tier);
+
+            let mut base_ce = vec![0.0f32; cols];
+            tiered::cross_entropy_grad_into(IsaTier::Portable, &a[..cols], label, weight, &mut base_ce);
+            let mut out_ce = vec![0.0f32; cols];
+            tiered::cross_entropy_grad_into(tier, &a[..cols], label, weight, &mut out_ce);
+            prop_assert_eq!(bits_f32(&base_ce), bits_f32(&out_ce), "ce grad {:?}", tier);
+        }
+    }
+
+    /// The transposed-`A` training kernel (`dx = Wᵀ·g`) is bit-identical
+    /// across tiers and to transpose-then-multiply.
+    #[test]
+    fn transposed_product_tiers_are_bit_identical(
+        m in 1usize..80,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = mulberry(seed, k * m);
+        let x = mulberry(seed ^ 0x77, k);
+        let mut base_v = vec![0.0f32; m];
+        tiered::matvec_t_into(IsaTier::Portable, &a, &x, &mut base_v, m, k);
+        for &tier in &supported_tiers()[1..] {
+            let mut out_v = vec![0.0f32; m];
+            tiered::matvec_t_into(tier, &a, &x, &mut out_v, m, k);
+            prop_assert_eq!(bits_f32(&base_v), bits_f32(&out_v), "matvec_t {:?}", tier);
+        }
+    }
+
+    /// Max-pool backward across window sizes and ties: the argmax scatter
+    /// must pick the same first strict maximum on every tier.
+    #[test]
+    fn max_pool_backward_tiers_are_bit_identical(
+        planes in 1usize..4,
+        oh in 1usize..6,
+        ow in 1usize..12,
+        size in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (h, w) = (oh * size, ow * size);
+        let mut src = mulberry(seed, planes * h * w);
+        // Inject exact ties so the first-strict-max rule is exercised.
+        for v in src.iter_mut().skip(1).step_by(5) {
+            *v = 4.0;
+        }
+        let go = mulberry(seed ^ 0x1234, planes * oh * ow);
+        let mut base = vec![0.0f32; planes * h * w];
+        tiered::max_pool_backward_into(IsaTier::Portable, &src, planes, h, w, size, &go, &mut base);
+        for &tier in &supported_tiers()[1..] {
+            let mut out = vec![0.0f32; planes * h * w];
+            tiered::max_pool_backward_into(tier, &src, planes, h, w, size, &go, &mut out);
+            prop_assert_eq!(bits_f32(&base), bits_f32(&out), "pool bwd {:?} size {}", tier, size);
+        }
+    }
+
     /// Edge values — NaN, infinities, signed zeros, exact ties — resolve
     /// identically on every tier (the `vmaxps` select semantics).
     #[test]
